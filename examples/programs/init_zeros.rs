@@ -1,0 +1,12 @@
+// The paper's fig. 2 example: verify with
+//   dune exec bin/flux.exe -- check examples/programs/init_zeros.rs
+#[lr::sig(fn(usize<@n>) -> RVec<f32, n>)]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec = RVec::new();
+    let mut i = 0;
+    while i < n {
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}

@@ -1,0 +1,12 @@
+// An off-by-one bug: flux rejects this program.
+//   dune exec bin/flux.exe -- check examples/programs/oob.rs
+#[lr::sig(fn(&RVec<f32, @n>) -> f32)]
+fn sum(v: &RVec<f32>) -> f32 {
+    let mut s = 0.0;
+    let mut i = 0;
+    while i <= v.len() {
+        s = s + *v.get(i);
+        i += 1;
+    }
+    s
+}

@@ -1,0 +1,14 @@
+// The corrected sum, annotated for the program-logic baseline:
+//   dune exec bin/prusti.exe -- check examples/programs/sum_annotated.rs
+// Remove the body_invariant! line and the baseline rejects the program;
+// flux needs no annotation at all for the fixed version.
+fn sum(v: &RVec<f32>) -> f32 {
+    let mut s = 0.0;
+    let mut i = 0;
+    while i < v.len() {
+        body_invariant!(i <= v.len());
+        s = s + *v.get(i);
+        i += 1;
+    }
+    s
+}
