@@ -1,0 +1,9 @@
+package "smt" (
+  directory = "smt"
+  description = ""
+  requires = "unix"
+  archive(byte) = "flux_smt.cma"
+  archive(native) = "flux_smt.cmxa"
+  plugin(byte) = "flux_smt.cma"
+  plugin(native) = "flux_smt.cmxs"
+)

@@ -1,0 +1,91 @@
+(** The [flux] command-line verifier.
+
+    Usage: [flux check FILE.rs] type-checks a program in the Rust
+    subset against its [#[lr::sig(...)]] refinement signatures, with
+    optional dumps of the MIR, the generated Horn constraints and the
+    inferred κ solutions. *)
+
+open Cmdliner
+module Checker = Flux_check.Checker
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_cmd_run file dump_mir dump_solution quiet =
+  try
+    let src = read_file file in
+    let prog = Flux_syntax.Parser.parse_program src in
+    Flux_syntax.Typeck.check_program prog;
+    if dump_mir then
+      List.iter
+        (fun (_, body) -> Format.printf "%a@." Flux_mir.Ir.pp_body body)
+        (Flux_mir.Lower.lower_program prog);
+    let report = Checker.check_program_ast prog in
+    List.iter
+      (fun (fr : Checker.fn_report) ->
+        if not quiet then
+          Format.printf "%-24s %s  (%d κ, %d clauses, %.3fs)@." fr.fr_name
+            (if Checker.fn_ok fr then "OK" else "ERROR")
+            fr.fr_kvars fr.fr_clauses fr.fr_time;
+        List.iter
+          (fun e -> Format.printf "  error: %a@." Checker.pp_error e)
+          fr.fr_errors;
+        if dump_solution then
+          match fr.fr_solution with
+          | Some sol ->
+              Format.printf "  inferred solution:@.%a" Flux_fixpoint.Solve.pp_solution sol
+          | None -> ())
+      report.Checker.rp_fns;
+    if Checker.report_ok report then begin
+      if not quiet then
+        Format.printf "flux: %d function(s) verified in %.3fs@."
+          (List.length report.Checker.rp_fns)
+          report.Checker.rp_time;
+      0
+    end
+    else begin
+      Format.printf "flux: verification FAILED@.";
+      1
+    end
+  with
+  | Sys_error msg ->
+      Format.eprintf "flux: %s@." msg;
+      2
+  | Flux_syntax.Lexer.Error (msg, p) ->
+      Format.eprintf "flux: %s:%d:%d: lexical error: %s@." file p.line p.col msg;
+      2
+  | Flux_syntax.Parser.Error (msg, p) ->
+      Format.eprintf "flux: %s:%d:%d: parse error: %s@." file p.line p.col msg;
+      2
+  | Flux_syntax.Typeck.Error (msg, sp) ->
+      Format.eprintf "flux: %s:%a: type error: %s@." file Flux_syntax.Ast.pp_span
+        sp msg;
+      2
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Rust-subset source file")
+
+let dump_mir_flag =
+  Arg.(value & flag & info [ "dump-mir" ] ~doc:"Print the lowered MIR")
+
+let dump_solution_flag =
+  Arg.(value & flag & info [ "dump-solution" ] ~doc:"Print the inferred κ solutions")
+
+let quiet_flag = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print errors")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify a program with liquid refinement types")
+    Term.(const check_cmd_run $ file_arg $ dump_mir_flag $ dump_solution_flag $ quiet_flag)
+
+let main =
+  Cmd.group
+    (Cmd.info "flux" ~version:"0.1.0"
+       ~doc:"Liquid types for a Rust subset (OCaml reproduction of Flux, PLDI 2023)")
+    [ check_cmd ]
+
+let () = exit (Cmd.eval' main)

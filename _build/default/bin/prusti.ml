@@ -1,0 +1,71 @@
+(** The [prusti] command-line verifier — the program-logic baseline.
+
+    Usage: [prusti check FILE.rs] verifies a program annotated with
+    Prusti-style contracts ([#[requires]], [#[ensures]]) and loop
+    invariants ([body_invariant!]). *)
+
+open Cmdliner
+module Wp = Flux_wp.Wp
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_cmd_run file quiet =
+  try
+    let src = read_file file in
+    let report = Wp.verify_source src in
+    List.iter
+      (fun (fr : Wp.fn_report) ->
+        if not quiet then
+          Format.printf "%-24s %s  (%d VCs, %.3fs)@." fr.fr_name
+            (if Wp.fn_ok fr then "OK" else "ERROR")
+            fr.fr_vcs fr.fr_time;
+        List.iter (fun e -> Format.printf "  error: %a@." Wp.pp_error e) fr.fr_errors)
+      report.Wp.rp_fns;
+    if Wp.report_ok report then begin
+      if not quiet then
+        Format.printf "prusti: %d function(s) verified in %.3fs@."
+          (List.length report.Wp.rp_fns)
+          report.Wp.rp_time;
+      0
+    end
+    else begin
+      Format.printf "prusti: verification FAILED@.";
+      1
+    end
+  with
+  | Sys_error msg ->
+      Format.eprintf "prusti: %s@." msg;
+      2
+  | Flux_syntax.Lexer.Error (msg, p) ->
+      Format.eprintf "prusti: %s:%d:%d: lexical error: %s@." file p.line p.col msg;
+      2
+  | Flux_syntax.Parser.Error (msg, p) ->
+      Format.eprintf "prusti: %s:%d:%d: parse error: %s@." file p.line p.col msg;
+      2
+  | Flux_syntax.Typeck.Error (msg, sp) ->
+      Format.eprintf "prusti: %s:%a: type error: %s@." file
+        Flux_syntax.Ast.pp_span sp msg;
+      2
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Annotated source file")
+
+let quiet_flag = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print errors")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify a program with the program-logic baseline")
+    Term.(const check_cmd_run $ file_arg $ quiet_flag)
+
+let main =
+  Cmd.group
+    (Cmd.info "prusti" ~version:"0.1.0"
+       ~doc:"Program-logic baseline verifier (Prusti-style), for the paper's comparison")
+    [ check_cmd ]
+
+let () = exit (Cmd.eval' main)

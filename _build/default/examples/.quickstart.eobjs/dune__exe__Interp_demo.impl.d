@@ -1,0 +1,1 @@
+examples/interp_demo.ml: Flux_check Flux_interp Flux_workloads Format Interp List Option

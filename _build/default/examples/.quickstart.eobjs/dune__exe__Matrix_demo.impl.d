@@ -1,0 +1,1 @@
+examples/matrix_demo.ml: Flux_check Flux_interp Flux_syntax Flux_workloads Format Interp List Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flux_check Flux_fixpoint Format List

@@ -1,0 +1,78 @@
+(** Quickstart: verify the paper's fig. 1 examples with the library
+    API, inspect an inferred loop invariant, and see an error message
+    for a buggy variant.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+module Checker = Flux_check.Checker
+
+let good =
+  {|
+// fig. 1 (left): the result is true exactly when the input is positive
+#[lr::sig(fn(i32<@n>) -> bool<0 < n>)]
+fn is_pos(n: i32) -> bool {
+    if 0 < n { true } else { false }
+}
+
+// fig. 1 (right): absolute value, with a lower bound on the result
+#[lr::sig(fn(i32<@x>) -> i32{v: x <= v && 0 <= v})]
+fn abs(x: i32) -> i32 {
+    if x < 0 { -x } else { x }
+}
+
+// fig. 2: build a vector of n zeros; the loop invariant
+// (len vec = i ∧ i <= n) is synthesized by liquid inference
+#[lr::sig(fn(usize<@n>) -> RVec<f32, n>)]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec = RVec::new();
+    let mut i = 0;
+    while i < n {
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}
+|}
+
+let buggy =
+  {|
+// out-of-bounds: i can reach v.len()
+#[lr::sig(fn(&RVec<f32, @n>) -> f32)]
+fn sum(v: &RVec<f32>) -> f32 {
+    let mut s = 0.0;
+    let mut i = 0;
+    while i <= v.len() {
+        s = s + *v.get(i);
+        i += 1;
+    }
+    s
+}
+|}
+
+let () =
+  Format.printf "=== Verifying the paper's fig. 1 / fig. 2 examples ===@.";
+  let report = Checker.check_source good in
+  List.iter
+    (fun (fr : Checker.fn_report) ->
+      Format.printf "  %-12s %s  (%d κ variables, %d clauses, %.3fs)@."
+        fr.fr_name
+        (if Checker.fn_ok fr then "verified" else "REJECTED")
+        fr.fr_kvars fr.fr_clauses fr.fr_time)
+    report.Checker.rp_fns;
+  Format.printf "@.=== Inferred κ solution for init_zeros ===@.";
+  (match
+     List.find_opt
+       (fun (fr : Checker.fn_report) -> fr.Checker.fr_name = "init_zeros")
+       report.Checker.rp_fns
+   with
+  | Some { fr_solution = Some sol; _ } ->
+      Format.printf "%a" Flux_fixpoint.Solve.pp_solution sol
+  | _ -> Format.printf "  (no solution recorded)@.");
+  Format.printf "@.=== A buggy program is rejected with a precise message ===@.";
+  let report = Checker.check_source buggy in
+  List.iter
+    (fun e -> Format.printf "  %a@." Checker.pp_error e)
+    (Checker.report_errors report);
+  if Checker.report_ok report then
+    failwith "BUG: the out-of-bounds program was accepted!"
+  else Format.printf "@.quickstart: done.@."

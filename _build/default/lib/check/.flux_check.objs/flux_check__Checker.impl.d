@@ -1,0 +1,1 @@
+lib/check/checker.ml: Array Flux_fixpoint Flux_mir Flux_rtype Flux_smt Flux_syntax Format Genv Hashtbl Horn Int List Map Printf Rty Solve Sort Specconv String Sub Term Unix

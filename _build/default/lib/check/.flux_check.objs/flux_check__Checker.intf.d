@@ -1,0 +1,1 @@
+lib/check/checker.mli: Flux_fixpoint Flux_mir Flux_syntax Format Genv

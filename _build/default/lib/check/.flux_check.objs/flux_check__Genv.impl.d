@@ -1,0 +1,1 @@
+lib/check/genv.ml: Flux_mir Flux_rtype Flux_syntax Hashtbl List Rty Specconv

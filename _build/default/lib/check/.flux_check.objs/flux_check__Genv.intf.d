@@ -1,0 +1,1 @@
+lib/check/genv.mli: Flux_mir Flux_rtype Flux_syntax Hashtbl Rty Specconv

@@ -1,0 +1,61 @@
+(** The Flux refinement checker — the algorithmic system of §4 of the
+    paper, over MIR.
+
+    Typical use:
+    {[
+      let report = Checker.check_source source_text in
+      if Checker.report_ok report then print_endline "verified"
+      else
+        List.iter
+          (fun e -> Format.printf "%a@." Checker.pp_error e)
+          (Checker.report_errors report)
+    ]} *)
+
+module Ast = Flux_syntax.Ast
+
+(** A verification error, mapped back to a source span. *)
+type error = { err_fn : string; err_span : Ast.span; err_msg : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Per-function result: errors (empty = verified), the inferred κ
+    solution, and constraint statistics. *)
+type fn_report = {
+  fr_name : string;
+  fr_errors : error list;
+  fr_solution : Flux_fixpoint.Solve.solution option;
+  fr_kvars : int;  (** κ variables created (joins + instantiations) *)
+  fr_clauses : int;  (** flat Horn clauses generated *)
+  fr_time : float;  (** seconds, including fixpoint solving *)
+}
+
+val fn_ok : fn_report -> bool
+
+exception Check_error of string * Ast.span
+(** Raised for structural problems (ill-formed specs, unsupported
+    constructs); refinement failures are reported in [fn_report]
+    instead. [check_body] converts this exception into an error report;
+    it can still escape from programs that fail before checking
+    starts. *)
+
+val check_underflow : bool ref
+(** Check that usize subtractions cannot underflow (default [true]; see
+    DESIGN.md decision 6). *)
+
+(** Whole-program report. *)
+type report = { rp_fns : fn_report list; rp_time : float }
+
+val report_ok : report -> bool
+val report_errors : report -> error list
+
+val check_body : Genv.t -> Ast.fn_def -> Flux_mir.Ir.body -> fn_report
+(** Check one lowered function against its resolved signature. *)
+
+val check_program_ast : Ast.program -> report
+(** Check every non-trusted function of a parsed, typechecked program. *)
+
+val check_source : string -> report
+(** Parse, typecheck, lower and refine-check a source string. Raises the
+    frontend's exceptions ({!Flux_syntax.Parser.Error},
+    {!Flux_syntax.Typeck.Error}, {!Flux_syntax.Lexer.Error}) on
+    ill-formed input. *)

@@ -1,0 +1,29 @@
+(** Global checking environment: resolved signatures for every function,
+    resolved struct declarations, and the lowered MIR bodies. *)
+
+open Flux_rtype
+module Ast = Flux_syntax.Ast
+module Ir = Flux_mir.Ir
+
+type t = {
+  prog : Ast.program;
+  senv : Rty.struct_env;
+  sigs : (string, Specconv.fsig) Hashtbl.t;
+  bodies : (string, Ir.body) Hashtbl.t;
+}
+
+let build (prog : Ast.program) : t =
+  let senv = Specconv.build_struct_env prog in
+  let sigs = Hashtbl.create 16 in
+  List.iter
+    (fun (fd : Ast.fn_def) ->
+      Hashtbl.replace sigs fd.Ast.fn_name (Specconv.resolve_sig senv fd))
+    (Ast.program_fns prog);
+  let bodies = Hashtbl.create 16 in
+  List.iter
+    (fun (name, body) -> Hashtbl.replace bodies name body)
+    (Flux_mir.Lower.lower_program prog);
+  { prog; senv; sigs; bodies }
+
+let find_sig (g : t) name = Hashtbl.find_opt g.sigs name
+let find_body (g : t) name = Hashtbl.find_opt g.bodies name

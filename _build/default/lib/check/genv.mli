@@ -1,0 +1,17 @@
+(** Global checking environment: resolved signatures, struct
+    declarations, and lowered MIR bodies for a whole program. *)
+
+open Flux_rtype
+module Ast = Flux_syntax.Ast
+module Ir = Flux_mir.Ir
+
+type t = {
+  prog : Ast.program;
+  senv : Rty.struct_env;
+  sigs : (string, Specconv.fsig) Hashtbl.t;
+  bodies : (string, Ir.body) Hashtbl.t;
+}
+
+val build : Ast.program -> t
+val find_sig : t -> string -> Specconv.fsig option
+val find_body : t -> string -> Ir.body option

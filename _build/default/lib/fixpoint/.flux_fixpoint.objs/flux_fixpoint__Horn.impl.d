@@ -1,0 +1,1 @@
+lib/fixpoint/horn.ml: Flux_smt Format Hashtbl List Sort Term

@@ -1,0 +1,1 @@
+lib/fixpoint/horn.mli: Flux_smt Format Sort Term

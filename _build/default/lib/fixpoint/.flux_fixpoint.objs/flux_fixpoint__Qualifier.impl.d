@@ -1,0 +1,1 @@
+lib/fixpoint/qualifier.ml: Flux_smt Format Hashtbl List Printf Sort Term

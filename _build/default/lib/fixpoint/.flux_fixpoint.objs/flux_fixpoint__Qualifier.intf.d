@@ -1,0 +1,1 @@
+lib/fixpoint/qualifier.mli: Flux_smt Format Sort Term

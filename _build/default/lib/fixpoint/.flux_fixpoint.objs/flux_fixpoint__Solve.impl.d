@@ -1,0 +1,1 @@
+lib/fixpoint/solve.ml: Flux_smt Format Hashtbl Horn List Printf Qualifier Solver String Term

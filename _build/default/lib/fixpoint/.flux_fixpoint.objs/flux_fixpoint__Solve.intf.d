@@ -1,0 +1,1 @@
+lib/fixpoint/solve.mli: Flux_smt Format Hashtbl Horn Qualifier Term

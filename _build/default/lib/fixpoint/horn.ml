@@ -1,0 +1,108 @@
+(** Horn constraints with refinement (κ) variables.
+
+    This is the constraint language produced by phase 2 of the checker
+    (§4.2 of the paper) and consumed by the predicate-abstraction solver
+    in {!Solve}. A constraint is a tree of binders, guards and heads —
+    the "nested" format of liquid-fixpoint — which we flatten into flat
+    clauses [∀ binders. hyps ⇒ head] before solving. *)
+
+open Flux_smt
+
+type kvar = {
+  kname : string;
+  kparams : (string * Sort.t) list;
+      (** formal parameters; the first [kvalues] are the "value"
+          positions of the template the κ refines, the rest are the
+          scope's ghost variables *)
+  kvalues : int;
+}
+
+type pred =
+  | Conc of Term.t  (** concrete (κ-free) predicate *)
+  | Kapp of string * Term.t list  (** κ variable applied to actuals *)
+
+type cstr =
+  | CTrue
+  | CAnd of cstr list
+  | CHead of pred * int  (** goal, with a caller-side tag for errors *)
+  | CBind of string * Sort.t * pred list * cstr
+      (** [∀ x:σ. preds(x) ⇒ c] — a binder with its refinements *)
+  | CGuard of Term.t * cstr  (** [guard ⇒ c] *)
+
+type clause = {
+  binders : (string * Sort.t) list;
+  hyps : pred list;
+  head : pred;
+  tag : int;
+}
+
+let pp_pred fmt = function
+  | Conc t -> Term.pp fmt t
+  | Kapp (k, args) ->
+      Format.fprintf fmt "%s(%a)" k
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Term.pp)
+        args
+
+let pp_clause fmt c =
+  Format.fprintf fmt "@[<hov 2>forall %a.@ %a@ => %a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+       (fun fmt (x, s) -> Format.fprintf fmt "(%s:%a)" x Sort.pp s))
+    c.binders
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " && ")
+       pp_pred)
+    c.hyps pp_pred c.head
+
+let rec pp_cstr fmt = function
+  | CTrue -> Format.pp_print_string fmt "true"
+  | CAnd cs ->
+      Format.fprintf fmt "@[<v>%a@]"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_cstr)
+        cs
+  | CHead (p, tag) -> Format.fprintf fmt "[%d] |- %a" tag pp_pred p
+  | CBind (x, s, ps, c) ->
+      Format.fprintf fmt "@[<v 2>forall %s:%a. %a =>@ %a@]" x Sort.pp s
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " && ")
+           pp_pred)
+        ps pp_cstr c
+  | CGuard (g, c) -> Format.fprintf fmt "@[<v 2>%a =>@ %a@]" Term.pp g pp_cstr c
+
+(** Flatten a nested constraint into clauses. *)
+let flatten (c : cstr) : clause list =
+  let rec go binders hyps acc = function
+    | CTrue -> acc
+    | CAnd cs -> List.fold_left (go binders hyps) acc cs
+    | CHead (p, tag) ->
+        { binders = List.rev binders; hyps = List.rev hyps; head = p; tag }
+        :: acc
+    | CBind (x, s, ps, c) ->
+        go ((x, s) :: binders) (List.rev_append ps hyps) acc c
+    | CGuard (g, c) -> go binders (Conc g :: hyps) acc c
+  in
+  List.rev (go [] [] [] c)
+
+(** All κ names occurring in a constraint. *)
+let kvars_of (c : cstr) : string list =
+  let tbl = Hashtbl.create 16 in
+  let pred = function Kapp (k, _) -> Hashtbl.replace tbl k () | Conc _ -> () in
+  let rec go = function
+    | CTrue -> ()
+    | CAnd cs -> List.iter go cs
+    | CHead (p, _) -> pred p
+    | CBind (_, _, ps, c) ->
+        List.iter pred ps;
+        go c
+    | CGuard (_, c) -> go c
+  in
+  go c;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let conj (cs : cstr list) : cstr =
+  match List.filter (fun c -> c <> CTrue) cs with
+  | [] -> CTrue
+  | [ c ] -> c
+  | cs -> CAnd cs

@@ -1,0 +1,43 @@
+(** Horn constraints with refinement (κ) variables — the constraint
+    language produced by the checker (§4.2 of the paper) and consumed by
+    {!Solve}. *)
+
+open Flux_smt
+
+type kvar = {
+  kname : string;
+  kparams : (string * Sort.t) list;
+      (** formal parameters; the first [kvalues] are the "value"
+          positions of the template the κ refines, the rest are the
+          scope's ghost variables *)
+  kvalues : int;
+}
+
+type pred =
+  | Conc of Term.t  (** concrete (κ-free) predicate *)
+  | Kapp of string * Term.t list  (** κ variable applied to actuals *)
+
+(** Nested constraints (the liquid-fixpoint format). *)
+type cstr =
+  | CTrue
+  | CAnd of cstr list
+  | CHead of pred * int  (** goal, with a caller-side tag for errors *)
+  | CBind of string * Sort.t * pred list * cstr
+      (** [∀ x:σ. preds(x) ⇒ c] — a binder with its refinements *)
+  | CGuard of Term.t * cstr  (** [guard ⇒ c] *)
+
+(** Flat clause [∀ binders. hyps ⇒ head]. *)
+type clause = {
+  binders : (string * Sort.t) list;
+  hyps : pred list;
+  head : pred;
+  tag : int;
+}
+
+val pp_pred : Format.formatter -> pred -> unit
+val pp_clause : Format.formatter -> clause -> unit
+val pp_cstr : Format.formatter -> cstr -> unit
+
+val flatten : cstr -> clause list
+val kvars_of : cstr -> string list
+val conj : cstr list -> cstr

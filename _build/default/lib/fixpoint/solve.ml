@@ -1,0 +1,188 @@
+(** The liquid fixpoint solver: predicate abstraction by iterative
+    weakening (Rondon et al. 2008; Cosman & Jhala 2017).
+
+    Each κ variable starts at the conjunction of all sort-correct
+    qualifier instantiations; clauses with κ heads repeatedly knock out
+    conjuncts that are not implied by their hypotheses until a fixpoint
+    is reached. The result is the strongest solution expressible in the
+    qualifier lattice; the remaining concrete-head clauses are then
+    checked once under it. *)
+
+open Flux_smt
+
+type solution = (string, Term.t list) Hashtbl.t
+(** κ name → conjuncts over the κ's formal parameters *)
+
+type failure = {
+  f_tag : int;  (** caller-side tag of the failing head *)
+  f_clause : Horn.clause;
+  f_lhs : Term.t;  (** hypotheses after solution substitution *)
+  f_rhs : Term.t;
+}
+
+type result = Sat of solution | Unsat of failure list * solution
+
+type stats = {
+  mutable iterations : int;
+  mutable weaken_checks : int;
+  mutable final_checks : int;
+}
+
+let stats = { iterations = 0; weaken_checks = 0; final_checks = 0 }
+
+let reset_stats () =
+  stats.iterations <- 0;
+  stats.weaken_checks <- 0;
+  stats.final_checks <- 0
+
+(** Substitute the current solution into a predicate, yielding a
+    concrete term. *)
+let apply_pred (kenv : (string, Horn.kvar) Hashtbl.t) (sol : solution)
+    (p : Horn.pred) : Term.t =
+  match p with
+  | Horn.Conc t -> t
+  | Horn.Kapp (k, args) -> (
+      match (Hashtbl.find_opt kenv k, Hashtbl.find_opt sol k) with
+      | Some kv, Some conjuncts ->
+          let m =
+            try List.map2 (fun (x, _) a -> (x, a)) kv.Horn.kparams args
+            with Invalid_argument _ ->
+              invalid_arg
+                (Printf.sprintf "kvar %s applied to %d args, expects %d" k
+                   (List.length args)
+                   (List.length kv.Horn.kparams))
+          in
+          Term.mk_and (List.map (Term.subst m) conjuncts)
+      | _ -> Term.tt)
+
+(** Cone-of-influence slicing: keep only the hypotheses transitively
+    sharing a variable with the goal. Dropping hypotheses weakens the
+    left-hand side, so slicing is sound (it can only make the validity
+    check fail, never succeed spuriously). Disabled for variable-free
+    goals (e.g. [false] for unreachable code), which depend on the whole
+    path condition. *)
+let slice_enabled = ref true
+
+(** Pre-expand and flatten a clause's hypotheses under the current
+    solution, tagging each conjunct with its free variables; shared by
+    all the per-qualifier slices of one clause. *)
+let prepare_hyps kenv sol (c : Horn.clause) : (Term.t * Term.VarSet.t) list =
+  List.map (apply_pred kenv sol) c.Horn.hyps
+  |> List.concat_map (function Term.And ts -> ts | t -> [ t ])
+  |> List.map (fun h -> (h, Term.free_vars h))
+
+(** Cone-of-influence slice of prepared hypotheses w.r.t. [rhs]. *)
+let slice_prepared (hyps : (Term.t * Term.VarSet.t) list) (rhs : Term.t) :
+    Term.t =
+  if not !slice_enabled then Term.mk_and (List.map fst hyps)
+  else
+    let seed = Term.free_vars rhs in
+    if Term.VarSet.is_empty seed then Term.mk_and (List.map fst hyps)
+    else begin
+      let seed = ref seed in
+      let remaining = ref hyps in
+      let kept = ref [] in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        remaining :=
+          List.filter
+            (fun (h, vs) ->
+              if Term.VarSet.exists (fun v -> Term.VarSet.mem v !seed) vs
+              then begin
+                kept := h :: !kept;
+                seed := Term.VarSet.union vs !seed;
+                changed := true;
+                false
+              end
+              else true)
+            !remaining
+      done;
+      Term.mk_and !kept
+    end
+
+let sliced_lhs kenv sol (c : Horn.clause) (rhs : Term.t) : Term.t =
+  slice_prepared (prepare_hyps kenv sol c) rhs
+
+(** Solve a set of flat clauses over the given κ declarations. *)
+let solve_clauses ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
+    (clauses : Horn.clause list) : result =
+  let kenv = Hashtbl.create 16 in
+  List.iter (fun kv -> Hashtbl.replace kenv kv.Horn.kname kv) kvars;
+  (* Initial solution: all qualifier instantiations. *)
+  let sol : solution = Hashtbl.create 16 in
+  List.iter
+    (fun kv ->
+      Hashtbl.replace sol kv.Horn.kname
+        (Qualifier.instantiate_all ~values:kv.Horn.kvalues qualifiers
+           kv.Horn.kparams))
+    kvars;
+  (* κ-headed and concrete-headed clauses. *)
+  let kclauses, cclauses =
+    List.partition
+      (fun cl -> match cl.Horn.head with Horn.Kapp _ -> true | _ -> false)
+      clauses
+  in
+  (* Iterative weakening. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    stats.iterations <- stats.iterations + 1;
+    List.iter
+      (fun cl ->
+        match cl.Horn.head with
+        | Horn.Kapp (k, args) -> (
+            match Hashtbl.find_opt sol k with
+            | None | Some [] -> ()
+            | Some conjuncts ->
+                let kv = Hashtbl.find kenv k in
+                let m =
+                  List.map2 (fun (x, _) a -> (x, a)) kv.Horn.kparams args
+                in
+                let prepared = prepare_hyps kenv sol cl in
+                let keep =
+                  List.filter
+                    (fun q ->
+                      stats.weaken_checks <- stats.weaken_checks + 1;
+                      let rhs = Term.subst m q in
+                      let lhs = slice_prepared prepared rhs in
+                      Solver.valid (Term.mk_imp lhs rhs))
+                    conjuncts
+                in
+                if List.length keep <> List.length conjuncts then begin
+                  Hashtbl.replace sol k keep;
+                  changed := true
+                end)
+        | Horn.Conc _ -> ())
+      kclauses
+  done;
+  (* Final check of concrete heads. *)
+  let failures =
+    List.filter_map
+      (fun cl ->
+        match cl.Horn.head with
+        | Horn.Conc rhs ->
+            stats.final_checks <- stats.final_checks + 1;
+            let lhs = sliced_lhs kenv sol cl rhs in
+            if Solver.valid (Term.mk_imp lhs rhs) then None
+            else Some { f_tag = cl.Horn.tag; f_clause = cl; f_lhs = lhs; f_rhs = rhs }
+        | Horn.Kapp _ -> None)
+      cclauses
+  in
+  if failures = [] then Sat sol else Unsat (failures, sol)
+
+(** Solve a nested constraint (flattens first). *)
+let solve ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
+    (c : Horn.cstr) : result =
+  solve_clauses ~qualifiers ~kvars (Horn.flatten c)
+
+(** Pretty-print a solution (for tests and [--dump-solution]). *)
+let pp_solution fmt (sol : solution) =
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) sol []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (k, conjuncts) ->
+      Format.fprintf fmt "%s := %a@." k Term.pp (Term.mk_and conjuncts))
+    entries

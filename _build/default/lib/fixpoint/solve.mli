@@ -1,0 +1,48 @@
+(** The liquid fixpoint solver: predicate abstraction by iterative
+    weakening (Rondon et al. 2008; Cosman & Jhala 2017).
+
+    Each κ variable starts at the conjunction of all sort-correct
+    qualifier instantiations; clauses with κ heads repeatedly knock out
+    conjuncts not implied by their hypotheses until a fixpoint is
+    reached (the strongest solution in the qualifier lattice); the
+    remaining concrete-head clauses are then checked under it. *)
+
+open Flux_smt
+
+type solution = (string, Term.t list) Hashtbl.t
+(** κ name → solution conjuncts over the κ's formal parameters. *)
+
+(** A concrete-head clause that failed under the final solution. *)
+type failure = {
+  f_tag : int;  (** caller-side tag of the failing head *)
+  f_clause : Horn.clause;
+  f_lhs : Term.t;  (** hypotheses after solution substitution *)
+  f_rhs : Term.t;
+}
+
+type result = Sat of solution | Unsat of failure list * solution
+
+type stats = {
+  mutable iterations : int;
+  mutable weaken_checks : int;
+  mutable final_checks : int;
+}
+
+val stats : stats
+val reset_stats : unit -> unit
+
+val slice_enabled : bool ref
+(** Cone-of-influence slicing of clause hypotheses (default [true];
+    sound either way, large speedup on join-heavy constraints). *)
+
+val solve_clauses :
+  ?qualifiers:Qualifier.t list ->
+  kvars:Horn.kvar list ->
+  Horn.clause list ->
+  result
+
+val solve :
+  ?qualifiers:Qualifier.t list -> kvars:Horn.kvar list -> Horn.cstr -> result
+(** Solve a nested constraint (flattens first). *)
+
+val pp_solution : Format.formatter -> solution -> unit

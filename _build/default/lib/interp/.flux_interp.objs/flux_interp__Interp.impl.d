@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Float Flux_mir Flux_syntax Format Hashtbl List Printf String

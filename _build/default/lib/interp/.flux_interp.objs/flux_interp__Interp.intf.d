@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Flux_mir Flux_syntax Format

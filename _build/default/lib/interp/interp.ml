@@ -1,0 +1,331 @@
+(** An executable semantics for the MIR — the operational side of the
+    paper's Theorem 3.2 (stuck freedom).
+
+    Every vector access is dynamically bounds-checked and raises
+    {!Panic} on violation; type confusion raises {!Stuck}. The property
+    tests use this to check, on randomized inputs, that programs
+    accepted by the Flux checker never panic on an access the checker
+    verified — an executable reading of "well-typed programs do not get
+    stuck". *)
+
+module Ast = Flux_syntax.Ast
+module Ir = Flux_mir.Ir
+
+exception Panic of string
+exception Stuck of string
+exception Out_of_fuel
+
+type vec = { mutable items : value array; mutable len : int }
+
+and value =
+  | VInt of int
+  | VBool of bool
+  | VFloat of float
+  | VUnit
+  | VVec of vec
+  | VStruct of string * (string * value ref) list
+  | VRefCell of value ref
+  | VRefElem of vec * int
+
+let rec pp_value fmt = function
+  | VInt n -> Format.pp_print_int fmt n
+  | VBool b -> Format.pp_print_bool fmt b
+  | VFloat f -> Format.fprintf fmt "%g" f
+  | VUnit -> Format.pp_print_string fmt "()"
+  | VVec v ->
+      Format.fprintf fmt "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_value)
+        (Array.to_list (Array.sub v.items 0 v.len))
+  | VStruct (s, fields) ->
+      Format.fprintf fmt "%s { %a }" s
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           (fun fmt (f, v) -> Format.fprintf fmt "%s: %a" f pp_value !v))
+        fields
+  | VRefCell _ -> Format.pp_print_string fmt "&_"
+  | VRefElem _ -> Format.pp_print_string fmt "&elem"
+
+let vec_make () = { items = [||]; len = 0 }
+
+let vec_get v i =
+  if i < 0 || i >= v.len then
+    raise (Panic (Printf.sprintf "index out of bounds: %d (len %d)" i v.len))
+  else v.items.(i)
+
+let vec_set v i x =
+  if i < 0 || i >= v.len then
+    raise (Panic (Printf.sprintf "index out of bounds: %d (len %d)" i v.len))
+  else v.items.(i) <- x
+
+let vec_push v x =
+  if v.len = Array.length v.items then begin
+    let cap = max 4 (2 * Array.length v.items) in
+    let items = Array.make cap VUnit in
+    Array.blit v.items 0 items 0 v.len;
+    v.items <- items
+  end;
+  v.items.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_pop v =
+  if v.len = 0 then raise (Panic "pop from empty vector")
+  else begin
+    v.len <- v.len - 1;
+    v.items.(v.len)
+  end
+
+let vec_of_list xs =
+  let v = vec_make () in
+  List.iter (vec_push v) xs;
+  v
+
+let rec value_eq a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VBool x, VBool y -> x = y
+  | VFloat x, VFloat y -> Float.equal x y
+  | VUnit, VUnit -> true
+  | VVec x, VVec y ->
+      x.len = y.len
+      && (let ok = ref true in
+          for i = 0 to x.len - 1 do
+            if not (value_eq x.items.(i) y.items.(i)) then ok := false
+          done;
+          !ok)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type machine = {
+  prog : Ast.program;
+  bodies : (string * Ir.body) list;
+  builtins : (string, value list -> value) Hashtbl.t;
+  mutable fuel : int;
+}
+
+let default_builtins () =
+  let tbl = Hashtbl.create 8 in
+  let to_float = function
+    | [ VInt n ] -> VFloat (float_of_int n)
+    | _ -> raise (Stuck "flt: bad arguments")
+  in
+  Hashtbl.replace tbl "flt" to_float;
+  Hashtbl.replace tbl "flt2" to_float;
+  tbl
+
+let make ?(fuel = 10_000_000) (prog : Ast.program) : machine =
+  {
+    prog;
+    bodies = Flux_mir.Lower.lower_program prog;
+    builtins = default_builtins ();
+    fuel;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type frame = { locals : value ref array; body : Ir.body }
+
+let burn m =
+  m.fuel <- m.fuel - 1;
+  if m.fuel <= 0 then raise Out_of_fuel
+
+(** Resolve a place to either a cell or a vector element. *)
+let rec resolve_place (fr : frame) (p : Ir.place) :
+    [ `Cell of value ref | `Elem of vec * int ] =
+  let rec go (target : [ `Cell of value ref | `Elem of vec * int ])
+      (projs : Ir.proj list) =
+    match projs with
+    | [] -> target
+    | Ir.PDeref :: rest -> (
+        let v =
+          match target with
+          | `Cell c -> !c
+          | `Elem (vec, i) -> vec_get vec i
+        in
+        match v with
+        | VRefCell c -> go (`Cell c) rest
+        | VRefElem (vec, i) -> go (`Elem (vec, i)) rest
+        | _ -> raise (Stuck "deref of non-reference"))
+    | Ir.PField f :: rest -> (
+        let v =
+          match target with
+          | `Cell c -> !c
+          | `Elem (vec, i) -> vec_get vec i
+        in
+        match v with
+        | VStruct (_, fields) -> (
+            match List.assoc_opt f fields with
+            | Some cell -> go (`Cell cell) rest
+            | None -> raise (Stuck ("no field " ^ f)))
+        | _ -> raise (Stuck "field of non-struct"))
+  in
+  go (`Cell fr.locals.(p.Ir.base)) p.Ir.projs
+
+and read_place (fr : frame) (p : Ir.place) : value =
+  match resolve_place fr p with
+  | `Cell c -> !c
+  | `Elem (vec, i) -> vec_get vec i
+
+let write_place (fr : frame) (p : Ir.place) (v : value) : unit =
+  match resolve_place fr p with
+  | `Cell c -> c := v
+  | `Elem (vec, i) -> vec_set vec i v
+
+let read_operand (fr : frame) (op : Ir.operand) : value =
+  match op with
+  | Ir.Const (Ir.CInt (n, _)) -> VInt n
+  | Ir.Const (Ir.CBool b) -> VBool b
+  | Ir.Const (Ir.CFloat f) -> VFloat f
+  | Ir.Const Ir.CUnit -> VUnit
+  | Ir.Copy p | Ir.Move p -> read_place fr p
+
+let as_bool = function VBool b -> b | _ -> raise (Stuck "expected a boolean")
+
+let eval_binop (op : Ast.binop) (a : value) (b : value) : value =
+  match (op, a, b) with
+  | Ast.Add, VInt x, VInt y -> VInt (x + y)
+  | Ast.Sub, VInt x, VInt y -> VInt (x - y)
+  | Ast.Mul, VInt x, VInt y -> VInt (x * y)
+  | Ast.Div, VInt x, VInt y ->
+      if y = 0 then raise (Panic "division by zero") else VInt (x / y)
+  | Ast.Rem, VInt x, VInt y ->
+      if y = 0 then raise (Panic "remainder by zero") else VInt (x mod y)
+  | Ast.Lt, VInt x, VInt y -> VBool (x < y)
+  | Ast.Le, VInt x, VInt y -> VBool (x <= y)
+  | Ast.Gt, VInt x, VInt y -> VBool (x > y)
+  | Ast.Ge, VInt x, VInt y -> VBool (x >= y)
+  | Ast.EqOp, VInt x, VInt y -> VBool (x = y)
+  | Ast.NeOp, VInt x, VInt y -> VBool (x <> y)
+  | Ast.Add, VFloat x, VFloat y -> VFloat (x +. y)
+  | Ast.Sub, VFloat x, VFloat y -> VFloat (x -. y)
+  | Ast.Mul, VFloat x, VFloat y -> VFloat (x *. y)
+  | Ast.Div, VFloat x, VFloat y -> VFloat (x /. y)
+  | Ast.Rem, VFloat x, VFloat y -> VFloat (Float.rem x y)
+  | Ast.Lt, VFloat x, VFloat y -> VBool (x < y)
+  | Ast.Le, VFloat x, VFloat y -> VBool (x <= y)
+  | Ast.Gt, VFloat x, VFloat y -> VBool (x > y)
+  | Ast.Ge, VFloat x, VFloat y -> VBool (x >= y)
+  | Ast.EqOp, VFloat x, VFloat y -> VBool (Float.equal x y)
+  | Ast.NeOp, VFloat x, VFloat y -> VBool (not (Float.equal x y))
+  | Ast.EqOp, VBool x, VBool y -> VBool (x = y)
+  | Ast.NeOp, VBool x, VBool y -> VBool (x <> y)
+  | Ast.AndOp, VBool x, VBool y -> VBool (x && y)
+  | Ast.OrOp, VBool x, VBool y -> VBool (x || y)
+  | _ -> raise (Stuck "invalid binary operation")
+
+(** Call a function by name. *)
+let rec call (m : machine) (fname : string) (args : value list) : value =
+  burn m;
+  if String.length fname > 6 && String.sub fname 0 6 = "RVec::" then
+    vec_call (String.sub fname 6 (String.length fname - 6)) args
+  else if String.equal fname "RVec::new" then VVec (vec_make ())
+  else
+    match List.assoc_opt fname m.bodies with
+    | Some body -> exec_body m body args
+    | None -> (
+        match Hashtbl.find_opt m.builtins fname with
+        | Some f -> f args
+        | None -> raise (Stuck ("unknown function " ^ fname)))
+
+and vec_call (meth : string) (args : value list) : value =
+  let the_vec = function
+    | VRefCell { contents = VVec v } -> v
+    | VRefElem (outer, i) -> (
+        match vec_get outer i with
+        | VVec v -> v
+        | _ -> raise (Stuck "receiver element is not a vector"))
+    | VVec v -> v
+    | _ -> raise (Stuck "receiver is not a vector")
+  in
+  match (meth, args) with
+  | "new", [] -> VVec (vec_make ())
+  | "len", [ r ] -> VInt (the_vec r).len
+  | "is_empty", [ r ] -> VBool ((the_vec r).len = 0)
+  | "get", [ r; VInt i ] ->
+      let v = the_vec r in
+      ignore (vec_get v i);
+      VRefElem (v, i)
+  | "get_mut", [ r; VInt i ] ->
+      let v = the_vec r in
+      ignore (vec_get v i);
+      VRefElem (v, i)
+  | "push", [ r; x ] ->
+      vec_push (the_vec r) x;
+      VUnit
+  | "pop", [ r ] -> vec_pop (the_vec r)
+  | "swap", [ r; VInt i; VInt j ] ->
+      let v = the_vec r in
+      let a = vec_get v i and b = vec_get v j in
+      vec_set v i b;
+      vec_set v j a;
+      VUnit
+  | "clone", [ r ] ->
+      let v = the_vec r in
+      let c = vec_make () in
+      for i = 0 to v.len - 1 do
+        vec_push c v.items.(i)
+      done;
+      VVec c
+  | _ -> raise (Stuck ("unknown RVec method " ^ meth))
+
+and exec_body (m : machine) (body : Ir.body) (args : value list) : value =
+  let n = Array.length body.Ir.mb_locals in
+  let fr = { locals = Array.init n (fun _ -> ref VUnit); body } in
+  List.iteri (fun i v -> fr.locals.(i + 1) := v) args;
+  let rec run (bb : int) : value =
+    burn m;
+    let blk = body.Ir.mb_blocks.(bb) in
+    List.iter
+      (fun s ->
+        match s with
+        | Ir.SNop | Ir.SInvariant _ -> ()
+        | Ir.SAssign (dest, rv, _) -> write_place fr dest (eval_rvalue fr rv))
+      blk.Ir.stmts;
+    match blk.Ir.term with
+    | Ir.TGoto s -> run s
+    | Ir.TSwitch (op, s_then, s_else) ->
+        if as_bool (read_operand fr op) then run s_then else run s_else
+    | Ir.TReturn -> !(fr.locals.(0))
+    | Ir.TUnreachable -> raise (Panic "assertion failed / unreachable reached")
+    | Ir.TCall { tc_func; tc_args; tc_dest; tc_target; _ } ->
+        let argv = List.map (read_operand fr) tc_args in
+        let result = call m tc_func argv in
+        write_place fr tc_dest result;
+        run tc_target
+  and eval_rvalue fr (rv : Ir.rvalue) : value =
+    match rv with
+    | Ir.RUse op -> read_operand fr op
+    | Ir.RBin (op, a, b) -> eval_binop op (read_operand fr a) (read_operand fr b)
+    | Ir.RUn (Ast.Not, a) -> VBool (not (as_bool (read_operand fr a)))
+    | Ir.RUn (Ast.NegOp, a) -> (
+        match read_operand fr a with
+        | VInt n -> VInt (-n)
+        | VFloat f -> VFloat (-.f)
+        | _ -> raise (Stuck "negation of non-number"))
+    | Ir.RRef (_, p) -> (
+        match resolve_place fr p with
+        | `Cell c -> VRefCell c
+        | `Elem (vec, i) -> VRefElem (vec, i))
+    | Ir.RAggregate (sname, fields) ->
+        VStruct (sname, List.map (fun (f, op) -> (f, ref (read_operand fr op))) fields)
+  in
+  run 0
+
+(** Run a named function of a parsed program. *)
+let run_fn ?(fuel = 10_000_000) (prog : Ast.program) (fname : string)
+    (args : value list) : value =
+  let m = make ~fuel prog in
+  call m fname args
+
+(** Parse, typecheck and run. *)
+let run_source ?fuel (src : string) (fname : string) (args : value list) :
+    value =
+  let prog = Flux_syntax.Parser.parse_program src in
+  Flux_syntax.Typeck.check_program prog;
+  run_fn ?fuel prog fname args

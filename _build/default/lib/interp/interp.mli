@@ -1,0 +1,54 @@
+(** Executable MIR semantics with dynamic bounds checks — the
+    operational side of the paper's Theorem 3.2 (stuck freedom).
+
+    Values are deep (vectors carry their elements); references are
+    first-class ([VRefCell] to a cell, [VRefElem] into a vector).
+    Out-of-bounds accesses raise {!Panic}; type confusion (impossible
+    for programs that pass the unrefined typechecker) raises {!Stuck};
+    the fuel counter bounds divergence with {!Out_of_fuel}. *)
+
+module Ast = Flux_syntax.Ast
+module Ir = Flux_mir.Ir
+
+exception Panic of string
+exception Stuck of string
+exception Out_of_fuel
+
+type vec = { mutable items : value array; mutable len : int }
+
+and value =
+  | VInt of int
+  | VBool of bool
+  | VFloat of float
+  | VUnit
+  | VVec of vec
+  | VStruct of string * (string * value ref) list
+  | VRefCell of value ref
+  | VRefElem of vec * int
+
+val pp_value : Format.formatter -> value -> unit
+val value_eq : value -> value -> bool
+
+(** Vector helpers (bounds-checked). *)
+
+val vec_make : unit -> vec
+val vec_of_list : value list -> vec
+val vec_get : vec -> int -> value
+val vec_set : vec -> int -> value -> unit
+val vec_push : vec -> value -> unit
+val vec_pop : vec -> value
+
+(** A loaded program with its builtins ([flt]/[flt2] integer-to-float
+    conversions) and a fuel budget. *)
+type machine
+
+val make : ?fuel:int -> Ast.program -> machine
+
+val call : machine -> string -> value list -> value
+(** Call a function (or built-in RVec method) by name. *)
+
+val run_fn : ?fuel:int -> Ast.program -> string -> value list -> value
+(** One-shot: build a machine and call [fname]. *)
+
+val run_source : ?fuel:int -> string -> string -> value list -> value
+(** Parse, typecheck and run [fname] from a source string. *)

@@ -1,0 +1,1 @@
+lib/mir/ir.ml: Array Ast Flux_syntax Format List String

@@ -1,0 +1,1 @@
+lib/mir/lower.ml: Array Ast Flux_syntax Format Hashtbl Ir List Printf String

@@ -1,0 +1,271 @@
+(** A MIR-style control-flow-graph IR, mirroring the representation the
+    paper's implementation consumes ("Flux performs the analysis on
+    Rust's Mid-level Intermediate Representation", §4).
+
+    A function body is a graph of basic blocks over a flat array of
+    typed locals. Local 0 is the return place; locals 1..arg_count are
+    the arguments. Places are locals with deref/field projections;
+    operands copy or move places or materialize constants. Function and
+    method calls are block terminators. *)
+
+open Flux_syntax
+
+type local = int
+
+type local_kind = KReturn | KArg | KUser | KTemp
+
+type local_decl = {
+  ld_name : string;
+  ld_ty : Ast.ty;
+  ld_kind : local_kind;
+}
+
+type proj = PDeref | PField of string
+
+type place = { base : local; projs : proj list }
+
+let local_place l = { base = l; projs = [] }
+
+type constant =
+  | CInt of int * Ast.int_kind
+  | CFloat of float
+  | CBool of bool
+  | CUnit
+
+type operand = Copy of place | Move of place | Const of constant
+
+type rvalue =
+  | RUse of operand
+  | RBin of Ast.binop * operand * operand
+  | RUn of Ast.unop * operand
+  | RRef of Ast.mutability * place
+  | RAggregate of string * (string * operand) list
+      (** struct literal: name, field assignments in declaration order *)
+
+type stmt =
+  | SAssign of place * rvalue * Ast.span
+  | SInvariant of Ast.expr * Ast.span
+      (** Prusti [body_invariant!]; lives in the loop-header block *)
+  | SNop
+
+type terminator =
+  | TGoto of int
+  | TSwitch of operand * int * int  (** if: operand, then-block, else-block *)
+  | TCall of {
+      tc_func : string;
+      tc_args : operand list;
+      tc_dest : place;
+      tc_target : int;
+      tc_span : Ast.span;
+    }
+  | TReturn
+  | TUnreachable
+
+type block = { mutable stmts : stmt list; mutable term : terminator }
+
+type body = {
+  mb_name : string;
+  mb_locals : local_decl array;
+  mb_arg_count : int;
+  mb_blocks : block array;
+  mb_loop_heads : bool array;  (** targets of back edges *)
+  mb_span : Ast.span;
+}
+
+let local_ty (b : body) (l : local) = b.mb_locals.(l).ld_ty
+
+(** The plain type of a place, following projections. *)
+let rec place_ty_from (prog : Ast.program) (t : Ast.ty) (projs : proj list) :
+    Ast.ty =
+  match projs with
+  | [] -> t
+  | PDeref :: rest -> (
+      match t with
+      | Ast.TRef (_, t') -> place_ty_from prog t' rest
+      | _ -> invalid_arg "place_ty: deref of non-reference")
+  | PField f :: rest -> (
+      match t with
+      | Ast.TStruct s -> (
+          match Ast.find_struct prog s with
+          | Some sd -> (
+              match
+                List.find_opt (fun fd -> String.equal fd.Ast.fd_name f) sd.Ast.st_fields
+              with
+              | Some fd -> place_ty_from prog fd.Ast.fd_ty rest
+              | None -> invalid_arg ("place_ty: no field " ^ f))
+          | None -> invalid_arg ("place_ty: unknown struct " ^ s))
+      | _ -> invalid_arg "place_ty: field of non-struct")
+
+let place_ty (prog : Ast.program) (b : body) (p : place) : Ast.ty =
+  place_ty_from prog (local_ty b p.base) p.projs
+
+(* ------------------------------------------------------------------ *)
+(* CFG utilities                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let successors (t : terminator) : int list =
+  match t with
+  | TGoto b -> [ b ]
+  | TSwitch (_, b1, b2) -> [ b1; b2 ]
+  | TCall { tc_target; _ } -> [ tc_target ]
+  | TReturn | TUnreachable -> []
+
+let predecessors (b : body) : int list array =
+  let preds = Array.make (Array.length b.mb_blocks) [] in
+  Array.iteri
+    (fun i blk ->
+      List.iter (fun s -> preds.(s) <- i :: preds.(s)) (successors blk.term))
+    b.mb_blocks;
+  preds
+
+(** Reverse postorder from block 0. Unreachable blocks are appended at
+    the end (they still typecheck vacuously). *)
+let reverse_postorder (b : body) : int list =
+  let n = Array.length b.mb_blocks in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs (successors b.mb_blocks.(i).term);
+      order := i :: !order
+    end
+  in
+  dfs 0;
+  let unreachable = ref [] in
+  for i = n - 1 downto 0 do
+    if not visited.(i) then unreachable := i :: !unreachable
+  done;
+  !order @ !unreachable
+
+(** Immediate dominance as full dominator sets (iterative bit-vector
+    algorithm; the CFGs here are small). [dom.(b)] is the set of blocks
+    that dominate [b], including [b] itself. Unreachable blocks get the
+    full set. *)
+let dominators (b : body) : bool array array =
+  let n = Array.length b.mb_blocks in
+  let preds = predecessors b in
+  let dom = Array.init n (fun i -> Array.make n (i <> 0 || n = 0)) in
+  if n > 0 then begin
+    Array.fill dom.(0) 0 n false;
+    dom.(0).(0) <- true;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 1 to n - 1 do
+        match preds.(i) with
+        | [] -> ()
+        | p0 :: rest ->
+            let inter = Array.copy dom.(p0) in
+            List.iter
+              (fun p ->
+                for j = 0 to n - 1 do
+                  inter.(j) <- inter.(j) && dom.(p).(j)
+                done)
+              rest;
+            inter.(i) <- true;
+            if inter <> dom.(i) then begin
+              dom.(i) <- inter;
+              changed := true
+            end
+      done
+    done
+  end;
+  dom
+
+(** Mark loop headers: targets of back edges in a DFS from entry. *)
+let compute_loop_heads (blocks : block array) : bool array =
+  let n = Array.length blocks in
+  let heads = Array.make n false in
+  let state = Array.make n 0 (* 0 unvisited, 1 on stack, 2 done *) in
+  let rec dfs i =
+    state.(i) <- 1;
+    List.iter
+      (fun s ->
+        if state.(s) = 1 then heads.(s) <- true
+        else if state.(s) = 0 then dfs s)
+      (successors blocks.(i).term);
+    state.(i) <- 2
+  in
+  if n > 0 then dfs 0;
+  heads
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_place (b : body) fmt (p : place) =
+  let base = b.mb_locals.(p.base).ld_name in
+  let rec go fmt = function
+    | [] -> Format.pp_print_string fmt base
+    | PDeref :: rest -> Format.fprintf fmt "(*%a)" go rest
+    | PField f :: rest -> Format.fprintf fmt "%a.%s" go rest f
+  in
+  go fmt (List.rev p.projs)
+
+let pp_constant fmt = function
+  | CInt (n, k) -> Format.fprintf fmt "%d_%s" n (Ast.int_kind_str k)
+  | CFloat f -> Format.fprintf fmt "%g" f
+  | CBool b -> Format.pp_print_bool fmt b
+  | CUnit -> Format.pp_print_string fmt "()"
+
+let pp_operand (b : body) fmt = function
+  | Copy p -> Format.fprintf fmt "copy %a" (pp_place b) p
+  | Move p -> Format.fprintf fmt "move %a" (pp_place b) p
+  | Const c -> pp_constant fmt c
+
+let pp_rvalue (b : body) fmt = function
+  | RUse op -> pp_operand b fmt op
+  | RBin (op, a1, a2) ->
+      Format.fprintf fmt "%a %s %a" (pp_operand b) a1 (Ast.binop_str op)
+        (pp_operand b) a2
+  | RUn (Ast.Not, a) -> Format.fprintf fmt "!%a" (pp_operand b) a
+  | RUn (Ast.NegOp, a) -> Format.fprintf fmt "-%a" (pp_operand b) a
+  | RRef (Ast.Imm, p) -> Format.fprintf fmt "&%a" (pp_place b) p
+  | RRef (Ast.Mut, p) -> Format.fprintf fmt "&mut %a" (pp_place b) p
+  | RAggregate (s, fields) ->
+      Format.fprintf fmt "%s { %a }" s
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           (fun fmt (f, op) -> Format.fprintf fmt "%s: %a" f (pp_operand b) op))
+        fields
+
+let pp_stmt (b : body) fmt = function
+  | SAssign (p, rv, _) ->
+      Format.fprintf fmt "%a = %a;" (pp_place b) p (pp_rvalue b) rv
+  | SInvariant (e, _) -> Format.fprintf fmt "invariant(%a);" Ast.pp_expr e
+  | SNop -> Format.pp_print_string fmt "nop;"
+
+let pp_terminator (b : body) fmt = function
+  | TGoto i -> Format.fprintf fmt "goto bb%d;" i
+  | TSwitch (op, t, f) ->
+      Format.fprintf fmt "if %a -> [bb%d, bb%d];" (pp_operand b) op t f
+  | TCall { tc_func; tc_args; tc_dest; tc_target; _ } ->
+      Format.fprintf fmt "%a = %s(%a) -> bb%d;" (pp_place b) tc_dest tc_func
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           (pp_operand b))
+        tc_args tc_target
+  | TReturn -> Format.pp_print_string fmt "return;"
+  | TUnreachable -> Format.pp_print_string fmt "unreachable;"
+
+let pp_body fmt (b : body) =
+  Format.fprintf fmt "fn %s {@." b.mb_name;
+  Array.iteri
+    (fun i (d : local_decl) ->
+      Format.fprintf fmt "  let %s: %a; // _%d %s@." d.ld_name Ast.pp_ty d.ld_ty
+        i
+        (match d.ld_kind with
+        | KReturn -> "(return)"
+        | KArg -> "(arg)"
+        | KUser -> ""
+        | KTemp -> "(temp)"))
+    b.mb_locals;
+  Array.iteri
+    (fun i blk ->
+      Format.fprintf fmt "  bb%d%s:@." i
+        (if b.mb_loop_heads.(i) then " (loop head)" else "");
+      List.iter (fun s -> Format.fprintf fmt "    %a@." (pp_stmt b) s) blk.stmts;
+      Format.fprintf fmt "    %a@." (pp_terminator b) blk.term)
+    b.mb_blocks;
+  Format.fprintf fmt "}@."

@@ -1,0 +1,85 @@
+(** Backward liveness analysis over MIR.
+
+    The refinement checker synthesizes a template environment at every
+    join block (§4.2); liveness keeps those templates small and — more
+    importantly — excludes moved-out locals whose types would otherwise
+    fail to join (a dead local may be initialized on one path and
+    moved-out on another).
+
+    The analysis is a standard bit-vector fixpoint. A use of any
+    projection of a local counts as a use of the local; an assignment to
+    a bare local is a def, while an assignment through a projection
+    (deref/field) is both a use and a def (conservatively treated as a
+    use only). References keep their referent alive: `&x` uses `x`. *)
+
+open Ir
+
+type t = {
+  live_in : bool array array;  (** block -> local -> live at entry *)
+}
+
+let use_place (uses : bool array) (p : place) = uses.(p.base) <- true
+
+let use_operand uses = function
+  | Copy p | Move p -> use_place uses p
+  | Const _ -> ()
+
+let use_rvalue uses = function
+  | RUse op -> use_operand uses op
+  | RBin (_, a, b) ->
+      use_operand uses a;
+      use_operand uses b
+  | RUn (_, a) -> use_operand uses a
+  | RRef (_, p) -> use_place uses p
+  | RAggregate (_, fields) -> List.iter (fun (_, op) -> use_operand uses op) fields
+
+(** Transfer one statement backwards through the live set. *)
+let transfer_stmt (live : bool array) (s : stmt) =
+  match s with
+  | SAssign (dest, rv, _) ->
+      if dest.projs = [] then live.(dest.base) <- false
+      else use_place live dest;
+      use_rvalue live rv
+  | SInvariant _ | SNop -> ()
+
+let transfer_term (live : bool array) (t : terminator) =
+  match t with
+  | TGoto _ | TReturn | TUnreachable -> ()
+  | TSwitch (op, _, _) -> use_operand live op
+  | TCall { tc_args; tc_dest; _ } ->
+      if tc_dest.projs = [] then live.(tc_dest.base) <- false
+      else use_place live tc_dest;
+      List.iter (use_operand live) tc_args
+
+let compute (b : body) : t =
+  let nb = Array.length b.mb_blocks in
+  let nl = Array.length b.mb_locals in
+  let live_in = Array.init nb (fun _ -> Array.make nl false) in
+  let live_out = Array.init nb (fun _ -> Array.make nl false) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = nb - 1 downto 0 do
+      let blk = b.mb_blocks.(i) in
+      (* out = union of successors' in; the return local is live at
+         TReturn *)
+      let out = live_out.(i) in
+      Array.fill out 0 nl false;
+      (match blk.term with TReturn -> out.(0) <- true | _ -> ());
+      List.iter
+        (fun s ->
+          Array.iteri (fun l v -> if v then out.(l) <- true) live_in.(s))
+        (successors blk.term);
+      (* in = transfer backwards *)
+      let live = Array.copy out in
+      transfer_term live blk.term;
+      List.iter (transfer_stmt live) (List.rev blk.stmts);
+      if live <> live_in.(i) then begin
+        live_in.(i) <- live;
+        changed := true
+      end
+    done
+  done;
+  { live_in }
+
+let live_at (t : t) ~(block : int) : bool array = t.live_in.(block)

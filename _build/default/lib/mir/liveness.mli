@@ -1,0 +1,12 @@
+(** Backward liveness analysis over MIR.
+
+    Used by the refinement checker to keep join templates small and to
+    exclude moved-out locals whose types would not join. A use of any
+    projection of a local counts as a use; `&x` keeps `x` alive. *)
+
+type t
+
+val compute : Ir.body -> t
+
+val live_at : t -> block:int -> bool array
+(** Per-local liveness at block entry. *)

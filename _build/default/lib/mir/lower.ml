@@ -1,0 +1,374 @@
+(** Lowering from the typed surface AST to MIR.
+
+    This reproduces the relevant parts of rustc's HIR→MIR lowering:
+    expressions are flattened to places/operands/rvalues with explicit
+    temporaries, calls become block terminators, `&&`/`||` and
+    if-expressions become control flow (so that short-circuiting is
+    real — bounds-safety of `i < v.len() && v.get(i) > x` depends on
+    it), and method calls desugar to function calls whose receiver is an
+    explicit reference (`vec.push(x)` becomes
+    `RVec::push(&mut vec, x)`, as in §2.2 of the paper). *)
+
+open Flux_syntax
+open Ir
+
+exception Error of string * Ast.span
+
+let err span msg = raise (Error (msg, span))
+
+type builder = {
+  prog : Ast.program;
+  fn : Ast.fn_def;
+  mutable locals : local_decl list;  (** reversed *)
+  mutable nlocals : int;
+  names : (string, local) Hashtbl.t;
+  blocks : (int, block) Hashtbl.t;
+  mutable nblocks : int;
+  mutable cur : int;
+  mutable loop_exits : int list;
+}
+
+let new_local b name ty kind =
+  let id = b.nlocals in
+  b.nlocals <- id + 1;
+  b.locals <- { ld_name = name; ld_ty = ty; ld_kind = kind } :: b.locals;
+  if kind = KUser || kind = KArg then Hashtbl.replace b.names name id;
+  id
+
+let new_temp b ty =
+  let id = b.nlocals in
+  let name = Printf.sprintf "_t%d" id in
+  b.nlocals <- id + 1;
+  b.locals <- { ld_name = name; ld_ty = ty; ld_kind = KTemp } :: b.locals;
+  id
+
+let new_block b =
+  let id = b.nblocks in
+  b.nblocks <- id + 1;
+  Hashtbl.replace b.blocks id { stmts = []; term = TUnreachable };
+  id
+
+let block b id = Hashtbl.find b.blocks id
+let emit b s = (block b b.cur).stmts <- (block b b.cur).stmts @ [ s ]
+let set_term b t = (block b b.cur).term <- t
+let switch_to b id = b.cur <- id
+
+let expr_ty (e : Ast.expr) : Ast.ty =
+  match e.Ast.e_ty with
+  | Some t -> t
+  | None -> err e.Ast.e_span "internal: expression missing a type (typeck not run?)"
+
+let local_ty_b b l = (List.nth b.locals (b.nlocals - 1 - l)).ld_ty
+
+let place_ty_b b (p : place) : Ast.ty =
+  place_ty_from b.prog (local_ty_b b p.base) p.projs
+
+(** Is this type moved (rather than copied) when used by value? *)
+let is_move_ty = function
+  | Ast.TVec _ | Ast.TStruct _ -> true
+  | _ -> false
+
+let operand_of_place b (p : place) : operand =
+  if is_move_ty (place_ty_b b p) then Move p else Copy p
+
+(** Add deref projections until the place's type is not a reference. *)
+let rec autoderef b (p : place) : place =
+  match place_ty_b b p with
+  | Ast.TRef _ -> autoderef b { p with projs = p.projs @ [ PDeref ] }
+  | _ -> p
+
+(** Mutability of a built-in RVec method's receiver. *)
+let vec_method_mut = function
+  | "len" | "is_empty" | "get" | "clone" -> Ast.Imm
+  | "push" | "pop" | "get_mut" | "swap" -> Ast.Mut
+  | m -> invalid_arg ("vec_method_mut: " ^ m)
+
+let int_kind_of_ty = function Ast.TInt k -> k | _ -> Ast.I32
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec lower_operand b (e : Ast.expr) : operand =
+  match e.Ast.e with
+  | Ast.EInt n -> Const (CInt (n, int_kind_of_ty (expr_ty e)))
+  | Ast.EFloat f -> Const (CFloat f)
+  | Ast.EBool v -> Const (CBool v)
+  | Ast.EUnit -> Const CUnit
+  | Ast.EVar _ | Ast.EDeref _ | Ast.EField _ ->
+      let p = lower_place b e in
+      operand_of_place b p
+  | _ ->
+      let t = new_temp b (expr_ty e) in
+      lower_into b (local_place t) e;
+      operand_of_place b (local_place t)
+
+and lower_place b (e : Ast.expr) : place =
+  match e.Ast.e with
+  | Ast.EVar x -> (
+      match Hashtbl.find_opt b.names x with
+      | Some l -> local_place l
+      | None -> err e.Ast.e_span (Printf.sprintf "unbound variable %s" x))
+  | Ast.EDeref inner ->
+      let p = lower_place b inner in
+      { p with projs = p.projs @ [ PDeref ] }
+  | Ast.EField (recv, f) ->
+      let p = autoderef b (lower_place b recv) in
+      { p with projs = p.projs @ [ PField f ] }
+  | _ ->
+      let t = new_temp b (expr_ty e) in
+      lower_into b (local_place t) e;
+      local_place t
+
+(** Lower a boolean expression as control flow into [then_bb]/[else_bb]. *)
+and lower_cond b (e : Ast.expr) ~(then_bb : int) ~(else_bb : int) : unit =
+  match e.Ast.e with
+  | Ast.EBin (Ast.AndOp, a, rest) ->
+      let mid = new_block b in
+      lower_cond b a ~then_bb:mid ~else_bb;
+      switch_to b mid;
+      lower_cond b rest ~then_bb ~else_bb
+  | Ast.EBin (Ast.OrOp, a, rest) ->
+      let mid = new_block b in
+      lower_cond b a ~then_bb ~else_bb:mid;
+      switch_to b mid;
+      lower_cond b rest ~then_bb ~else_bb
+  | Ast.EUn (Ast.Not, a) -> lower_cond b a ~then_bb:else_bb ~else_bb:then_bb
+  | _ ->
+      let op = lower_operand b e in
+      set_term b (TSwitch (op, then_bb, else_bb))
+
+(** Lower [e], storing its value into [dest]. *)
+and lower_into b (dest : place) (e : Ast.expr) : unit =
+  let span = e.Ast.e_span in
+  match e.Ast.e with
+  | Ast.EInt _ | Ast.EFloat _ | Ast.EBool _ | Ast.EUnit | Ast.EVar _
+  | Ast.EDeref _ | Ast.EField _ ->
+      let op = lower_operand b e in
+      emit b (Ir.SAssign (dest, RUse op, span))
+  | Ast.EBin ((Ast.AndOp | Ast.OrOp), _, _) ->
+      (* materialize short-circuit booleans through control flow *)
+      let then_bb = new_block b in
+      let else_bb = new_block b in
+      let join = new_block b in
+      lower_cond b e ~then_bb ~else_bb;
+      switch_to b then_bb;
+      emit b (Ir.SAssign (dest, RUse (Const (CBool true)), span));
+      set_term b (TGoto join);
+      switch_to b else_bb;
+      emit b (Ir.SAssign (dest, RUse (Const (CBool false)), span));
+      set_term b (TGoto join);
+      switch_to b join
+  | Ast.EBin (Ast.ImpOp, _, _) -> err span "==> outside a specification"
+  | Ast.EBin (op, a1, a2) ->
+      let o1 = lower_operand b a1 in
+      let o2 = lower_operand b a2 in
+      emit b (Ir.SAssign (dest, RBin (op, o1, o2), span))
+  | Ast.EUn (op, a) ->
+      let o = lower_operand b a in
+      emit b (Ir.SAssign (dest, RUn (op, o), span))
+  | Ast.ERef (m, inner) ->
+      let p = lower_place b inner in
+      emit b (Ir.SAssign (dest, RRef (m, p), span))
+  | Ast.EStruct (name, fields) ->
+      (* evaluate fields in declaration order *)
+      let sd =
+        match Ast.find_struct b.prog name with
+        | Some sd -> sd
+        | None -> err span ("unknown struct " ^ name)
+      in
+      let ops =
+        List.map
+          (fun (fd : Ast.field_def) ->
+            match
+              List.find_opt (fun (n, _) -> String.equal n fd.Ast.fd_name) fields
+            with
+            | Some (_, value) -> (fd.Ast.fd_name, lower_operand b value)
+            | None -> err span ("missing field " ^ fd.Ast.fd_name))
+          sd.Ast.st_fields
+      in
+      emit b (Ir.SAssign (dest, RAggregate (name, ops), span))
+  | Ast.ECall ("assert!", args) ->
+      (* lower assert!(cond) as: if cond { } else { unreachable } *)
+      List.iter
+        (fun cond ->
+          let ok = new_block b in
+          let fail = new_block b in
+          lower_cond b cond ~then_bb:ok ~else_bb:fail;
+          switch_to b fail;
+          set_term b TUnreachable;
+          switch_to b ok)
+        args;
+      emit b (Ir.SAssign (dest, RUse (Const CUnit), span))
+  | Ast.ECall (f, args) ->
+      let ops = List.map (lower_operand b) args in
+      let target = new_block b in
+      set_term b
+        (TCall { tc_func = f; tc_args = ops; tc_dest = dest; tc_target = target; tc_span = span });
+      switch_to b target
+  | Ast.EMethod (recv, m, args) ->
+      let recv_place = autoderef b (lower_place b recv) in
+      let recv_ty = place_ty_b b recv_place in
+      let func, recv_mut =
+        match recv_ty with
+        | Ast.TVec _ -> ("RVec::" ^ m, vec_method_mut m)
+        | Ast.TStruct s -> (
+            let name = s ^ "::" ^ m in
+            match Ast.find_fn b.prog name with
+            | Some fd -> (
+                match fd.Ast.fn_params with
+                | (_, Ast.TRef (mu, _)) :: _ -> (name, mu)
+                | _ -> (name, Ast.Imm))
+            | None -> err span ("unknown method " ^ name))
+        | t -> err span (Format.asprintf "no methods on %a" Ast.pp_ty t)
+      in
+      let ref_ty = Ast.TRef (recv_mut, recv_ty) in
+      let recv_tmp = new_temp b ref_ty in
+      emit b (Ir.SAssign (local_place recv_tmp, RRef (recv_mut, recv_place), span));
+      let ops = List.map (lower_operand b) args in
+      let target = new_block b in
+      set_term b
+        (TCall
+           {
+             tc_func = func;
+             tc_args = Move (local_place recv_tmp) :: ops;
+             tc_dest = dest;
+             tc_target = target;
+             tc_span = span;
+           });
+      switch_to b target
+  | Ast.EIf (cond, then_b, else_b) -> (
+      let then_bb = new_block b in
+      let else_bb = new_block b in
+      let join = new_block b in
+      lower_cond b cond ~then_bb ~else_bb;
+      switch_to b then_bb;
+      lower_block_into b dest then_b;
+      set_term b (TGoto join);
+      switch_to b else_bb;
+      (match else_b with
+      | Some blk -> lower_block_into b dest blk
+      | None -> emit b (Ir.SAssign (dest, RUse (Const CUnit), span)));
+      set_term b (TGoto join);
+      switch_to b join)
+  | Ast.EBlock blk -> lower_block_into b dest blk
+  | Ast.EForall _ | Ast.EOld _ | Ast.EResult ->
+      err span "specification-only expression in program code"
+
+and lower_block_into b (dest : place) (blk : Ast.block) : unit =
+  List.iter (lower_stmt b) blk.Ast.stmts;
+  match blk.Ast.tail with
+  | Some e -> lower_into b dest e
+  | None -> emit b (Ir.SAssign (dest, RUse (Const CUnit), blk.Ast.b_span))
+
+and lower_stmt b (s : Ast.stmt) : unit =
+  match s with
+  | Ast.SLet { lname; linit; lspan; _ } ->
+      let ty = expr_ty linit in
+      let l = new_local b lname ty KUser in
+      ignore lspan;
+      lower_into b (local_place l) linit
+  | Ast.SAssign (place_e, op, rhs, span) -> (
+      let p = lower_place b place_e in
+      match op with
+      | None -> lower_into b p rhs
+      | Some binop ->
+          let lhs_op = operand_of_place b p in
+          let rhs_op = lower_operand b rhs in
+          emit b (Ir.SAssign (p, RBin (binop, lhs_op, rhs_op), span)))
+  | Ast.SExpr e ->
+      let t = new_temp b (expr_ty e) in
+      lower_into b (local_place t) e
+  | Ast.SWhile (cond, body, span) ->
+      ignore span;
+      let header = new_block b in
+      let body_bb = new_block b in
+      let exit_bb = new_block b in
+      set_term b (TGoto header);
+      switch_to b header;
+      (* Prusti loop invariants written at the top of the body belong to
+         the header block. *)
+      let invs, rest_stmts =
+        let rec split acc = function
+          | Ast.SInvariant (e, sp) :: rest -> split ((e, sp) :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        split [] body.Ast.stmts
+      in
+      List.iter (fun (e, sp) -> emit b (Ir.SInvariant (e, sp))) invs;
+      lower_cond b cond ~then_bb:body_bb ~else_bb:exit_bb;
+      switch_to b body_bb;
+      b.loop_exits <- exit_bb :: b.loop_exits;
+      List.iter (lower_stmt b) rest_stmts;
+      (match body.Ast.tail with
+      | Some e -> lower_stmt b (Ast.SExpr e)
+      | None -> ());
+      b.loop_exits <- List.tl b.loop_exits;
+      set_term b (TGoto header);
+      switch_to b exit_bb
+  | Ast.SInvariant _ -> () (* handled by SWhile; stray ones are inert *)
+  | Ast.SReturn (eo, span) ->
+      (match eo with
+      | Some e -> lower_into b (local_place 0) e
+      | None -> emit b (Ir.SAssign (local_place 0, RUse (Const CUnit), span)));
+      set_term b TReturn;
+      let dead = new_block b in
+      switch_to b dead
+  | Ast.SBreak span -> (
+      match b.loop_exits with
+      | exit_bb :: _ ->
+          set_term b (TGoto exit_bb);
+          let dead = new_block b in
+          switch_to b dead
+      | [] -> err span "break outside of a loop")
+
+(* ------------------------------------------------------------------ *)
+(* Functions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lower_fn (prog : Ast.program) (fd : Ast.fn_def) : body option =
+  match fd.Ast.fn_body with
+  | None -> None
+  | Some body_blk ->
+      let b =
+        {
+          prog;
+          fn = fd;
+          locals = [];
+          nlocals = 0;
+          names = Hashtbl.create 16;
+          blocks = Hashtbl.create 16;
+          nblocks = 0;
+          cur = 0;
+          loop_exits = [];
+        }
+      in
+      ignore (new_local b "_ret" fd.Ast.fn_ret KReturn);
+      List.iter (fun (x, t) -> ignore (new_local b x t KArg)) fd.Ast.fn_params;
+      let entry = new_block b in
+      switch_to b entry;
+      lower_block_into b (local_place 0) body_blk;
+      (match (block b b.cur).term with
+      | TUnreachable -> set_term b TReturn
+      | _ -> ());
+      let blocks = Array.init b.nblocks (fun i -> Hashtbl.find b.blocks i) in
+      Some
+        {
+          mb_name = fd.Ast.fn_name;
+          mb_locals = Array.of_list (List.rev b.locals);
+          mb_arg_count = List.length fd.Ast.fn_params;
+          mb_blocks = blocks;
+          mb_loop_heads = compute_loop_heads blocks;
+          mb_span = fd.Ast.fn_span;
+        }
+
+let lower_program (prog : Ast.program) : (string * body) list =
+  List.filter_map
+    (fun item ->
+      match item with
+      | Ast.IFn fd -> (
+          match lower_fn prog fd with
+          | Some b -> Some (fd.Ast.fn_name, b)
+          | None -> None)
+      | Ast.IStruct _ -> None)
+    prog

@@ -1,0 +1,1 @@
+lib/rtype/rty.ml: Flux_fixpoint Flux_mir Flux_smt Flux_syntax Format Hashtbl Horn List Printf Sort String Term

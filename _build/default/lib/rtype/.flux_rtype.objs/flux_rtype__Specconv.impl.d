@@ -1,0 +1,1 @@
+lib/rtype/specconv.ml: Flux_fixpoint Flux_smt Flux_syntax Format Hashtbl Horn List Option Rty Sort String Term

@@ -1,0 +1,1 @@
+lib/rtype/specconv.mli: Flux_smt Flux_syntax Rty Sort Term

@@ -1,0 +1,1 @@
+lib/rtype/sub.ml: Flux_fixpoint Flux_smt Format Horn List Rty Sort String Term

@@ -1,0 +1,1 @@
+lib/rtype/sub.mli: Flux_fixpoint Flux_smt Horn Rty Sort Term

@@ -1,0 +1,45 @@
+(** Conversion from the surface specification language (parsed
+    [#[lr::...]] attributes) into internal refinement types and terms,
+    including resolution of [@binder] refinement parameters. *)
+
+open Flux_smt
+module Ast = Flux_syntax.Ast
+
+exception Spec_error of string
+
+(** Conversion context: collects [@binders] as they are declared and
+    tracks existential value binders in scope. *)
+type cx = {
+  senv : Rty.struct_env;
+  mutable params : (string * Sort.t) list;
+  mutable scope : (string * Sort.t) list;
+}
+
+val make_cx : Rty.struct_env -> cx
+
+val conv_term : cx -> Ast.expr -> Term.t
+(** Refinement expression → term; raises {!Spec_error} on unbound
+    variables or unsupported forms. *)
+
+val conv_rty : cx -> Ast.rty -> Rty.rty
+
+(** A resolved function signature (the paper's
+    [∀v:σ. fn(r; x.T) → ρ.T]). *)
+type fsig = {
+  fsg_name : string;
+  fsg_params : (string * Sort.t) list;  (** refinement parameters *)
+  fsg_args : Rty.rty list;
+  fsg_requires : Term.t list;
+  fsg_ret : Rty.rty;
+  fsg_ensures : (int * Rty.rty) list;
+      (** argument position → updated type after return (strg refs) *)
+}
+
+val default_sig : Ast.fn_def -> fsig
+(** Fully-unrefined signature for functions without a Flux spec. *)
+
+val resolve_sig : Rty.struct_env -> Ast.fn_def -> fsig
+
+val resolve_struct : Rty.struct_env -> Ast.struct_def -> Rty.struct_info
+
+val build_struct_env : Ast.program -> Rty.struct_env

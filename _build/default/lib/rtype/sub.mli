@@ -1,0 +1,35 @@
+(** Subtyping as constraint generation (fig. 8 of the paper): reduces a
+    subtyping obligation τ₁ ≼ τ₂ under a logical context to flat Horn
+    clauses. Shared references are covariant (and [&mut] coerces to
+    [&]); mutable references are checked in both directions. *)
+
+open Flux_smt
+open Flux_fixpoint
+
+type cx = {
+  binders : (string * Sort.t) list;
+  hyps : Horn.pred list;
+}
+
+val empty_cx : cx
+val push_binder : cx -> string * Sort.t -> cx
+val push_hyp : cx -> Horn.pred -> cx
+val push_hyps : cx -> Horn.pred list -> cx
+
+val clause : cx -> tag:int -> Horn.pred -> Horn.clause
+
+val unpack :
+  Rty.struct_env ->
+  Rty.base ->
+  (string * Sort.t) list ->
+  Horn.pred list ->
+  (string * Sort.t) list * Horn.pred list * Rty.base * Term.t list
+(** Open an existential refinement: fresh rigid binders, substituted
+    base and predicates, plus the base's index invariants. *)
+
+val normalize : Rty.struct_env -> cx -> Rty.rty -> cx * Rty.rty
+(** Bring a type into [Ix] form, opening existentials into the
+    context. *)
+
+val sub : Rty.struct_env -> cx -> tag:int -> Rty.rty -> Rty.rty -> Horn.clause list
+(** Raises {!Rty.Type_error} on shape mismatches. *)

@@ -1,0 +1,1 @@
+lib/smt/lia.ml: Format Hashtbl List Map Option String

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Hashtbl Lia List Printf Sort Term Unix

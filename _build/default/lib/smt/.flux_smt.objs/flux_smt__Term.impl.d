@@ -1,0 +1,1 @@
+lib/smt/term.ml: Float Format List Set Sort String

@@ -1,0 +1,40 @@
+(** Theory solver for conjunctions of linear integer constraints:
+    Fourier–Motzkin elimination with integer tightening, split over
+    connected components.
+
+    Reporting [false] (infeasible) is always sound; [true] may
+    over-approximate satisfiability (rational shadow, elimination
+    limits) — the safe polarity for the validity checker built on
+    top. *)
+
+module SMap : Map.S with type key = string
+
+type lin = { coeffs : int SMap.t; const : int }
+(** [Σ coeffs(x)·x + const], a linear integer form. *)
+
+val lin_zero : lin
+val lin_const : int -> lin
+val lin_var : string -> lin
+val lin_add : lin -> lin -> lin
+val lin_scale : int -> lin -> lin
+val lin_sub : lin -> lin -> lin
+val lin_is_const : lin -> bool
+val pp_lin : Format.formatter -> lin -> unit
+
+val feasible : eqs:lin list -> ineqs:lin list -> bool
+(** Feasibility of [⋀ eqs = 0 ∧ ⋀ ineqs ≤ 0] over the integers
+    ([false] is definite). *)
+
+(** Literals as consumed from the DPLL layer. *)
+type literal =
+  | Le0 of lin  (** lin ≤ 0 *)
+  | Eq0 of lin  (** lin = 0 *)
+  | Ne0 of lin  (** lin ≠ 0 *)
+
+val pp_literal : Format.formatter -> literal -> unit
+
+val sat_literals : literal list -> bool
+(** Satisfiability of a conjunction of literals. Disequalities are
+    pre-filtered (only those whose equality is consistent with the rest
+    constrain anything), then either exactly case-split (few) or
+    refuted independently (many; over-approximate). *)

@@ -1,0 +1,504 @@
+(** Validity and satisfiability checking for the quantifier-free
+    refinement logic.
+
+    Pipeline:
+    + {b Elaboration}: integer division/modulo by a positive constant is
+      linearized with fresh quotient/remainder variables; products of
+      two non-constants and general division are abstracted by opaque
+      variables; uninterpreted applications are Ackermannized (opaque
+      variables plus pairwise congruence constraints); [Ite] is lifted
+      out of terms; atoms mentioning reals are abstracted as opaque
+      boolean atoms (floats are never refined, only branched on).
+    + {b DPLL}: the boolean skeleton is searched by splitting on atoms,
+      with the theory consulted at (partially) complete assignments.
+    + {b Theory}: conjunctions of linear integer literals go to
+      {!Lia.sat_literals} (Fourier–Motzkin with integer tightening).
+
+    The checker is sound for validity: [valid t = true] implies [t]
+    holds over the integers. It can be incomplete (a valid [t] may be
+    reported invalid) when rational reasoning or opaque abstraction
+    loses information — the safe polarity for a verifier. *)
+
+type stats = {
+  mutable queries : int;
+  mutable cache_hits : int;
+  mutable theory_checks : int;
+  mutable max_atoms : int;
+  mutable time : float;
+}
+
+let stats = { queries = 0; cache_hits = 0; theory_checks = 0; max_atoms = 0; time = 0.0 }
+
+let reset_stats () =
+  stats.queries <- 0;
+  stats.cache_hits <- 0;
+  stats.theory_checks <- 0;
+  stats.max_atoms <- 0;
+  stats.time <- 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type elab_state = {
+  mutable defs : Term.t list;  (** definitional constraints *)
+  opaque : (string, Term.t) Hashtbl.t;  (** original term -> opaque var *)
+  apps : (string, (Term.t * Term.t list) list) Hashtbl.t;
+      (** fn symbol -> [(opaque var, elaborated args)] for Ackermann *)
+  mutable counter : int;
+}
+
+let fresh st prefix sort =
+  st.counter <- st.counter + 1;
+  Term.Var (Printf.sprintf "$%s%d" prefix st.counter, sort)
+
+let opaque_of st key sort =
+  match Hashtbl.find_opt st.opaque key with
+  | Some v -> v
+  | None ->
+      let v = fresh st "o" sort in
+      Hashtbl.add st.opaque key v;
+      v
+
+let rec has_real (t : Term.t) =
+  match t with
+  | Real _ -> true
+  | Var (_, Sort.Real) -> true
+  | Var _ | Int _ | Bool _ -> false
+  | Neg a | Not a -> has_real a
+  | Binop (_, a, b) | Cmp (_, a, b) | Eq (a, b) | Ne (a, b) | Imp (a, b) | Iff (a, b)
+    ->
+      has_real a || has_real b
+  | And ts | Or ts | App (_, ts) -> List.exists has_real ts
+  | Ite (a, b, c) -> has_real a || has_real b || has_real c
+
+(** Elaborate an integer-sorted term into a linear-safe one. *)
+let rec elab_int st (t : Term.t) : Term.t =
+  match t with
+  | Var _ | Int _ -> t
+  | Real _ -> opaque_of st (Term.to_string t) Sort.Int
+  | Neg a -> Term.neg (elab_int st a)
+  | Binop (Add, a, b) -> Term.add (elab_int st a) (elab_int st b)
+  | Binop (Sub, a, b) -> Term.sub (elab_int st a) (elab_int st b)
+  | Binop (Mul, a, b) -> (
+      let a = elab_int st a and b = elab_int st b in
+      match (a, b) with
+      | Int _, _ | _, Int _ -> Term.mul a b
+      | _ ->
+          (* nonlinear: abstract, but remember commutativity *)
+          let key =
+            let sa = Term.to_string a and sb = Term.to_string b in
+            if sa <= sb then sa ^ "*" ^ sb else sb ^ "*" ^ sa
+          in
+          opaque_of st key Sort.Int)
+  | Binop (Div, a, (Int c as cc)) when c > 0 ->
+      let a = elab_int st a in
+      let key = Term.to_string (Term.Binop (Div, a, cc)) in
+      (match Hashtbl.find_opt st.opaque key with
+      | Some q -> q
+      | None ->
+          let q = fresh st "q" Sort.Int in
+          Hashtbl.add st.opaque key q;
+          let r = Term.sub a (Term.mul (Term.int c) q) in
+          st.defs <-
+            Term.le (Term.int 0) r :: Term.lt r (Term.int c) :: st.defs;
+          q)
+  | Binop (Mod, a, (Int c as cc)) when c > 0 ->
+      let a = elab_int st a in
+      let key = Term.to_string (Term.Binop (Mod, a, cc)) in
+      (match Hashtbl.find_opt st.opaque key with
+      | Some r -> r
+      | None ->
+          let r = fresh st "r" Sort.Int in
+          Hashtbl.add st.opaque key r;
+          let q = fresh st "q" Sort.Int in
+          st.defs <-
+            Term.eq a (Term.add (Term.mul (Term.int c) q) r)
+            :: Term.le (Term.int 0) r
+            :: Term.lt r (Term.int c)
+            :: st.defs;
+          r)
+  | Binop ((Div | Mod), _, _) -> opaque_of st (Term.to_string t) Sort.Int
+  | App (f, args) ->
+      let args = List.map (elab_int st) args in
+      let key = Term.to_string (Term.App (f, args)) in
+      let v = opaque_of st key Sort.Int in
+      let prev = try Hashtbl.find st.apps f with Not_found -> [] in
+      if not (List.exists (fun (v', _) -> Term.equal v v') prev) then begin
+        (* Ackermann congruence with earlier applications of f. To keep
+           the quadratic blowup in check on array-heavy queries (the WP
+           baseline), once a symbol has many applications we only relate
+           pairs that already share one argument syntactically — e.g.
+           sel(a,i) vs sel(a,j). Dropping the other pairs only weakens
+           the hypotheses, which is sound for validity. *)
+        let filtered = List.length args >= 2 && List.length prev >= 8 in
+        List.iter
+          (fun (v', args') ->
+            if
+              List.length args = List.length args'
+              && ((not filtered) || List.exists2 Term.equal args args')
+            then
+              st.defs <-
+                Term.mk_imp
+                  (Term.mk_and (List.map2 Term.eq args args'))
+                  (Term.eq v v')
+                :: st.defs)
+          prev;
+        Hashtbl.replace st.apps f ((v, args) :: prev)
+      end;
+      v
+  | Ite (c, a, b) ->
+      let c = elab_pred st c in
+      let a = elab_int st a and b = elab_int st b in
+      let v = fresh st "ite" Sort.Int in
+      st.defs <-
+        Term.mk_imp c (Term.eq v a)
+        :: Term.mk_imp (Term.mk_not c) (Term.eq v b)
+        :: st.defs;
+      v
+  | Bool _ | Cmp _ | Eq _ | Ne _ | And _ | Or _ | Not _ | Imp _ | Iff _ ->
+      raise (Term.Ill_sorted (Term.to_string t))
+
+(** Elaborate a boolean-sorted term (a predicate). *)
+and elab_pred st (t : Term.t) : Term.t =
+  match t with
+  | Bool _ -> t
+  | Var (_, Sort.Bool) -> t
+  | Var _ -> raise (Term.Ill_sorted (Term.to_string t))
+  | Cmp (op, a, b) ->
+      if has_real a || has_real b then
+        opaque_of st (Term.to_string t) Sort.Bool
+      else Term.mk_cmp op (elab_int st a) (elab_int st b)
+  | Eq (a, b) | Ne (a, b) -> (
+      let mk x y = match t with Eq _ -> Term.mk_eq x y | _ -> Term.mk_ne x y in
+      match Term.sort_of a with
+      | Sort.Bool ->
+          let p = Term.mk_iff (elab_pred st a) (elab_pred st b) in
+          (match t with Eq _ -> p | _ -> Term.mk_not p)
+      | Sort.Real -> opaque_of st (Term.to_string t) Sort.Bool
+      | Sort.Int | Sort.Loc ->
+          if has_real a || has_real b then
+            opaque_of st (Term.to_string t) Sort.Bool
+          else mk (elab_int st a) (elab_int st b))
+  | And ts -> Term.mk_and (List.map (elab_pred st) ts)
+  | Or ts -> Term.mk_or (List.map (elab_pred st) ts)
+  | Not a -> Term.mk_not (elab_pred st a)
+  | Imp (a, b) -> Term.mk_imp (elab_pred st a) (elab_pred st b)
+  | Iff (a, b) -> Term.mk_iff (elab_pred st a) (elab_pred st b)
+  | Ite (c, a, b) ->
+      let c = elab_pred st c in
+      Term.mk_or
+        [
+          Term.mk_and [ c; elab_pred st a ];
+          Term.mk_and [ Term.mk_not c; elab_pred st b ];
+        ]
+  | App _ ->
+      (* boolean-valued uninterpreted application: opaque atom *)
+      opaque_of st (Term.to_string t) Sort.Bool
+  | Int _ | Real _ | Binop _ | Neg _ ->
+      raise (Term.Ill_sorted (Term.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* NNF over atom ids                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type bform =
+  | BTrue
+  | BFalse
+  | BLit of int * bool  (** atom id, polarity *)
+  | BAnd of bform list
+  | BOr of bform list
+
+type atoms = {
+  table : (Term.t, int) Hashtbl.t;  (** structural keys *)
+  mutable list : Term.t list;  (** reversed *)
+  mutable n : int;
+}
+
+let atom_id atoms (t : Term.t) =
+  let key = t in
+  match Hashtbl.find_opt atoms.table key with
+  | Some i -> i
+  | None ->
+      let i = atoms.n in
+      atoms.n <- i + 1;
+      atoms.list <- t :: atoms.list;
+      Hashtbl.add atoms.table key i;
+      i
+
+(** Convert an elaborated predicate to NNF over atom ids. *)
+let rec to_bform atoms pol (t : Term.t) : bform =
+  match t with
+  | Bool b -> if b = pol then BTrue else BFalse
+  | Not a -> to_bform atoms (not pol) a
+  | And ts ->
+      if pol then BAnd (List.map (to_bform atoms true) ts)
+      else BOr (List.map (to_bform atoms false) ts)
+  | Or ts ->
+      if pol then BOr (List.map (to_bform atoms true) ts)
+      else BAnd (List.map (to_bform atoms false) ts)
+  | Imp (a, b) ->
+      if pol then BOr [ to_bform atoms false a; to_bform atoms true b ]
+      else BAnd [ to_bform atoms true a; to_bform atoms false b ]
+  | Iff (a, b) ->
+      if pol then
+        BOr
+          [
+            BAnd [ to_bform atoms true a; to_bform atoms true b ];
+            BAnd [ to_bform atoms false a; to_bform atoms false b ];
+          ]
+      else
+        BOr
+          [
+            BAnd [ to_bform atoms true a; to_bform atoms false b ];
+            BAnd [ to_bform atoms false a; to_bform atoms true b ];
+          ]
+  | Ne (a, b) -> to_bform atoms (not pol) (Term.Eq (a, b))
+  | Var _ | Cmp _ | Eq _ -> BLit (atom_id atoms t, pol)
+  | Ite _ | App _ | Int _ | Real _ | Binop _ | Neg _ ->
+      raise (Term.Ill_sorted (Term.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Linear conversion of atoms                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Nonlinear
+
+let rec lin_of_term (t : Term.t) : Lia.lin =
+  match t with
+  | Var (x, _) -> Lia.lin_var x
+  | Int n -> Lia.lin_const n
+  | Neg a -> Lia.lin_scale (-1) (lin_of_term a)
+  | Binop (Add, a, b) -> Lia.lin_add (lin_of_term a) (lin_of_term b)
+  | Binop (Sub, a, b) -> Lia.lin_sub (lin_of_term a) (lin_of_term b)
+  | Binop (Mul, Int k, a) | Binop (Mul, a, Int k) ->
+      Lia.lin_scale k (lin_of_term a)
+  | _ -> raise Nonlinear
+
+(** Convert an assigned atom into a theory literal. Boolean-variable
+    atoms carry no arithmetic content and yield [None]. *)
+let literal_of_atom (t : Term.t) (value : bool) : Lia.literal option =
+  match t with
+  | Term.Var (_, Sort.Bool) -> None
+  | Term.Cmp (op, a, b) -> (
+      try
+        let la = lin_of_term a and lb = lin_of_term b in
+        let d = Lia.lin_sub la lb in
+        (* a op b  ~  d ⋈ 0 *)
+        let le0 l = Some (Lia.Le0 l) in
+        match (op, value) with
+        | Term.Lt, true -> le0 { d with Lia.const = d.Lia.const + 1 }
+        | Term.Lt, false -> le0 (Lia.lin_scale (-1) d)
+        | Term.Le, true -> le0 d
+        | Term.Le, false ->
+            let nd = Lia.lin_scale (-1) d in
+            le0 { nd with Lia.const = nd.Lia.const + 1 }
+        | Term.Gt, true ->
+            let nd = Lia.lin_scale (-1) d in
+            le0 { nd with Lia.const = nd.Lia.const + 1 }
+        | Term.Gt, false -> le0 d
+        | Term.Ge, true -> le0 (Lia.lin_scale (-1) d)
+        | Term.Ge, false -> le0 { d with Lia.const = d.Lia.const + 1 }
+      with Nonlinear -> None)
+  | Term.Eq (a, b) -> (
+      try
+        let d = Lia.lin_sub (lin_of_term a) (lin_of_term b) in
+        if value then Some (Lia.Eq0 d) else Some (Lia.Ne0 d)
+      with Nonlinear -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* DPLL                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec simplify (assign : int array) (f : bform) : bform =
+  match f with
+  | BTrue | BFalse -> f
+  | BLit (i, pol) -> (
+      match assign.(i) with
+      | 0 -> f
+      | 1 -> if pol then BTrue else BFalse
+      | _ -> if pol then BFalse else BTrue)
+  | BAnd fs ->
+      let fs = List.map (simplify assign) fs in
+      if List.exists (fun f -> f = BFalse) fs then BFalse
+      else begin
+        match List.filter (fun f -> f <> BTrue) fs with
+        | [] -> BTrue
+        | [ f ] -> f
+        | fs -> BAnd fs
+      end
+  | BOr fs ->
+      let fs = List.map (simplify assign) fs in
+      if List.exists (fun f -> f = BTrue) fs then BTrue
+      else begin
+        match List.filter (fun f -> f <> BFalse) fs with
+        | [] -> BFalse
+        | [ f ] -> f
+        | fs -> BOr fs
+      end
+
+let rec first_lit = function
+  | BLit (i, _) -> Some i
+  | BAnd fs | BOr fs -> List.find_map first_lit fs
+  | BTrue | BFalse -> None
+
+(** Literals forced by the top-level conjunctive structure. *)
+let unit_literals (f : bform) : (int * bool) list =
+  match f with
+  | BLit (i, pol) -> [ (i, pol) ]
+  | BAnd fs ->
+      List.filter_map (function BLit (i, pol) -> Some (i, pol) | _ -> None) fs
+  | _ -> []
+
+let dpll_sat (atom_arr : Term.t array) (f : bform) : bool =
+  let n = Array.length atom_arr in
+  let assign = Array.make n 0 in
+  let theory_consistent () =
+    stats.theory_checks <- stats.theory_checks + 1;
+    let lits = ref [] in
+    Array.iteri
+      (fun i v ->
+        if v <> 0 then
+          match literal_of_atom atom_arr.(i) (v = 1) with
+          | Some l -> lits := l :: !lits
+          | None -> ())
+      assign;
+    Lia.sat_literals !lits
+  in
+  (* [undo] records assignments made at this decision level *)
+  let rec go f (undo : int list ref) =
+    match simplify assign f with
+    | BFalse -> false
+    | BTrue -> theory_consistent ()
+    | f' -> (
+        match unit_literals f' with
+        | _ :: _ as forced ->
+            let ok =
+              List.for_all
+                (fun (i, pol) ->
+                  let v = if pol then 1 else 2 in
+                  if assign.(i) = 0 then begin
+                    assign.(i) <- v;
+                    undo := i :: !undo;
+                    true
+                  end
+                  else assign.(i) = v)
+                forced
+            in
+            if ok then go f' undo else false
+        | [] -> (
+            match first_lit f' with
+            | None -> theory_consistent ()
+            | Some i ->
+                (* DPLL(T)-style early pruning: if the literals forced
+                   so far are already theory-inconsistent, the whole
+                   subtree is unsatisfiable *)
+                if not (theory_consistent ()) then false
+                else
+                  let try_value v =
+                    assign.(i) <- v;
+                    let undo' = ref [] in
+                    let r = go f' undo' in
+                    List.iter (fun j -> assign.(j) <- 0) !undo';
+                    assign.(i) <- 0;
+                    r
+                  in
+                  try_value 1 || try_value 2))
+  in
+  let undo0 = ref [] in
+  go f undo0
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cache_sat : (Term.t, bool) Hashtbl.t = Hashtbl.create 4096
+let cache_valid : (Term.t, bool) Hashtbl.t = Hashtbl.create 4096
+
+let clear_cache () =
+  Hashtbl.clear cache_sat;
+  Hashtbl.clear cache_valid
+
+(** [sat t]: is [t] satisfiable over the integers? May over-approximate
+    (answer [true] for an unsatisfiable [t]) but [false] is definite. *)
+let sat_raw (t : Term.t) : bool =
+  let st =
+    { defs = []; opaque = Hashtbl.create 16; apps = Hashtbl.create 8; counter = 0 }
+  in
+  let t' = elab_pred st t in
+  let full = Term.mk_and (t' :: st.defs) in
+  match full with
+  | Bool b -> b
+  | _ ->
+      let atoms = { table = Hashtbl.create 64; list = []; n = 0 } in
+      let f = to_bform atoms true full in
+      let atom_arr = Array.of_list (List.rev atoms.list) in
+      if Array.length atom_arr > stats.max_atoms then
+        stats.max_atoms <- Array.length atom_arr;
+      dpll_sat atom_arr f
+
+let sat (t : Term.t) : bool =
+  stats.queries <- stats.queries + 1;
+  match Hashtbl.find_opt cache_sat t with
+  | Some r ->
+      stats.cache_hits <- stats.cache_hits + 1;
+      r
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let r = sat_raw t in
+      stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
+      Hashtbl.replace cache_sat t r;
+      r
+
+(** [valid t]: does [t] hold for all integer assignments? [true] is
+    definite; [false] may be incompleteness. *)
+let valid (t : Term.t) : bool =
+  match t with
+  | Bool b -> b
+  | _ ->
+      stats.queries <- stats.queries + 1;
+      (match Hashtbl.find_opt cache_valid t with
+      | Some r ->
+          stats.cache_hits <- stats.cache_hits + 1;
+          r
+      | None ->
+          let t0 = Unix.gettimeofday () in
+          let r = not (sat_raw (Term.mk_not t)) in
+          stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
+          Hashtbl.replace cache_valid t r;
+          r)
+
+(** Does the conjunction of [hyps] entail [goal]? *)
+let entails (hyps : Term.t list) (goal : Term.t) : bool =
+  valid (Term.mk_imp (Term.mk_and hyps) goal)
+
+(** Like {!entails}, but first slices the hypotheses to the cone of
+    influence of the goal (hypotheses transitively sharing a variable
+    with it). Sound: dropping hypotheses only weakens the left-hand
+    side. Variable-free goals skip slicing. *)
+let entails_sliced (hyps : Term.t list) (goal : Term.t) : bool =
+  let seed = Term.free_vars goal in
+  if Term.VarSet.is_empty seed then entails hyps goal
+  else begin
+    let tagged = List.map (fun h -> (h, Term.free_vars h)) hyps in
+    let seed = ref seed in
+    let remaining = ref tagged in
+    let kept = ref [] in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      remaining :=
+        List.filter
+          (fun (h, vs) ->
+            if Term.VarSet.exists (fun v -> Term.VarSet.mem v !seed) vs then begin
+              kept := h :: !kept;
+              seed := Term.VarSet.union vs !seed;
+              changed := true;
+              false
+            end
+            else true)
+          !remaining
+    done;
+    entails !kept goal
+  end

@@ -1,0 +1,44 @@
+(** Validity and satisfiability checking for the quantifier-free
+    refinement logic.
+
+    The checker is {e sound for validity}: [valid t = true] implies [t]
+    holds over the integers. It may be incomplete (a valid [t] can be
+    reported invalid) when rational Fourier–Motzkin reasoning or opaque
+    abstraction of nonlinear terms loses information — the safe polarity
+    for a program verifier.
+
+    Division and modulo by positive constants are linearized exactly;
+    products of two non-constants are abstracted as opaque variables;
+    uninterpreted applications are Ackermannized; atoms over reals
+    (floats) are abstracted as opaque boolean atoms. *)
+
+type stats = {
+  mutable queries : int;  (** [valid]/[sat] calls, including cache hits *)
+  mutable cache_hits : int;
+  mutable theory_checks : int;  (** DPLL leaf/branch theory consultations *)
+  mutable max_atoms : int;  (** largest boolean skeleton seen *)
+  mutable time : float;  (** seconds spent solving (cache misses only) *)
+}
+
+val stats : stats
+val reset_stats : unit -> unit
+
+val clear_cache : unit -> unit
+(** Reset the query cache (useful for unbiased timing runs). *)
+
+val sat : Term.t -> bool
+(** [sat t]: is [t] satisfiable over the integers? [false] is definite;
+    [true] may over-approximate. *)
+
+val valid : Term.t -> bool
+(** [valid t]: does [t] hold for all integer assignments? [true] is
+    definite; [false] may be incompleteness. *)
+
+val entails : Term.t list -> Term.t -> bool
+(** [entails hyps goal]: does the conjunction of [hyps] entail [goal]? *)
+
+val entails_sliced : Term.t list -> Term.t -> bool
+(** Like {!entails}, but first slices the hypotheses to the cone of
+    influence of the goal (hypotheses transitively sharing a variable
+    with it). Sound: dropping hypotheses only weakens the left-hand
+    side. *)

@@ -1,0 +1,30 @@
+(** Refinement sorts.
+
+    Flux refinements are drawn from a many-sorted, SMT-decidable logic
+    (§3.1 of the paper). We support the three sorts of λ{_LR} — [Int],
+    [Bool] and [Loc] — plus [Real], which we use to give float-indexed
+    types a trivial (uninterpreted) sort. [Loc] values are ghost
+    locations: only equality is ever used on them, so the theory solver
+    treats them as opaque integers. *)
+
+type t =
+  | Int
+  | Bool
+  | Loc
+  | Real
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_string = function
+  | Int -> "int"
+  | Bool -> "bool"
+  | Loc -> "loc"
+  | Real -> "real"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)
+
+(** Sorts whose values the linear-arithmetic theory solver can reason
+    about numerically. *)
+let is_numeric = function Int | Loc -> true | Bool | Real -> false

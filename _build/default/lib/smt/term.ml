@@ -1,0 +1,334 @@
+(** Terms of the quantifier-free refinement logic.
+
+    A single syntactic category covers both integer-sorted expressions
+    and boolean-sorted predicates; [sort_of] recovers the sort. Smart
+    constructors perform light simplification (constant folding,
+    flattening of [And]/[Or], double-negation elimination) so that the
+    constraints shipped to the solver and printed in error messages stay
+    readable. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** euclidean integer division *)
+  | Mod
+
+type cmpop =
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | Var of string * Sort.t
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Binop of binop * t * t
+  | Neg of t
+  | Cmp of cmpop * t * t
+  | Eq of t * t
+  | Ne of t * t
+  | And of t list
+  | Or of t list
+  | Not of t
+  | Imp of t * t
+  | Iff of t * t
+  | Ite of t * t * t
+  | App of string * t list
+      (** uninterpreted function application; result sort is [Int] by
+          convention (sufficient for our use: opaque abstractions of
+          nonlinear arithmetic and the WP baseline's array reads) *)
+
+(* ------------------------------------------------------------------ *)
+(* Constructors                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tt = Bool true
+let ff = Bool false
+let int n = Int n
+let real x = Real x
+let var ?(sort = Sort.Int) name = Var (name, sort)
+let bvar name = Var (name, Sort.Bool)
+
+let rec mk_not t =
+  match t with
+  | Bool b -> Bool (not b)
+  | Not t' -> t'
+  | Cmp (Lt, a, b) -> Cmp (Ge, a, b)
+  | Cmp (Le, a, b) -> Cmp (Gt, a, b)
+  | Cmp (Gt, a, b) -> Cmp (Le, a, b)
+  | Cmp (Ge, a, b) -> Cmp (Lt, a, b)
+  | Eq (a, b) -> Ne (a, b)
+  | Ne (a, b) -> Eq (a, b)
+  | And ts -> Or (List.map mk_not ts)
+  | Or ts -> And (List.map mk_not ts)
+  | _ -> Not t
+
+let mk_and ts =
+  let rec flatten acc = function
+    | [] -> Some (List.rev acc)
+    | Bool true :: rest -> flatten acc rest
+    | Bool false :: _ -> None
+    | And sub :: rest -> flatten acc (sub @ rest)
+    | t :: rest -> flatten (t :: acc) rest
+  in
+  match flatten [] ts with
+  | None -> ff
+  | Some [] -> tt
+  | Some [ t ] -> t
+  | Some ts -> And ts
+
+let mk_or ts =
+  let rec flatten acc = function
+    | [] -> Some (List.rev acc)
+    | Bool false :: rest -> flatten acc rest
+    | Bool true :: _ -> None
+    | Or sub :: rest -> flatten acc (sub @ rest)
+    | t :: rest -> flatten (t :: acc) rest
+  in
+  match flatten [] ts with
+  | None -> tt
+  | Some [] -> ff
+  | Some [ t ] -> t
+  | Some ts -> Or ts
+
+let mk_imp a b =
+  match (a, b) with
+  | Bool true, b -> b
+  | Bool false, _ -> tt
+  | _, Bool true -> tt
+  | _, Bool false -> mk_not a
+  | _ -> Imp (a, b)
+
+let mk_iff a b =
+  match (a, b) with
+  | Bool true, b -> b
+  | b, Bool true -> b
+  | Bool false, b -> mk_not b
+  | b, Bool false -> mk_not b
+  | _ -> Iff (a, b)
+
+let mk_binop op a b =
+  match (op, a, b) with
+  | Add, Int x, Int y -> Int (x + y)
+  | Sub, Int x, Int y -> Int (x - y)
+  | Mul, Int x, Int y -> Int (x * y)
+  | Add, t, Int 0 | Add, Int 0, t -> t
+  | Sub, t, Int 0 -> t
+  | Mul, t, Int 1 | Mul, Int 1, t -> t
+  | Mul, _, Int 0 | Mul, Int 0, _ -> Int 0
+  | Div, t, Int 1 -> t
+  | _ -> Binop (op, a, b)
+
+let add a b = mk_binop Add a b
+let sub a b = mk_binop Sub a b
+let mul a b = mk_binop Mul a b
+let div a b = mk_binop Div a b
+let md a b = mk_binop Mod a b
+
+let neg = function Int n -> Int (-n) | Neg t -> t | t -> Neg t
+
+let mk_cmp op a b =
+  match (a, b) with
+  | Int x, Int y ->
+      Bool
+        (match op with
+        | Lt -> x < y
+        | Le -> x <= y
+        | Gt -> x > y
+        | Ge -> x >= y)
+  | _ -> Cmp (op, a, b)
+
+let lt a b = mk_cmp Lt a b
+let le a b = mk_cmp Le a b
+let gt a b = mk_cmp Gt a b
+let ge a b = mk_cmp Ge a b
+
+let rec equal a b =
+  match (a, b) with
+  | Var (x, s), Var (y, s') -> String.equal x y && Sort.equal s s'
+  | Int x, Int y -> x = y
+  | Real x, Real y -> Float.equal x y
+  | Bool x, Bool y -> x = y
+  | Binop (o, a1, a2), Binop (o', b1, b2) -> o = o' && equal a1 b1 && equal a2 b2
+  | Neg a, Neg b | Not a, Not b -> equal a b
+  | Cmp (o, a1, a2), Cmp (o', b1, b2) -> o = o' && equal a1 b1 && equal a2 b2
+  | Eq (a1, a2), Eq (b1, b2)
+  | Ne (a1, a2), Ne (b1, b2)
+  | Imp (a1, a2), Imp (b1, b2)
+  | Iff (a1, a2), Iff (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | And xs, And ys | Or xs, Or ys -> equal_list xs ys
+  | Ite (a1, a2, a3), Ite (b1, b2, b3) -> equal a1 b1 && equal a2 b2 && equal a3 b3
+  | App (f, xs), App (g, ys) -> String.equal f g && equal_list xs ys
+  | _ -> false
+
+and equal_list xs ys =
+  try List.for_all2 equal xs ys with Invalid_argument _ -> false
+
+let mk_eq a b =
+  match (a, b) with
+  | Int x, Int y -> Bool (x = y)
+  | Bool x, Bool y -> Bool (x = y)
+  | Bool true, t | t, Bool true -> t
+  | Bool false, t | t, Bool false -> mk_not t
+  | _ -> if equal a b then tt else Eq (a, b)
+
+let mk_ne a b =
+  match (a, b) with
+  | Int x, Int y -> Bool (x <> y)
+  | Bool x, Bool y -> Bool (x <> y)
+  | _ -> if equal a b then ff else Ne (a, b)
+
+let eq = mk_eq
+let ne = mk_ne
+
+let ite c a b =
+  match c with Bool true -> a | Bool false -> b | _ -> Ite (c, a, b)
+
+let app f ts = App (f, ts)
+
+(* ------------------------------------------------------------------ *)
+(* Sorts                                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Ill_sorted of string
+
+let rec sort_of = function
+  | Var (_, s) -> s
+  | Int _ -> Sort.Int
+  | Real _ -> Sort.Real
+  | Bool _ -> Sort.Bool
+  | Binop (_, a, _) -> sort_of a
+  | Neg a -> sort_of a
+  | Cmp _ | Eq _ | Ne _ | And _ | Or _ | Not _ | Imp _ | Iff _ -> Sort.Bool
+  | Ite (_, a, _) -> sort_of a
+  | App _ -> Sort.Int
+
+let is_pred t = Sort.equal (sort_of t) Sort.Bool
+
+(* ------------------------------------------------------------------ *)
+(* Free variables and substitution                                     *)
+(* ------------------------------------------------------------------ *)
+
+module VarSet = Set.Make (String)
+
+let rec fold_vars f acc = function
+  | Var (x, s) -> f acc x s
+  | Int _ | Real _ | Bool _ -> acc
+  | Neg a | Not a -> fold_vars f acc a
+  | Binop (_, a, b) | Cmp (_, a, b) | Eq (a, b) | Ne (a, b) | Imp (a, b) | Iff (a, b)
+    ->
+      fold_vars f (fold_vars f acc a) b
+  | And ts | Or ts | App (_, ts) -> List.fold_left (fold_vars f) acc ts
+  | Ite (a, b, c) -> fold_vars f (fold_vars f (fold_vars f acc a) b) c
+
+let free_vars t = fold_vars (fun acc x _ -> VarSet.add x acc) VarSet.empty t
+
+let free_vars_sorted t =
+  fold_vars
+    (fun acc x s -> if List.mem_assoc x acc then acc else (x, s) :: acc)
+    [] t
+  |> List.rev
+
+let mem_var x t = VarSet.mem x (free_vars t)
+
+(** Capture-free is not a concern: the logic is quantifier-free. *)
+let rec subst (m : (string * t) list) t =
+  match t with
+  | Var (x, _) -> ( match List.assoc_opt x m with Some u -> u | None -> t)
+  | Int _ | Real _ | Bool _ -> t
+  | Binop (op, a, b) -> mk_binop op (subst m a) (subst m b)
+  | Neg a -> neg (subst m a)
+  | Cmp (op, a, b) -> mk_cmp op (subst m a) (subst m b)
+  | Eq (a, b) -> mk_eq (subst m a) (subst m b)
+  | Ne (a, b) -> mk_ne (subst m a) (subst m b)
+  | And ts -> mk_and (List.map (subst m) ts)
+  | Or ts -> mk_or (List.map (subst m) ts)
+  | Not a -> mk_not (subst m a)
+  | Imp (a, b) -> mk_imp (subst m a) (subst m b)
+  | Iff (a, b) -> mk_iff (subst m a) (subst m b)
+  | Ite (a, b, c) -> ite (subst m a) (subst m b) (subst m c)
+  | App (f, ts) -> App (f, List.map (subst m) ts)
+
+let subst1 x u t = subst [ (x, u) ] t
+
+(** Rename variables according to [m]; variables not in [m] are kept. *)
+let rec rename_vars (m : (string * string) list) t =
+  match t with
+  | Var (x, s) -> (
+      match List.assoc_opt x m with Some y -> Var (y, s) | None -> t)
+  | Int _ | Real _ | Bool _ -> t
+  | Binop (op, a, b) -> Binop (op, rename_vars m a, rename_vars m b)
+  | Neg a -> Neg (rename_vars m a)
+  | Cmp (op, a, b) -> Cmp (op, rename_vars m a, rename_vars m b)
+  | Eq (a, b) -> Eq (rename_vars m a, rename_vars m b)
+  | Ne (a, b) -> Ne (rename_vars m a, rename_vars m b)
+  | And ts -> And (List.map (rename_vars m) ts)
+  | Or ts -> Or (List.map (rename_vars m) ts)
+  | Not a -> Not (rename_vars m a)
+  | Imp (a, b) -> Imp (rename_vars m a, rename_vars m b)
+  | Iff (a, b) -> Iff (rename_vars m a, rename_vars m b)
+  | Ite (a, b, c) -> Ite (rename_vars m a, rename_vars m b, rename_vars m c)
+  | App (f, ts) -> App (f, List.map (rename_vars m) ts)
+
+(* ------------------------------------------------------------------ *)
+(* Size & printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec size = function
+  | Var _ | Int _ | Real _ | Bool _ -> 1
+  | Neg a | Not a -> 1 + size a
+  | Binop (_, a, b) | Cmp (_, a, b) | Eq (a, b) | Ne (a, b) | Imp (a, b) | Iff (a, b)
+    ->
+      1 + size a + size b
+  | And ts | Or ts | App (_, ts) -> List.fold_left (fun n t -> n + size t) 1 ts
+  | Ite (a, b, c) -> 1 + size a + size b + size c
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let cmpop_str = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp fmt t =
+  match t with
+  | Var (x, _) -> Format.pp_print_string fmt x
+  | Int n -> Format.pp_print_int fmt n
+  | Real x -> Format.pp_print_float fmt x
+  | Bool b -> Format.pp_print_bool fmt b
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (binop_str op) pp b
+  | Neg a -> Format.fprintf fmt "(- %a)" pp a
+  | Cmp (op, a, b) -> Format.fprintf fmt "%a %s %a" pp a (cmpop_str op) pp b
+  | Eq (a, b) -> Format.fprintf fmt "%a = %a" pp a pp b
+  | Ne (a, b) -> Format.fprintf fmt "%a != %a" pp a pp b
+  | And ts ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " && ")
+           pp)
+        ts
+  | Or ts ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " || ")
+           pp)
+        ts
+  | Not a -> Format.fprintf fmt "!(%a)" pp a
+  | Imp (a, b) -> Format.fprintf fmt "(%a => %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf fmt "(%a <=> %a)" pp a pp b
+  | Ite (a, b, c) -> Format.fprintf fmt "(if %a then %a else %a)" pp a pp b pp c
+  | App (f, ts) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp)
+        ts
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/syntax/ast.ml: Flux_smt Format List String

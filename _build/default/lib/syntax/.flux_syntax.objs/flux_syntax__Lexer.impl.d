@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Array Ast List Printf String Token

@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Array Ast Flux_smt Lexer List Printf String Token

@@ -1,0 +1,1 @@
+lib/syntax/typeck.ml: Ast Format Hashtbl List Printf String

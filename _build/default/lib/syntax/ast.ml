@@ -1,0 +1,352 @@
+(** Surface AST for the Rust subset checked by Flux.
+
+    The subset covers everything the paper's evaluation exercises:
+    functions with [#[lr::sig(...)]] refinement signatures, structs with
+    [#[lr::refined_by]]/[#[lr::field]] attributes and [impl] blocks,
+    `let`/`while`/`if`/assignment statements, integer/float/boolean
+    expressions, calls, method calls (incl. the built-in [RVec] API) and
+    reference creation/dereference. Prusti-style specifications
+    ([#[requires]], [#[ensures]], [body_invariant!]) share the same
+    expression grammar extended with [forall], [old] and [==>]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Positions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type pos = { line : int; col : int }
+type span = { sp_start : pos; sp_end : pos }
+
+let dummy_pos = { line = 0; col = 0 }
+let dummy_span = { sp_start = dummy_pos; sp_end = dummy_pos }
+
+let pp_span fmt s =
+  if s.sp_start.line = 0 then Format.pp_print_string fmt "<builtin>"
+  else Format.fprintf fmt "%d:%d" s.sp_start.line s.sp_start.col
+
+(* ------------------------------------------------------------------ *)
+(* Unrefined (plain Rust) types                                        *)
+(* ------------------------------------------------------------------ *)
+
+type int_kind = I32 | I64 | Usize | Isize
+
+type mutability = Imm | Mut
+
+type ty =
+  | TInt of int_kind
+  | TFloat  (** f32 *)
+  | TBool
+  | TUnit
+  | TVec of ty  (** RVec<ty> *)
+  | TStruct of string
+  | TRef of mutability * ty
+  | TParam of string  (** generic parameter, used in library signatures *)
+  | TInfer of int  (** unification variable, local type inference only *)
+
+let rec ty_equal a b =
+  match (a, b) with
+  | TInt k1, TInt k2 -> k1 = k2
+  | TFloat, TFloat | TBool, TBool | TUnit, TUnit -> true
+  | TVec t1, TVec t2 -> ty_equal t1 t2
+  | TStruct s1, TStruct s2 -> String.equal s1 s2
+  | TRef (m1, t1), TRef (m2, t2) -> m1 = m2 && ty_equal t1 t2
+  | TParam x, TParam y -> String.equal x y
+  | TInfer i, TInfer j -> i = j
+  | _ -> false
+
+let int_kind_str = function
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Usize -> "usize"
+  | Isize -> "isize"
+
+let rec pp_ty fmt = function
+  | TInt k -> Format.pp_print_string fmt (int_kind_str k)
+  | TFloat -> Format.pp_print_string fmt "f32"
+  | TBool -> Format.pp_print_string fmt "bool"
+  | TUnit -> Format.pp_print_string fmt "()"
+  | TVec t -> Format.fprintf fmt "RVec<%a>" pp_ty t
+  | TStruct s -> Format.pp_print_string fmt s
+  | TRef (Imm, t) -> Format.fprintf fmt "&%a" pp_ty t
+  | TRef (Mut, t) -> Format.fprintf fmt "&mut %a" pp_ty t
+  | TParam x -> Format.pp_print_string fmt x
+  | TInfer i -> Format.fprintf fmt "_%d" i
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | EqOp
+  | NeOp
+  | AndOp
+  | OrOp
+  | ImpOp  (** [==>], spec contexts only *)
+
+type unop = Not | NegOp
+
+type expr = {
+  e : expr_kind;
+  e_span : span;
+  mutable e_ty : ty option;  (** filled in by the unrefined typechecker *)
+}
+
+and expr_kind =
+  | EInt of int
+  | EFloat of float
+  | EBool of bool
+  | EUnit
+  | EVar of string
+  | EBin of binop * expr * expr
+  | EUn of unop * expr
+  | ECall of string * expr list  (** includes path calls like [RVec::new] *)
+  | EMethod of expr * string * expr list
+  | EField of expr * string
+  | EStruct of string * (string * expr) list
+  | ERef of mutability * expr
+  | EDeref of expr
+  | EIf of expr * block * block option  (** if-expression *)
+  | EBlock of block
+  (* --- specification-only forms --- *)
+  | EForall of (string * ty) list * expr  (** forall(|x: usize| p) *)
+  | EOld of expr  (** old(e) in Prusti postconditions *)
+  | EResult  (** [result] in Prusti postconditions *)
+
+and block = { stmts : stmt list; tail : expr option; b_span : span }
+
+and stmt =
+  | SLet of { lname : string; lmut : bool; lty : ty option; linit : expr; lspan : span }
+  | SAssign of expr * binop option * expr * span
+      (** place, optional compound op (for [+=] etc.), rhs *)
+  | SExpr of expr
+  | SWhile of expr * block * span
+  | SInvariant of expr * span
+      (** [body_invariant!(p)] — a Prusti loop-invariant annotation; only
+          meaningful at the head of a [while] body *)
+  | SReturn of expr option * span
+  | SBreak of span
+
+let mk_expr ?(span = dummy_span) e = { e; e_span = span; e_ty = None }
+
+let expr_span e = e.e_span
+
+(* ------------------------------------------------------------------ *)
+(* Refinement specification types                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Refinement expressions: parsed form of index/predicate expressions
+    in [lr::sig] attributes and Prusti contracts. They reuse [expr];
+    variables refer to refinement parameters and the value binder. *)
+type rexpr = expr
+
+(** An index position in a refined base type. *)
+type index =
+  | IxExpr of rexpr  (** e.g. [i32<n+1>] *)
+  | IxBinder of string  (** [@n]: binds a signature-scoped parameter *)
+
+(** Refined surface types of the spec language. *)
+type rty =
+  | RBase of rbase * index list
+      (** [B<ix,..>]; an empty index list means unrefined (≡ ∃v. true) *)
+  | RExists of string * rbase * rexpr  (** [B{v: p}] *)
+  | RRef of refkind * rty
+  | RFn of fn_spec  (** only for nested positions; unused at present *)
+
+and rbase =
+  | RBInt of int_kind
+  | RBFloat
+  | RBBool
+  | RBUnit
+  | RBVec of rty  (** RVec<τ, ·> element type *)
+  | RBStruct of string
+  | RBParam of string
+
+and refkind = RShr | RMut | RStrg
+
+and fn_spec = {
+  fs_args : rty list;  (** positional argument types *)
+  fs_ret : rty;
+  fs_requires : rexpr list;
+  fs_ensures : (string * rty) list;
+      (** [ensures *x: τ] — updated type of strong-reference argument [x];
+          the name refers to the surface parameter at the same position *)
+}
+
+(** Prusti-style contracts attached to a function. *)
+type contract = {
+  c_requires : rexpr list;
+  c_ensures : rexpr list;
+}
+
+let empty_contract = { c_requires = []; c_ensures = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Items                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type fn_def = {
+  fn_name : string;  (** mangled with the impl target, e.g. "RMat::new" *)
+  fn_params : (string * ty) list;
+  fn_ret : ty;
+  fn_body : block option;  (** [None] for trusted/extern declarations *)
+  fn_sig : fn_spec option;  (** Flux signature from [#[lr::sig(...)]] *)
+  fn_contract : contract;  (** Prusti contract, if any *)
+  fn_trusted : bool;
+  fn_span : span;
+}
+
+type field_def = {
+  fd_name : string;
+  fd_ty : ty;
+  fd_rty : rty option;  (** from [#[lr::field(...)]] *)
+}
+
+type struct_def = {
+  st_name : string;
+  st_refined_by : (string * Flux_smt.Sort.t) list;
+  st_fields : field_def list;
+  st_invariant : rexpr option;  (** an optional index invariant *)
+  st_span : span;
+}
+
+type item = IFn of fn_def | IStruct of struct_def
+
+type program = item list
+
+let program_fns (p : program) =
+  List.filter_map (function IFn f -> Some f | _ -> None) p
+
+let program_structs (p : program) =
+  List.filter_map (function IStruct s -> Some s | _ -> None) p
+
+let find_fn (p : program) name =
+  List.find_opt (fun f -> String.equal f.fn_name name) (program_fns p)
+
+let find_struct (p : program) name =
+  List.find_opt (fun s -> String.equal s.st_name name) (program_structs p)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing (for diagnostics and golden tests)                  *)
+(* ------------------------------------------------------------------ *)
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | EqOp -> "=="
+  | NeOp -> "!="
+  | AndOp -> "&&"
+  | OrOp -> "||"
+  | ImpOp -> "==>"
+
+let rec pp_expr fmt e =
+  match e.e with
+  | EInt n -> Format.pp_print_int fmt n
+  | EFloat x -> Format.fprintf fmt "%g" x
+  | EBool b -> Format.pp_print_bool fmt b
+  | EUnit -> Format.pp_print_string fmt "()"
+  | EVar x -> Format.pp_print_string fmt x
+  | EBin (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | EUn (Not, a) -> Format.fprintf fmt "!%a" pp_expr a
+  | EUn (NegOp, a) -> Format.fprintf fmt "-%a" pp_expr a
+  | ECall (f, args) -> Format.fprintf fmt "%s(%a)" f pp_args args
+  | EMethod (r, m, args) ->
+      Format.fprintf fmt "%a.%s(%a)" pp_expr r m pp_args args
+  | EField (r, f) -> Format.fprintf fmt "%a.%s" pp_expr r f
+  | EStruct (s, fields) ->
+      Format.fprintf fmt "%s { %a }" s
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           (fun fmt (f, e) -> Format.fprintf fmt "%s: %a" f pp_expr e))
+        fields
+  | ERef (Imm, e) -> Format.fprintf fmt "&%a" pp_expr e
+  | ERef (Mut, e) -> Format.fprintf fmt "&mut %a" pp_expr e
+  | EDeref e -> Format.fprintf fmt "*%a" pp_expr e
+  | EIf (c, t, None) -> Format.fprintf fmt "if %a %a" pp_expr c pp_block t
+  | EIf (c, t, Some f) ->
+      Format.fprintf fmt "if %a %a else %a" pp_expr c pp_block t pp_block f
+  | EBlock b -> pp_block fmt b
+  | EForall (params, body) ->
+      Format.fprintf fmt "forall(|%a| %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           (fun fmt (x, t) -> Format.fprintf fmt "%s: %a" x pp_ty t))
+        params pp_expr body
+  | EOld e -> Format.fprintf fmt "old(%a)" pp_expr e
+  | EResult -> Format.pp_print_string fmt "result"
+
+and pp_args fmt args =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+    pp_expr fmt args
+
+and pp_block fmt b =
+  Format.fprintf fmt "{@[<v 2>@ %a%a@]@ }"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt)
+    b.stmts
+    (fun fmt -> function
+      | None -> ()
+      | Some e -> Format.fprintf fmt "@ %a" pp_expr e)
+    b.tail
+
+and pp_stmt fmt = function
+  | SLet { lname; lmut; lty; linit; _ } ->
+      Format.fprintf fmt "let %s%s%a = %a;"
+        (if lmut then "mut " else "")
+        lname
+        (fun fmt -> function
+          | None -> ()
+          | Some t -> Format.fprintf fmt ": %a" pp_ty t)
+        lty pp_expr linit
+  | SAssign (p, None, e, _) -> Format.fprintf fmt "%a = %a;" pp_expr p pp_expr e
+  | SAssign (p, Some op, e, _) ->
+      Format.fprintf fmt "%a %s= %a;" pp_expr p (binop_str op) pp_expr e
+  | SExpr e -> Format.fprintf fmt "%a;" pp_expr e
+  | SWhile (c, b, _) -> Format.fprintf fmt "while %a %a" pp_expr c pp_block b
+  | SInvariant (e, _) -> Format.fprintf fmt "body_invariant!(%a);" pp_expr e
+  | SReturn (None, _) -> Format.pp_print_string fmt "return;"
+  | SReturn (Some e, _) -> Format.fprintf fmt "return %a;" pp_expr e
+  | SBreak _ -> Format.pp_print_string fmt "break;"
+
+let rec pp_rty fmt = function
+  | RBase (b, []) -> pp_rbase fmt b
+  | RBase (b, ixs) ->
+      Format.fprintf fmt "%a<%a>" pp_rbase b
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_index)
+        ixs
+  | RExists (v, b, p) ->
+      Format.fprintf fmt "%a{%s: %a}" pp_rbase b v pp_expr p
+  | RRef (RShr, t) -> Format.fprintf fmt "&%a" pp_rty t
+  | RRef (RMut, t) -> Format.fprintf fmt "&mut %a" pp_rty t
+  | RRef (RStrg, t) -> Format.fprintf fmt "&strg %a" pp_rty t
+  | RFn _ -> Format.pp_print_string fmt "<fn>"
+
+and pp_rbase fmt = function
+  | RBInt k -> Format.pp_print_string fmt (int_kind_str k)
+  | RBFloat -> Format.pp_print_string fmt "f32"
+  | RBBool -> Format.pp_print_string fmt "bool"
+  | RBUnit -> Format.pp_print_string fmt "()"
+  | RBVec t -> Format.fprintf fmt "RVec<%a>" pp_rty t
+  | RBStruct s -> Format.pp_print_string fmt s
+  | RBParam x -> Format.pp_print_string fmt x
+
+and pp_index fmt = function
+  | IxExpr e -> pp_expr fmt e
+  | IxBinder x -> Format.fprintf fmt "@%s" x

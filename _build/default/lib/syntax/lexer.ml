@@ -1,0 +1,231 @@
+(** Hand-written lexer for the Rust subset.
+
+    Attributes ([#[...]], with balanced inner brackets) are captured as
+    raw text and re-lexed by the specification parser; this avoids
+    committing at lex time to an interpretation of [<]/[>], which are
+    both comparison operators and generic-argument delimiters in the
+    spec language. *)
+
+open Ast
+
+exception Error of string * pos
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; off = 0; line = 1; col = 1 }
+
+let pos lx = { line = lx.line; col = lx.col }
+
+let peek_char lx =
+  if lx.off < String.length lx.src then Some lx.src.[lx.off] else None
+
+let peek_char2 lx =
+  if lx.off + 1 < String.length lx.src then Some lx.src.[lx.off + 1] else None
+
+let peek_char3 lx =
+  if lx.off + 2 < String.length lx.src then Some lx.src.[lx.off + 2] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.off <- lx.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_trivia lx
+  | Some '/' when peek_char2 lx = Some '/' ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia lx
+  | Some '/' when peek_char2 lx = Some '*' ->
+      advance lx;
+      advance lx;
+      let rec to_close () =
+        match (peek_char lx, peek_char2 lx) with
+        | Some '*', Some '/' ->
+            advance lx;
+            advance lx
+        | None, _ -> raise (Error ("unterminated block comment", pos lx))
+        | _ ->
+            advance lx;
+            to_close ()
+      in
+      to_close ();
+      skip_trivia lx
+  | _ -> ()
+
+let keyword_of = function
+  | "fn" -> Some Token.KW_FN
+  | "let" -> Some Token.KW_LET
+  | "mut" -> Some Token.KW_MUT
+  | "while" -> Some Token.KW_WHILE
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "return" -> Some Token.KW_RETURN
+  | "break" -> Some Token.KW_BREAK
+  | "true" -> Some Token.KW_TRUE
+  | "false" -> Some Token.KW_FALSE
+  | "struct" -> Some Token.KW_STRUCT
+  | "impl" -> Some Token.KW_IMPL
+  | "pub" -> Some Token.KW_PUB
+  | "self" -> Some Token.KW_SELF
+  | "requires" -> Some Token.KW_REQUIRES
+  | "ensures" -> Some Token.KW_ENSURES
+  | "forall" -> Some Token.KW_FORALL
+  | "old" -> Some Token.KW_OLD
+  | "result" -> Some Token.KW_RESULT
+  | _ -> None
+
+let lex_ident lx =
+  let start = lx.off in
+  while
+    match peek_char lx with Some c -> is_ident_char c | None -> false
+  do
+    advance lx
+  done;
+  String.sub lx.src start (lx.off - start)
+
+let lex_number lx =
+  let start = lx.off in
+  while match peek_char lx with Some c -> is_digit c | None -> false do
+    advance lx
+  done;
+  (* float literal: digits '.' digits, but not '..' or method call '.' *)
+  let is_float =
+    peek_char lx = Some '.'
+    && (match peek_char2 lx with Some c -> is_digit c | None -> false)
+  in
+  if is_float then begin
+    advance lx;
+    while match peek_char lx with Some c -> is_digit c | None -> false do
+      advance lx
+    done;
+    Token.FLOAT (float_of_string (String.sub lx.src start (lx.off - start)))
+  end
+  else begin
+    let text = String.sub lx.src start (lx.off - start) in
+    (* optional integer suffix: 1usize, 0i32, ... *)
+    if match peek_char lx with Some c -> is_ident_start c | None -> false then begin
+      let _suffix = lex_ident lx in
+      ()
+    end;
+    Token.INT (int_of_string text)
+  end
+
+(** Capture the raw contents of [#[...]] with balanced brackets. *)
+let lex_attr lx =
+  (* at call, current chars are '#' '[' *)
+  advance lx;
+  advance lx;
+  let start = lx.off in
+  let depth = ref 1 in
+  while !depth > 0 do
+    match peek_char lx with
+    | Some '[' ->
+        incr depth;
+        advance lx
+    | Some ']' ->
+        decr depth;
+        if !depth > 0 then advance lx
+    | Some _ -> advance lx
+    | None -> raise (Error ("unterminated attribute", pos lx))
+  done;
+  let text = String.sub lx.src start (lx.off - start) in
+  advance lx (* consume final ']' *);
+  Token.ATTR text
+
+let next_token lx : Token.t * pos =
+  skip_trivia lx;
+  let p = pos lx in
+  let tok =
+    match peek_char lx with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_ident_start c -> (
+        let id = lex_ident lx in
+        match keyword_of id with Some kw -> kw | None -> Token.IDENT id)
+    | Some '#' when peek_char2 lx = Some '[' -> lex_attr lx
+    | Some c ->
+        let two tok =
+          advance lx;
+          advance lx;
+          tok
+        in
+        let one tok =
+          advance lx;
+          tok
+        in
+        let c2 = peek_char2 lx in
+        (match (c, c2) with
+        | '=', Some '=' when peek_char3 lx = Some '>' ->
+            advance lx;
+            two Token.IMPLIES
+        | '=', Some '=' -> two Token.EQEQ
+        | '=', Some '>' -> two Token.FATARROW
+        | '=', _ -> one Token.EQ
+        | '<', Some '=' -> two Token.LE
+        | '<', _ -> one Token.LT
+        | '>', Some '=' -> two Token.GE
+        | '>', _ -> one Token.GT
+        | '!', Some '=' -> two Token.NE
+        | '!', _ -> one Token.BANG
+        | '+', Some '=' -> two Token.PLUSEQ
+        | '+', _ -> one Token.PLUS
+        | '-', Some '>' -> two Token.ARROW
+        | '-', Some '=' -> two Token.MINUSEQ
+        | '-', _ -> one Token.MINUS
+        | '*', Some '=' -> two Token.STAREQ
+        | '*', _ -> one Token.STAR
+        | '/', Some '=' -> two Token.SLASHEQ
+        | '/', _ -> one Token.SLASH
+        | '%', _ -> one Token.PERCENT
+        | '&', Some '&' -> two Token.AMPAMP
+        | '&', _ -> one Token.AMP
+        | '|', Some '|' -> two Token.BARBAR
+        | '|', _ -> one Token.BAR
+        | '(', _ -> one Token.LPAREN
+        | ')', _ -> one Token.RPAREN
+        | '{', _ -> one Token.LBRACE
+        | '}', _ -> one Token.RBRACE
+        | '[', _ -> one Token.LBRACKET
+        | ']', _ -> one Token.RBRACKET
+        | ',', _ -> one Token.COMMA
+        | ';', _ -> one Token.SEMI
+        | ':', Some ':' -> two Token.COLONCOLON
+        | ':', _ -> one Token.COLON
+        | '.', _ -> one Token.DOT
+        | '@', _ -> one Token.AT
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, p)))
+  in
+  (tok, p)
+
+(** Lex a whole string into a token array (with positions). *)
+let tokenize (src : string) : (Token.t * pos) array =
+  let lx = make src in
+  let rec go acc =
+    let tok, p = next_token lx in
+    if tok = Token.EOF then List.rev ((tok, p) :: acc)
+    else go ((tok, p) :: acc)
+  in
+  Array.of_list (go [])

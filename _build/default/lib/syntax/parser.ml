@@ -1,0 +1,881 @@
+(** Recursive-descent parser for the Rust subset and the specification
+    language carried in attributes.
+
+    The expression grammar is shared between program code and
+    specifications; specification-only forms ([forall], [old],
+    [result], [==>], [@binders]) are accepted grammatically everywhere
+    and rejected later by the unrefined typechecker when they occur in
+    code positions.
+
+    Inside generic/index brackets [B<...>] the token [>] always closes
+    the bracket and is never a comparison (write [a < b] instead of
+    [b > a] there); this matches the paper's examples such as
+    [bool<0 < n>]. *)
+
+open Ast
+
+exception Error of string * pos
+
+let err p msg = raise (Error (msg, p))
+
+type t = {
+  toks : (Token.t * pos) array;
+  mutable i : int;
+  mutable no_struct : bool;
+      (** inside an if/while condition: bare [Name { .. }] is a block,
+          not a struct literal *)
+  mutable no_gt : bool;  (** inside [<...>]: [>] closes, [>] is not an op *)
+}
+
+let make_parser toks = { toks; i = 0; no_struct = false; no_gt = false }
+
+let of_string src = make_parser (Lexer.tokenize src)
+
+let peek p = fst p.toks.(p.i)
+let peek_pos p = snd p.toks.(p.i)
+let peek2 p =
+  if p.i + 1 < Array.length p.toks then fst p.toks.(p.i + 1) else Token.EOF
+
+let advance p = if p.i < Array.length p.toks - 1 then p.i <- p.i + 1
+
+let expect p tok =
+  if peek p = tok then advance p
+  else
+    err (peek_pos p)
+      (Printf.sprintf "expected %s, found %s" (Token.to_string tok)
+         (Token.to_string (peek p)))
+
+let accept p tok =
+  if peek p = tok then begin
+    advance p;
+    true
+  end
+  else false
+
+let expect_ident p =
+  match peek p with
+  | Token.IDENT x ->
+      advance p;
+      x
+  | t -> err (peek_pos p) (Printf.sprintf "expected identifier, found %s" (Token.to_string t))
+
+let span_from p (start : pos) : span = { sp_start = start; sp_end = peek_pos p }
+
+(* ------------------------------------------------------------------ *)
+(* Types (code context)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let int_kind_of_name = function
+  | "i32" -> Some I32
+  | "i64" -> Some I64
+  | "usize" -> Some Usize
+  | "isize" -> Some Isize
+  | _ -> None
+
+let rec parse_ty p : ty =
+  match peek p with
+  | Token.AMP ->
+      advance p;
+      let m = if accept p Token.KW_MUT then Mut else Imm in
+      TRef (m, parse_ty p)
+  | Token.LPAREN ->
+      advance p;
+      expect p Token.RPAREN;
+      TUnit
+  | Token.IDENT "f32" | Token.IDENT "f64" ->
+      advance p;
+      TFloat
+  | Token.IDENT "bool" ->
+      advance p;
+      TBool
+  | Token.IDENT "RVec" ->
+      advance p;
+      expect p Token.LT;
+      let elt = parse_ty p in
+      expect p Token.GT;
+      TVec elt
+  | Token.IDENT name -> (
+      advance p;
+      match int_kind_of_name name with
+      | Some k -> TInt k
+      | None ->
+          (* "T" is reserved for the built-in library signatures *)
+          if String.equal name "T" then TParam name else TStruct name)
+  | t -> err (peek_pos p) (Printf.sprintf "expected a type, found %s" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr p : expr = parse_implies p
+
+and parse_implies p =
+  let lhs = parse_or p in
+  if accept p Token.IMPLIES then
+    let rhs = parse_implies p in
+    mk_expr ~span:lhs.e_span (EBin (ImpOp, lhs, rhs))
+  else lhs
+
+and parse_or p =
+  let lhs = parse_and p in
+  let rec go lhs =
+    if accept p Token.BARBAR then
+      go (mk_expr ~span:lhs.e_span (EBin (OrOp, lhs, parse_and p)))
+    else lhs
+  in
+  go lhs
+
+and parse_and p =
+  let lhs = parse_cmp p in
+  let rec go lhs =
+    if accept p Token.AMPAMP then
+      go (mk_expr ~span:lhs.e_span (EBin (AndOp, lhs, parse_cmp p)))
+    else lhs
+  in
+  go lhs
+
+and parse_cmp p =
+  let lhs = parse_add p in
+  let op =
+    match peek p with
+    | Token.LT -> Some Lt
+    | Token.LE -> Some Le
+    | Token.GT when not p.no_gt -> Some Gt
+    | Token.GE when not p.no_gt -> Some Ge
+    | Token.EQEQ -> Some EqOp
+    | Token.NE -> Some NeOp
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance p;
+      let rhs = parse_add p in
+      mk_expr ~span:lhs.e_span (EBin (op, lhs, rhs))
+
+and parse_add p =
+  let lhs = parse_mul p in
+  let rec go lhs =
+    match peek p with
+    | Token.PLUS ->
+        advance p;
+        go (mk_expr ~span:lhs.e_span (EBin (Add, lhs, parse_mul p)))
+    | Token.MINUS ->
+        advance p;
+        go (mk_expr ~span:lhs.e_span (EBin (Sub, lhs, parse_mul p)))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_mul p =
+  let lhs = parse_unary p in
+  let rec go lhs =
+    match peek p with
+    | Token.STAR ->
+        advance p;
+        go (mk_expr ~span:lhs.e_span (EBin (Mul, lhs, parse_unary p)))
+    | Token.SLASH ->
+        advance p;
+        go (mk_expr ~span:lhs.e_span (EBin (Div, lhs, parse_unary p)))
+    | Token.PERCENT ->
+        advance p;
+        go (mk_expr ~span:lhs.e_span (EBin (Rem, lhs, parse_unary p)))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary p =
+  let start = peek_pos p in
+  match peek p with
+  | Token.BANG ->
+      advance p;
+      mk_expr ~span:(span_from p start) (EUn (Not, parse_unary p))
+  | Token.MINUS ->
+      advance p;
+      mk_expr ~span:(span_from p start) (EUn (NegOp, parse_unary p))
+  | Token.STAR ->
+      advance p;
+      mk_expr ~span:(span_from p start) (EDeref (parse_unary p))
+  | Token.AMP ->
+      advance p;
+      let m = if accept p Token.KW_MUT then Mut else Imm in
+      mk_expr ~span:(span_from p start) (ERef (m, parse_unary p))
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = parse_primary p in
+  let rec go e =
+    match peek p with
+    | Token.DOT -> (
+        advance p;
+        let name = expect_ident p in
+        match peek p with
+        | Token.LPAREN ->
+            let args = parse_paren_args p in
+            go (mk_expr ~span:e.e_span (EMethod (e, name, args)))
+        | _ -> go (mk_expr ~span:e.e_span (EField (e, name))))
+    | _ -> e
+  in
+  go e
+
+and parse_paren_args p =
+  expect p Token.LPAREN;
+  let saved_ns = p.no_struct and saved_ngt = p.no_gt in
+  p.no_struct <- false;
+  p.no_gt <- false;
+  let args =
+    if peek p = Token.RPAREN then []
+    else
+      let rec go acc =
+        let e = parse_expr p in
+        if accept p Token.COMMA then go (e :: acc) else List.rev (e :: acc)
+      in
+      go []
+  in
+  p.no_struct <- saved_ns;
+  p.no_gt <- saved_ngt;
+  expect p Token.RPAREN;
+  args
+
+and parse_primary p : expr =
+  let start = peek_pos p in
+  let mk e = mk_expr ~span:(span_from p start) e in
+  match peek p with
+  | Token.INT n ->
+      advance p;
+      mk (EInt n)
+  | Token.FLOAT f ->
+      advance p;
+      mk (EFloat f)
+  | Token.KW_TRUE ->
+      advance p;
+      mk (EBool true)
+  | Token.KW_FALSE ->
+      advance p;
+      mk (EBool false)
+  | Token.KW_RESULT ->
+      advance p;
+      mk EResult
+  | Token.KW_OLD ->
+      advance p;
+      let args = parse_paren_args p in
+      (match args with
+      | [ e ] -> mk (EOld e)
+      | _ -> err start "old(..) takes exactly one argument")
+  | Token.KW_FORALL ->
+      advance p;
+      expect p Token.LPAREN;
+      expect p Token.BAR;
+      let rec params acc =
+        let x = expect_ident p in
+        expect p Token.COLON;
+        let t = parse_ty p in
+        if accept p Token.COMMA then params ((x, t) :: acc)
+        else List.rev ((x, t) :: acc)
+      in
+      let ps = params [] in
+      expect p Token.BAR;
+      let body = parse_expr p in
+      expect p Token.RPAREN;
+      mk (EForall (ps, body))
+  | Token.KW_SELF ->
+      advance p;
+      mk (EVar "self")
+  | Token.LPAREN ->
+      advance p;
+      if accept p Token.RPAREN then mk EUnit
+      else begin
+        let saved_ns = p.no_struct and saved_ngt = p.no_gt in
+        p.no_struct <- false;
+        p.no_gt <- false;
+        let e = parse_expr p in
+        p.no_struct <- saved_ns;
+        p.no_gt <- saved_ngt;
+        expect p Token.RPAREN;
+        e
+      end
+  | Token.KW_IF ->
+      advance p;
+      let saved = p.no_struct in
+      p.no_struct <- true;
+      let cond = parse_expr p in
+      p.no_struct <- saved;
+      let then_b = parse_block p in
+      let else_b =
+        if accept p Token.KW_ELSE then
+          if peek p = Token.KW_IF then
+            (* else-if chain: wrap as a one-expression block *)
+            let e = parse_primary p in
+            Some { stmts = []; tail = Some e; b_span = e.e_span }
+          else Some (parse_block p)
+        else None
+      in
+      mk (EIf (cond, then_b, else_b))
+  | Token.LBRACE -> mk (EBlock (parse_block p))
+  | Token.IDENT _ -> (
+      let name = expect_ident p in
+      (* path segments: Name::name2::... *)
+      let rec path acc =
+        if peek p = Token.COLONCOLON then begin
+          advance p;
+          let seg = expect_ident p in
+          path (acc ^ "::" ^ seg)
+        end
+        else acc
+      in
+      let name = path name in
+      match peek p with
+      | Token.LPAREN ->
+          let args = parse_paren_args p in
+          mk (ECall (name, args))
+      | Token.BANG ->
+          (* macro call, e.g. body_invariant!(..) / assert!(..) *)
+          advance p;
+          let args = parse_paren_args p in
+          mk (ECall (name ^ "!", args))
+      | Token.LBRACE
+        when (not p.no_struct)
+             && String.length name > 0
+             && name.[0] >= 'A'
+             && name.[0] <= 'Z' ->
+          advance p;
+          let rec fields acc =
+            if peek p = Token.RBRACE then List.rev acc
+            else begin
+              let f = expect_ident p in
+              let value =
+                if accept p Token.COLON then parse_expr p
+                else mk_expr ~span:(span_from p start) (EVar f)
+              in
+              let acc = (f, value) :: acc in
+              if accept p Token.COMMA then fields acc else List.rev acc
+            end
+          in
+          let fs = fields [] in
+          expect p Token.RBRACE;
+          mk (EStruct (name, fs))
+      | _ -> mk (EVar name))
+  | t -> err start (Printf.sprintf "expected an expression, found %s" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements and blocks                                               *)
+(* ------------------------------------------------------------------ *)
+
+and parse_block p : block =
+  let start = peek_pos p in
+  expect p Token.LBRACE;
+  let rec go stmts =
+    if peek p = Token.RBRACE then begin
+      advance p;
+      { stmts = List.rev stmts; tail = None; b_span = span_from p start }
+    end
+    else
+      match parse_stmt_or_tail p with
+      | `Stmt s -> go (s :: stmts)
+      | `Tail e ->
+          expect p Token.RBRACE;
+          { stmts = List.rev stmts; tail = Some e; b_span = span_from p start }
+  in
+  go []
+
+and parse_stmt_or_tail p : [ `Stmt of stmt | `Tail of expr ] =
+  let start = peek_pos p in
+  match peek p with
+  | Token.KW_LET ->
+      advance p;
+      let lmut = accept p Token.KW_MUT in
+      let lname = expect_ident p in
+      let lty = if accept p Token.COLON then Some (parse_ty p) else None in
+      expect p Token.EQ;
+      let linit = parse_expr p in
+      expect p Token.SEMI;
+      `Stmt (SLet { lname; lmut; lty; linit; lspan = span_from p start })
+  | Token.KW_WHILE ->
+      advance p;
+      let saved = p.no_struct in
+      p.no_struct <- true;
+      let cond = parse_expr p in
+      p.no_struct <- saved;
+      let body = parse_block p in
+      `Stmt (SWhile (cond, body, span_from p start))
+  | Token.KW_RETURN ->
+      advance p;
+      if accept p Token.SEMI then `Stmt (SReturn (None, span_from p start))
+      else begin
+        let e = parse_expr p in
+        expect p Token.SEMI;
+        `Stmt (SReturn (Some e, span_from p start))
+      end
+  | Token.KW_BREAK ->
+      advance p;
+      expect p Token.SEMI;
+      `Stmt (SBreak (span_from p start))
+  | Token.KW_IF ->
+      (* In statement position a block-like expression terminates the
+         statement (as in Rust): `if c { .. } *p = e;` is an if
+         statement followed by an assignment, not a multiplication. *)
+      let e = parse_primary p in
+      if peek p = Token.RBRACE then `Tail e
+      else begin
+        ignore (accept p Token.SEMI);
+        `Stmt (SExpr e)
+      end
+  | _ -> (
+      let e = parse_expr p in
+      match peek p with
+      | Token.EQ ->
+          advance p;
+          let rhs = parse_expr p in
+          expect p Token.SEMI;
+          `Stmt (SAssign (e, None, rhs, span_from p start))
+      | Token.PLUSEQ | Token.MINUSEQ | Token.STAREQ | Token.SLASHEQ ->
+          let op =
+            match peek p with
+            | Token.PLUSEQ -> Add
+            | Token.MINUSEQ -> Sub
+            | Token.STAREQ -> Mul
+            | _ -> Div
+          in
+          advance p;
+          let rhs = parse_expr p in
+          expect p Token.SEMI;
+          `Stmt (SAssign (e, Some op, rhs, span_from p start))
+      | Token.SEMI ->
+          advance p;
+          (match e.e with
+          | ECall ("body_invariant!", [ inv ]) ->
+              `Stmt (SInvariant (inv, span_from p start))
+          | _ -> `Stmt (SExpr e))
+      | Token.RBRACE -> `Tail e
+      | _ ->
+          (* block-like expressions (if/while/blocks) need no semicolon *)
+          (match e.e with
+          | EIf _ | EBlock _ -> `Stmt (SExpr e)
+          | _ ->
+              err (peek_pos p)
+                (Printf.sprintf "expected ';' or '}', found %s"
+                   (Token.to_string (peek p)))))
+
+(* ------------------------------------------------------------------ *)
+(* Refined types (spec contexts)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse an index inside [<...>]: either a binder [@n] or a refinement
+    expression (with [>] reserved as the closing bracket). *)
+let parse_index p : index =
+  if accept p Token.AT then IxBinder (expect_ident p)
+  else begin
+    let saved = p.no_gt in
+    p.no_gt <- true;
+    let e = parse_expr p in
+    p.no_gt <- saved;
+    IxExpr e
+  end
+
+let rec parse_rty p : rty =
+  match peek p with
+  | Token.AMP ->
+      advance p;
+      let kind =
+        if accept p Token.KW_MUT then RMut
+        else if peek p = Token.IDENT "strg" then begin
+          advance p;
+          RStrg
+        end
+        else RShr
+      in
+      RRef (kind, parse_rty p)
+  | Token.LPAREN ->
+      advance p;
+      expect p Token.RPAREN;
+      RBase (RBUnit, [])
+  | Token.IDENT _ -> parse_rty_base p
+  | t -> err (peek_pos p) (Printf.sprintf "expected a refined type, found %s" (Token.to_string t))
+
+and parse_rty_base p : rty =
+  let name = expect_ident p in
+  let base, indexes =
+    if String.equal name "RVec" then begin
+      expect p Token.LT;
+      let saved = p.no_gt in
+      p.no_gt <- true;
+      let elt = parse_rty p in
+      let idxs = if accept p Token.COMMA then parse_index_list p else [] in
+      p.no_gt <- saved;
+      expect p Token.GT;
+      (RBVec elt, idxs)
+    end
+    else
+      let base =
+        match int_kind_of_name name with
+        | Some k -> RBInt k
+        | None -> (
+            match name with
+            | "f32" | "f64" -> RBFloat
+            | "bool" -> RBBool
+            | _ -> if String.equal name "T" then RBParam name else RBStruct name)
+      in
+      let idxs =
+        if peek p = Token.LT then begin
+          advance p;
+          let saved = p.no_gt in
+          p.no_gt <- true;
+          let idxs = parse_index_list p in
+          p.no_gt <- saved;
+          expect p Token.GT;
+          idxs
+        end
+        else []
+      in
+      (base, idxs)
+  in
+  (* optional existential tail: B{v: p} *)
+  if peek p = Token.LBRACE then begin
+    advance p;
+    let v = expect_ident p in
+    expect p Token.COLON;
+    let pred = parse_expr p in
+    expect p Token.RBRACE;
+    if indexes <> [] then
+      err (peek_pos p) "a type cannot have both indices and an existential refinement";
+    RExists (v, base, pred)
+  end
+  else RBase (base, indexes)
+
+and parse_index_list p : index list =
+  let rec go acc =
+    let ix = parse_index p in
+    if accept p Token.COMMA then go (ix :: acc) else List.rev (ix :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Attribute contents                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse the contents of [#[lr::sig(...)]]. Accepts both
+    [fn(τ,..) -> τ ...] and the bare [(τ,..) -> τ ...] form used in
+    fig. 4 of the paper. *)
+let parse_fn_spec_inner p : fn_spec =
+  let _ = accept p Token.KW_FN in
+  expect p Token.LPAREN;
+  let args =
+    if peek p = Token.RPAREN then []
+    else
+      let rec go acc =
+        (* allow optional `name:` prefixes for readability *)
+        (match (peek p, peek2 p) with
+        | Token.IDENT _, Token.COLON ->
+            (* `x: τ` — consume the name and colon *)
+            let _ = expect_ident p in
+            expect p Token.COLON
+        | _ -> ());
+        let t = parse_rty p in
+        if accept p Token.COMMA then go (t :: acc) else List.rev (t :: acc)
+      in
+      go []
+  in
+  expect p Token.RPAREN;
+  let ret =
+    if accept p Token.ARROW then parse_rty p else RBase (RBUnit, [])
+  in
+  let requires = ref [] in
+  let ensures = ref [] in
+  let rec clauses () =
+    match peek p with
+    | Token.KW_REQUIRES ->
+        advance p;
+        requires := parse_expr p :: !requires;
+        clauses ()
+    | Token.KW_ENSURES ->
+        advance p;
+        let rec ens () =
+          let deref = accept p Token.STAR in
+          ignore deref;
+          let name = if peek p = Token.KW_SELF then (advance p; "self") else expect_ident p in
+          expect p Token.COLON;
+          let t = parse_rty p in
+          ensures := (name, t) :: !ensures;
+          if accept p Token.COMMA then ens ()
+        in
+        ens ();
+        clauses ()
+    | _ -> ()
+  in
+  clauses ();
+  {
+    fs_args = args;
+    fs_ret = ret;
+    fs_requires = List.rev !requires;
+    fs_ensures = List.rev !ensures;
+  }
+
+type attr =
+  | ASig of fn_spec
+  | ARefinedBy of (string * Flux_smt.Sort.t) list
+  | AField of rty
+  | AInvariant of rexpr
+  | ARequires of rexpr
+  | AEnsures of rexpr
+  | ATrusted
+  | APure
+
+let sort_of_name p name =
+  match name with
+  | "int" -> Flux_smt.Sort.Int
+  | "bool" -> Flux_smt.Sort.Bool
+  | "loc" -> Flux_smt.Sort.Loc
+  | "real" -> Flux_smt.Sort.Real
+  | _ -> err (peek_pos p) (Printf.sprintf "unknown sort %s" name)
+
+(** Parse one attribute's raw text. Returns [None] for attributes we do
+    not interpret (e.g. [derive(..)]). *)
+let parse_attr (raw : string) : attr option =
+  let p = of_string raw in
+  match peek p with
+  | Token.IDENT ("lr" | "flux") -> (
+      advance p;
+      expect p Token.COLONCOLON;
+      let which = expect_ident p in
+      match which with
+      | "sig" ->
+          expect p Token.LPAREN;
+          let s = parse_fn_spec_inner p in
+          expect p Token.RPAREN;
+          Some (ASig s)
+      | "refined_by" ->
+          expect p Token.LPAREN;
+          let rec go acc =
+            if peek p = Token.RPAREN then List.rev acc
+            else begin
+              let x = expect_ident p in
+              expect p Token.COLON;
+              let s = sort_of_name p (expect_ident p) in
+              let acc = (x, s) :: acc in
+              if accept p Token.COMMA then go acc else List.rev acc
+            end
+          in
+          let binds = go [] in
+          expect p Token.RPAREN;
+          Some (ARefinedBy binds)
+      | "field" ->
+          expect p Token.LPAREN;
+          let t = parse_rty p in
+          expect p Token.RPAREN;
+          Some (AField t)
+      | "invariant" ->
+          expect p Token.LPAREN;
+          let e = parse_expr p in
+          expect p Token.RPAREN;
+          Some (AInvariant e)
+      | "trusted" -> Some ATrusted
+      | _ -> None)
+  | Token.KW_REQUIRES ->
+      advance p;
+      expect p Token.LPAREN;
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      Some (ARequires e)
+  | Token.KW_ENSURES ->
+      advance p;
+      expect p Token.LPAREN;
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      Some (AEnsures e)
+  | Token.IDENT "trusted" -> Some ATrusted
+  | Token.IDENT "pure" -> Some APure
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Items                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_fn_item p ~(attrs : attr list) ~(prefix : string option) : fn_def =
+  let start = peek_pos p in
+  expect p Token.KW_FN;
+  let name = expect_ident p in
+  let name =
+    match prefix with Some s -> s ^ "::" ^ name | None -> name
+  in
+  expect p Token.LPAREN;
+  let params =
+    if peek p = Token.RPAREN then []
+    else
+      let rec go acc =
+        let param =
+          match peek p with
+          | Token.AMP ->
+              (* receiver: &self or &mut self *)
+              advance p;
+              let m = if accept p Token.KW_MUT then Mut else Imm in
+              expect p Token.KW_SELF;
+              let self_ty =
+                match prefix with
+                | Some s -> TStruct s
+                | None -> err start "self parameter outside impl block"
+              in
+              ("self", TRef (m, self_ty))
+          | Token.KW_SELF ->
+              advance p;
+              let self_ty =
+                match prefix with
+                | Some s -> TStruct s
+                | None -> err start "self parameter outside impl block"
+              in
+              ("self", self_ty)
+          | _ ->
+              let _ = accept p Token.KW_MUT in
+              let x = expect_ident p in
+              expect p Token.COLON;
+              (x, parse_ty p)
+        in
+        if accept p Token.COMMA then go (param :: acc)
+        else List.rev (param :: acc)
+      in
+      go []
+  in
+  expect p Token.RPAREN;
+  let ret = if accept p Token.ARROW then parse_ty p else TUnit in
+  let trusted = List.exists (fun a -> a = ATrusted) attrs in
+  let body =
+    if peek p = Token.SEMI then begin
+      advance p;
+      None
+    end
+    else Some (parse_block p)
+  in
+  let fn_sig =
+    List.find_map (function ASig s -> Some s | _ -> None) attrs
+  in
+  let contract =
+    {
+      c_requires =
+        List.filter_map (function ARequires e -> Some e | _ -> None) attrs;
+      c_ensures =
+        List.filter_map (function AEnsures e -> Some e | _ -> None) attrs;
+    }
+  in
+  {
+    fn_name = name;
+    fn_params = params;
+    fn_ret = ret;
+    fn_body = body;
+    fn_sig;
+    fn_contract = contract;
+    fn_trusted = trusted;
+    fn_span = span_from p start;
+  }
+
+let parse_struct_item p ~(attrs : attr list) : struct_def =
+  let start = peek_pos p in
+  expect p Token.KW_STRUCT;
+  let name = expect_ident p in
+  expect p Token.LBRACE;
+  let rec fields acc =
+    if peek p = Token.RBRACE then List.rev acc
+    else begin
+      let fattrs =
+        let rec go acc =
+          match peek p with
+          | Token.ATTR raw ->
+              advance p;
+              go (match parse_attr raw with Some a -> a :: acc | None -> acc)
+          | _ -> List.rev acc
+        in
+        go []
+      in
+      let _ = accept p Token.KW_PUB in
+      let fname = expect_ident p in
+      expect p Token.COLON;
+      let fty = parse_ty p in
+      let frty =
+        List.find_map (function AField t -> Some t | _ -> None) fattrs
+      in
+      let acc = { fd_name = fname; fd_ty = fty; fd_rty = frty } :: acc in
+      if accept p Token.COMMA then fields acc else List.rev acc
+    end
+  in
+  let fs = fields [] in
+  expect p Token.RBRACE;
+  {
+    st_name = name;
+    st_refined_by =
+      (match List.find_map (function ARefinedBy b -> Some b | _ -> None) attrs with
+      | Some b -> b
+      | None -> []);
+    st_fields = fs;
+    st_invariant =
+      List.find_map (function AInvariant e -> Some e | _ -> None) attrs;
+    st_span = span_from p start;
+  }
+
+let parse_attrs p : attr list =
+  let rec go acc =
+    match peek p with
+    | Token.ATTR raw ->
+        advance p;
+        go (match parse_attr raw with Some a -> a :: acc | None -> acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let rec parse_items p acc : item list =
+  match peek p with
+  | Token.EOF -> List.rev acc
+  | _ -> (
+      let attrs = parse_attrs p in
+      let _ = accept p Token.KW_PUB in
+      match peek p with
+      | Token.KW_FN ->
+          let f = parse_fn_item p ~attrs ~prefix:None in
+          parse_items p (IFn f :: acc)
+      | Token.KW_STRUCT ->
+          let s = parse_struct_item p ~attrs in
+          parse_items p (IStruct s :: acc)
+      | Token.KW_IMPL ->
+          advance p;
+          let target = expect_ident p in
+          expect p Token.LBRACE;
+          let rec methods acc =
+            if peek p = Token.RBRACE then begin
+              advance p;
+              acc
+            end
+            else begin
+              let mattrs = parse_attrs p in
+              let _ = accept p Token.KW_PUB in
+              let f = parse_fn_item p ~attrs:mattrs ~prefix:(Some target) in
+              methods (IFn f :: acc)
+            end
+          in
+          parse_items p (methods acc)
+      | Token.EOF -> List.rev acc
+      | t ->
+          err (peek_pos p)
+            (Printf.sprintf "expected an item, found %s" (Token.to_string t)))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_program (src : string) : program =
+  let p = of_string src in
+  parse_items p []
+
+let parse_expression (src : string) : expr =
+  let p = of_string src in
+  let e = parse_expr p in
+  expect p Token.EOF;
+  e
+
+let parse_rtype (src : string) : rty =
+  let p = of_string src in
+  let t = parse_rty p in
+  expect p Token.EOF;
+  t
+
+let parse_fn_spec (src : string) : fn_spec =
+  let p = of_string src in
+  let s = parse_fn_spec_inner p in
+  expect p Token.EOF;
+  s

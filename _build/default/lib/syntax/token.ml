@@ -1,0 +1,125 @@
+(** Tokens of the Rust subset and its specification sub-language. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | ATTR of string  (** raw contents of a [#[...]] attribute *)
+  | KW_FN
+  | KW_LET
+  | KW_MUT
+  | KW_WHILE
+  | KW_IF
+  | KW_ELSE
+  | KW_RETURN
+  | KW_BREAK
+  | KW_TRUE
+  | KW_FALSE
+  | KW_STRUCT
+  | KW_IMPL
+  | KW_PUB
+  | KW_SELF
+  | KW_REQUIRES
+  | KW_ENSURES
+  | KW_FORALL
+  | KW_OLD
+  | KW_RESULT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LT
+  | GT
+  | LE
+  | GE
+  | EQEQ
+  | NE
+  | EQ
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | AMP
+  | AMPAMP
+  | BARBAR
+  | BAR
+  | BANG
+  | COMMA
+  | SEMI
+  | COLON
+  | COLONCOLON
+  | DOT
+  | ARROW  (** -> *)
+  | FATARROW  (** => *)
+  | IMPLIES  (** ==> *)
+  | AT
+  | EOF
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | ATTR _ -> "attribute"
+  | KW_FN -> "'fn'"
+  | KW_LET -> "'let'"
+  | KW_MUT -> "'mut'"
+  | KW_WHILE -> "'while'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_RETURN -> "'return'"
+  | KW_BREAK -> "'break'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_STRUCT -> "'struct'"
+  | KW_IMPL -> "'impl'"
+  | KW_PUB -> "'pub'"
+  | KW_SELF -> "'self'"
+  | KW_REQUIRES -> "'requires'"
+  | KW_ENSURES -> "'ensures'"
+  | KW_FORALL -> "'forall'"
+  | KW_OLD -> "'old'"
+  | KW_RESULT -> "'result'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | EQ -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | PLUSEQ -> "'+='"
+  | MINUSEQ -> "'-='"
+  | STAREQ -> "'*='"
+  | SLASHEQ -> "'/='"
+  | AMP -> "'&'"
+  | AMPAMP -> "'&&'"
+  | BARBAR -> "'||'"
+  | BAR -> "'|'"
+  | BANG -> "'!'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | COLONCOLON -> "'::'"
+  | DOT -> "'.'"
+  | ARROW -> "'->'"
+  | FATARROW -> "'=>'"
+  | IMPLIES -> "'==>'"
+  | AT -> "'@'"
+  | EOF -> "end of input"

@@ -1,0 +1,406 @@
+(** Unrefined type checking and local type inference for the Rust
+    subset.
+
+    This pass plays the role of rustc's type checker in the paper's
+    pipeline: Flux consumes MIR that is already borrow-checked and
+    typed, so every expression node must carry its plain Rust type
+    before lowering ({!Ast.expr.e_ty} is filled in here). Inference is a
+    small union-find unifier — enough for idiomatic code such as
+    [let mut vec = RVec::new()] whose element type is determined by a
+    later [push]. Unresolved integer literals default to [i32].
+
+    Borrow checking itself is assumed, exactly as in the paper ("as a
+    compiler plug-in, Flux operates on compiled Rust programs" §4); we
+    check well-typedness, arity, and that specification-only forms do
+    not occur in code. *)
+
+open Ast
+
+exception Error of string * span
+
+let err span msg = raise (Error (msg, span))
+
+(* ------------------------------------------------------------------ *)
+(* Unification                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type tvar = { mutable link : ty option; int_only : bool }
+
+type state = {
+  prog : program;
+  tvars : (int, tvar) Hashtbl.t;
+  mutable next_tv : int;
+  mutable locals : (string * ty) list;
+  mutable exprs : expr list;  (** every visited node, for final zonking *)
+  fn : fn_def;
+}
+
+let fresh_tv st ~int_only =
+  let id = st.next_tv in
+  st.next_tv <- id + 1;
+  Hashtbl.replace st.tvars id { link = None; int_only };
+  TInfer id
+
+let rec repr st t =
+  match t with
+  | TInfer id -> (
+      let tv = Hashtbl.find st.tvars id in
+      match tv.link with
+      | Some t' ->
+          let r = repr st t' in
+          tv.link <- Some r;
+          r
+      | None -> t)
+  | _ -> t
+
+let rec occurs st id t =
+  match repr st t with
+  | TInfer id' -> id = id'
+  | TVec t' | TRef (_, t') -> occurs st id t'
+  | _ -> false
+
+let is_intish = function TInt _ -> true | TInfer _ -> true | _ -> false
+
+let rec unify st span a b =
+  let a = repr st a and b = repr st b in
+  match (a, b) with
+  | TInfer i, TInfer j when i = j -> ()
+  | TInfer i, t | t, TInfer i ->
+      let tv = Hashtbl.find st.tvars i in
+      if tv.int_only && not (is_intish t) then
+        err span
+          (Format.asprintf "integer literal used at non-integer type %a" pp_ty t);
+      if occurs st i t then err span "cyclic type during inference";
+      tv.link <- Some t
+  | TInt k1, TInt k2 when k1 = k2 -> ()
+  | TFloat, TFloat | TBool, TBool | TUnit, TUnit -> ()
+  | TVec t1, TVec t2 -> unify st span t1 t2
+  | TStruct s1, TStruct s2 when String.equal s1 s2 -> ()
+  | TParam x, TParam y when String.equal x y -> ()
+  | TRef (m1, t1), TRef (m2, t2) when m1 = m2 -> unify st span t1 t2
+  | _ ->
+      err span (Format.asprintf "type mismatch: %a vs %a" pp_ty a pp_ty b)
+
+let rec zonk st span t =
+  match repr st t with
+  | TInfer id ->
+      let tv = Hashtbl.find st.tvars id in
+      if tv.int_only then begin
+        tv.link <- Some (TInt I32);
+        TInt I32
+      end
+      else err span "could not infer a type; add an annotation"
+  | TVec t' -> TVec (zonk st span t')
+  | TRef (m, t') -> TRef (m, zonk st span t')
+  | t -> t
+
+(* ------------------------------------------------------------------ *)
+(* Environment helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Argument passing allows the [&mut T → &T] coercion. *)
+let unify_arg st span actual expected =
+  match (repr st actual, repr st expected) with
+  | TRef (Mut, t1), TRef (Imm, t2) -> unify st span t1 t2
+  | a, e -> unify st span a e
+
+let lookup_local st span x =
+  match List.assoc_opt x st.locals with
+  | Some t -> t
+  | None -> err span (Printf.sprintf "unbound variable %s" x)
+
+let define_local st span x t =
+  if List.mem_assoc x st.locals then
+    err span
+      (Printf.sprintf
+         "variable %s shadows an earlier binding (shadowing is not supported)"
+         x);
+  st.locals <- (x, t) :: st.locals
+
+(** Strip references for auto-deref (method receivers, copies). *)
+let rec peel_refs st t =
+  match repr st t with TRef (_, t') -> peel_refs st t' | t -> t
+
+(* ------------------------------------------------------------------ *)
+(* Built-in RVec API                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** [method -> (arg types, result)]; [elt] is the receiver's element
+    type. *)
+let vec_method _st span elt name =
+  match name with
+  | "len" -> ([], TInt Usize)
+  | "is_empty" -> ([], TBool)
+  | "push" -> ([ elt ], TUnit)
+  | "pop" -> ([], elt)
+  | "get" -> ([ TInt Usize ], TRef (Imm, elt))
+  | "get_mut" -> ([ TInt Usize ], TRef (Mut, elt))
+  | "swap" -> ([ TInt Usize; TInt Usize ], TUnit)
+  | "clone" -> ([], TVec elt)
+  | _ -> err span (Printf.sprintf "unknown RVec method %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Expression checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec infer_expr st (e : expr) : ty =
+  let t = infer_expr_kind st e in
+  e.e_ty <- Some t;
+  st.exprs <- e :: st.exprs;
+  t
+
+and infer_expr_kind st (e : expr) : ty =
+  let span = e.e_span in
+  match e.e with
+  | EInt _ -> fresh_tv st ~int_only:true
+  | EFloat _ -> TFloat
+  | EBool _ -> TBool
+  | EUnit -> TUnit
+  | EVar x -> lookup_local st span x
+  | EBin (op, a, b) -> (
+      let ta = infer_expr st a in
+      let tb = infer_expr st b in
+      match op with
+      | Add | Sub | Mul | Div | Rem ->
+          unify st span ta tb;
+          ta
+      | Lt | Le | Gt | Ge ->
+          unify st span ta tb;
+          TBool
+      | EqOp | NeOp ->
+          unify st span ta tb;
+          TBool
+      | AndOp | OrOp ->
+          unify st span ta TBool;
+          unify st span tb TBool;
+          TBool
+      | ImpOp -> err span "==> is only allowed in specifications")
+  | EUn (Not, a) ->
+      let ta = infer_expr st a in
+      unify st span ta TBool;
+      TBool
+  | EUn (NegOp, a) -> infer_expr st a
+  | EDeref a -> (
+      let ta = infer_expr st a in
+      match repr st ta with
+      | TRef (_, t) -> t
+      | t -> err span (Format.asprintf "cannot dereference non-reference %a" pp_ty t))
+  | ERef (m, a) ->
+      let ta = infer_expr st a in
+      TRef (m, ta)
+  | ECall ("RVec::new", args) ->
+      if args <> [] then err span "RVec::new takes no arguments";
+      TVec (fresh_tv st ~int_only:false)
+  | ECall ("assert!", args) ->
+      List.iter (fun a -> unify st span (infer_expr st a) TBool) args;
+      TUnit
+  | ECall (f, args) -> (
+      match find_fn st.prog f with
+      | None -> err span (Printf.sprintf "unknown function %s" f)
+      | Some fd ->
+          if List.length args <> List.length fd.fn_params then
+            err span
+              (Printf.sprintf "%s expects %d arguments, got %d" f
+                 (List.length fd.fn_params)
+                 (List.length args));
+          List.iter2
+            (fun arg (_, pty) ->
+              let ta = infer_expr st arg in
+              unify_arg st span ta pty)
+            args fd.fn_params;
+          fd.fn_ret)
+  | EMethod (recv, m, args) -> (
+      let tr = infer_expr st recv in
+      match peel_refs st tr with
+      | TVec elt ->
+          let arg_tys, ret = vec_method st span elt m in
+          if List.length args <> List.length arg_tys then
+            err span (Printf.sprintf "RVec::%s: wrong number of arguments" m);
+          List.iter2
+            (fun arg ty -> unify_arg st span (infer_expr st arg) ty)
+            args arg_tys;
+          ret
+      | TStruct sname -> (
+          let mname = sname ^ "::" ^ m in
+          match find_fn st.prog mname with
+          | None -> err span (Printf.sprintf "unknown method %s" mname)
+          | Some fd ->
+              (* first parameter is the receiver *)
+              let params =
+                match fd.fn_params with
+                | ("self", _) :: rest -> rest
+                | _ -> err span (Printf.sprintf "%s is not a method" mname)
+              in
+              if List.length args <> List.length params then
+                err span (Printf.sprintf "%s: wrong number of arguments" mname);
+              List.iter2
+                (fun arg (_, pty) -> unify_arg st span (infer_expr st arg) pty)
+                args params;
+              fd.fn_ret)
+      | t -> err span (Format.asprintf "no methods on type %a" pp_ty t))
+  | EField (recv, fname) -> (
+      let tr = infer_expr st recv in
+      match peel_refs st tr with
+      | TStruct sname -> (
+          match find_struct st.prog sname with
+          | None -> err span (Printf.sprintf "unknown struct %s" sname)
+          | Some sd -> (
+              match
+                List.find_opt (fun f -> String.equal f.fd_name fname) sd.st_fields
+              with
+              | Some f -> f.fd_ty
+              | None ->
+                  err span (Printf.sprintf "struct %s has no field %s" sname fname)))
+      | t -> err span (Format.asprintf "no fields on type %a" pp_ty t))
+  | EStruct (sname, fields) -> (
+      match find_struct st.prog sname with
+      | None -> err span (Printf.sprintf "unknown struct %s" sname)
+      | Some sd ->
+          List.iter
+            (fun fd ->
+              match
+                List.find_opt (fun (n, _) -> String.equal n fd.fd_name) fields
+              with
+              | Some (_, value) ->
+                  let tv = infer_expr st value in
+                  unify st span tv fd.fd_ty
+              | None ->
+                  err span
+                    (Printf.sprintf "missing field %s in %s literal" fd.fd_name
+                       sname))
+            sd.st_fields;
+          if List.length fields <> List.length sd.st_fields then
+            err span (Printf.sprintf "extra fields in %s literal" sname);
+          TStruct sname)
+  | EIf (cond, then_b, else_b) -> (
+      let tc = infer_expr st cond in
+      unify st span tc TBool;
+      let tt = infer_block st then_b in
+      match else_b with
+      | Some eb ->
+          let te = infer_block st eb in
+          unify st span tt te;
+          tt
+      | None ->
+          unify st span tt TUnit;
+          TUnit)
+  | EBlock b -> infer_block st b
+  | EForall _ | EOld _ | EResult ->
+      err span "specification-only expression in program code"
+
+and infer_block st (b : block) : ty =
+  let saved = st.locals in
+  List.iter (check_stmt st) b.stmts;
+  let t = match b.tail with Some e -> infer_expr st e | None -> TUnit in
+  st.locals <- saved;
+  t
+
+and check_stmt st (s : stmt) : unit =
+  match s with
+  | SLet { lname; lty; linit; lspan; _ } ->
+      let ti = infer_expr st linit in
+      (match lty with Some t -> unify st lspan ti t | None -> ());
+      define_local st lspan lname ti
+  | SAssign (place, op, rhs, span) -> (
+      check_place st place;
+      let tp = infer_expr st place in
+      let tr = infer_expr st rhs in
+      unify st span tp tr;
+      match op with
+      | Some (Add | Sub | Mul | Div | Rem) | None -> ()
+      | Some other ->
+          err span
+            (Printf.sprintf "operator %s= is not supported" (binop_str other)))
+  | SExpr e -> ignore (infer_expr st e)
+  | SWhile (cond, body, span) ->
+      let tc = infer_expr st cond in
+      unify st span tc TBool;
+      ignore (infer_block st body)
+  | SInvariant (e, _) ->
+      (* Prusti invariant: typecheck in spec mode, permissively — the
+         quantified variables are bound locally. *)
+      check_spec_expr st e
+  | SReturn (Some e, span) ->
+      let t = infer_expr st e in
+      unify st span t st.fn.fn_ret
+  | SReturn (None, span) -> unify st span TUnit st.fn.fn_ret
+  | SBreak _ -> ()
+
+and check_place st (place : expr) : unit =
+  match place.e with
+  | EVar _ -> ()
+  | EDeref _ -> ()
+  | EField (r, _) -> check_place st r
+  | _ -> err place.e_span "invalid assignment target"
+
+(** Specification expressions (Prusti invariants/contracts): permissive
+    checking that only fills in enough types for the WP encoder. Binders
+    introduced by [forall] are pushed as locals; [old]/[result]/len and
+    lookup calls are allowed. *)
+and check_spec_expr st (e : expr) : unit =
+  st.exprs <- e :: st.exprs;
+  match e.e with
+  | EForall (params, body) ->
+      let saved = st.locals in
+      List.iter (fun (x, t) -> st.locals <- (x, t) :: st.locals) params;
+      check_spec_expr st body;
+      st.locals <- saved
+  | EOld inner -> check_spec_expr st inner
+  | EResult -> ()
+  | EBin (_, a, b) ->
+      check_spec_expr st a;
+      check_spec_expr st b
+  | EUn (_, a) -> check_spec_expr st a
+  | EMethod (recv, _, args) ->
+      check_spec_expr st recv;
+      List.iter (check_spec_expr st) args
+  | ECall (_, args) -> List.iter (check_spec_expr st) args
+  | EVar x -> if not (List.mem_assoc x st.locals) then
+        err e.e_span (Printf.sprintf "unbound variable %s in specification" x)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_fn (prog : program) (fd : fn_def) : unit =
+  match fd.fn_body with
+  | None -> ()
+  | Some body ->
+      let st =
+        {
+          prog;
+          tvars = Hashtbl.create 32;
+          next_tv = 0;
+          locals = fd.fn_params;
+          exprs = [];
+          fn = fd;
+        }
+      in
+      let t = infer_block st body in
+      (* A body ending in a `return` has unit tail type; accept it. *)
+      (match body.tail with
+      | None -> ()
+      | Some _ -> unify st fd.fn_span t fd.fn_ret);
+      (* zonk all recorded expression types *)
+      List.iter
+        (fun (e : expr) ->
+          match e.e_ty with
+          | Some t -> e.e_ty <- Some (zonk st e.e_span t)
+          | None -> ())
+        st.exprs
+
+let check_program (prog : program) : unit =
+  (* duplicate detection *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun item ->
+      let name, span =
+        match item with
+        | IFn f -> ("fn " ^ f.fn_name, f.fn_span)
+        | IStruct s -> ("struct " ^ s.st_name, s.st_span)
+      in
+      if Hashtbl.mem seen name then err span (Printf.sprintf "duplicate %s" name);
+      Hashtbl.add seen name ())
+    prog;
+  List.iter (function IFn f -> check_fn prog f | IStruct _ -> ()) prog

@@ -1,0 +1,1 @@
+lib/workloads/loc.ml: List String

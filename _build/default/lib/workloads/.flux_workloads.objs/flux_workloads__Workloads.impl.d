@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List String Wl_bsearch Wl_dotprod Wl_fft Wl_heapsort Wl_kmeans Wl_kmp Wl_simplex

@@ -1,0 +1,298 @@
+(** An extended suite of verified programs beyond Table 1, exercising
+    corners of the type system the paper describes but does not
+    benchmark: data-dependent result lengths (existential indices),
+    user functions with strong references, refined index vectors,
+    in-place reversal with underflow guards, windowed accesses, and a
+    struct-based stack abstraction. Each entry must verify with Flux;
+    the test suite also runs them under the interpreter. *)
+
+type extra = { ex_name : string; ex_src : string }
+
+let all : extra list =
+  [
+    {
+      ex_name = "selection_sort";
+      ex_src =
+        {|
+#[lr::sig(fn(&mut RVec<f32, @n>))]
+fn selection_sort(v: &mut RVec<f32>) {
+    let n = v.len();
+    let mut i = 0;
+    while i < n {
+        let mut min = i;
+        let mut j = i + 1;
+        while j < n {
+            if *v.get(j) < *v.get(min) {
+                min = j;
+            }
+            j += 1;
+        }
+        v.swap(i, min);
+        i += 1;
+    }
+}
+|};
+    }
+    ;
+    {
+      ex_name = "reverse_in_place";
+      ex_src =
+        {|
+#[lr::sig(fn(&mut RVec<i32, @n>))]
+fn reverse(v: &mut RVec<i32>) {
+    let n = v.len();
+    let mut i = 0;
+    while 2 * i + 1 < n {
+        v.swap(i, n - i - 1);
+        i += 1;
+    }
+}
+|};
+    }
+    ;
+    {
+      ex_name = "filter_positive";
+      ex_src =
+        {|
+// data-dependent output size: all we know is out.len() <= in.len()
+#[lr::sig(fn(&RVec<i32, @n>) -> RVec<i32{v: 0 < v}>{v: v <= n})]
+fn filter_positive(xs: &RVec<i32>) -> RVec<i32> {
+    let mut out = RVec::new();
+    let mut i = 0;
+    while i < xs.len() {
+        let x = *xs.get(i);
+        if 0 < x {
+            out.push(x);
+        }
+        i += 1;
+    }
+    out
+}
+|};
+    }
+    ;
+    {
+      ex_name = "min_index";
+      ex_src =
+        {|
+#[lr::sig(fn(&RVec<f32, @n>) -> usize{v: v < n} requires 0 < n)]
+fn min_index(v: &RVec<f32>) -> usize {
+    let mut best = 0;
+    let mut i = 1;
+    while i < v.len() {
+        if *v.get(i) < *v.get(best) {
+            best = i;
+        }
+        i += 1;
+    }
+    best
+}
+|};
+    }
+    ;
+    {
+      ex_name = "stack_struct";
+      ex_src =
+        {|
+// a user abstraction with strong-reference methods, like RVec's own
+#[lr::refined_by(n: int)]
+pub struct Stack {
+    #[lr::field(RVec<i32, n>)]
+    items: RVec<i32>
+}
+
+impl Stack {
+    #[lr::sig(fn() -> Stack<0>)]
+    pub fn empty() -> Stack {
+        let items: RVec<i32> = RVec::new();
+        Stack { items }
+    }
+
+    #[lr::sig(fn(&Stack<@n>) -> usize<n>)]
+    pub fn depth(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[lr::sig(fn(usize<@k>) -> Stack<k>)]
+fn build(k: usize) -> Stack {
+    let mut items = RVec::new();
+    let mut i = 0;
+    while i < k {
+        items.push(0);
+        i += 1;
+    }
+    Stack { items }
+}
+
+#[lr::sig(fn(usize) -> usize)]
+fn client(k: usize) -> usize {
+    let s = build(k);
+    s.depth()
+}
+|};
+    }
+    ;
+    {
+      ex_name = "window_sum";
+      ex_src =
+        {|
+// sliding window of width w: accesses i..i+w-1 must stay in bounds
+#[lr::sig(fn(&RVec<f32, @n>, usize<@w>) -> RVec<f32> requires 0 < w)]
+fn window_sums(v: &RVec<f32>, w: usize) -> RVec<f32> {
+    let mut out = RVec::new();
+    let mut i = 0;
+    while i + w <= v.len() {
+        let mut s = 0.0;
+        let mut j = 0;
+        while j < w {
+            s = s + *v.get(i + j);
+            j += 1;
+        }
+        out.push(s);
+        i += 1;
+    }
+    out
+}
+|};
+    }
+    ;
+    {
+      ex_name = "index_vector";
+      ex_src =
+        {|
+// a vector of valid indices into another vector (kmp-table pattern)
+#[lr::sig(fn(usize<@n>) -> RVec<usize{v: v < n}, n> requires 0 < n)]
+fn identity_perm(n: usize) -> RVec<usize> {
+    let mut p = RVec::new();
+    let mut i = 0;
+    while i < n {
+        p.push(i);
+        i += 1;
+    }
+    p
+}
+
+#[lr::sig(fn(&RVec<f32, @n>, &RVec<usize{v: v < n}, n>) -> RVec<f32, n>)]
+fn permute(v: &RVec<f32>, p: &RVec<usize>) -> RVec<f32> {
+    let mut out = RVec::new();
+    let mut i = 0;
+    while i < p.len() {
+        out.push(*v.get(*p.get(i)));
+        i += 1;
+    }
+    out
+}
+
+#[lr::sig(fn(&RVec<f32, @n>) -> RVec<f32, n> requires 0 < n)]
+fn roundtrip(v: &RVec<f32>) -> RVec<f32> {
+    let p = identity_perm(v.len());
+    permute(v, &p)
+}
+|};
+    }
+    ;
+    {
+      ex_name = "running_max_prefix";
+      ex_src =
+        {|
+// prefix maxima: result has exactly the input's length
+#[lr::sig(fn(&RVec<i32, @n>) -> RVec<i32, n>)]
+fn prefix_max(v: &RVec<i32>) -> RVec<i32> {
+    let mut out: RVec<i32> = RVec::new();
+    let mut best = 0;
+    let mut started = false;
+    let mut i = 0;
+    while i < v.len() {
+        let x = *v.get(i);
+        if !started {
+            best = x;
+            started = true;
+        } else {
+            if best < x {
+                best = x;
+            }
+        }
+        out.push(best);
+        i += 1;
+    }
+    out
+}
+|};
+    }
+    ;
+    {
+      ex_name = "grow_and_drain";
+      ex_src =
+        {|
+// strong references through user functions: grow by k, then drain
+#[lr::sig(fn(&strg RVec<i32, @n>, usize<@k>) ensures *v: RVec<i32, n + k>)]
+fn grow(v: &mut RVec<i32>, k: usize) {
+    let mut i = 0;
+    while i < k {
+        v.push(0);
+        i += 1;
+    }
+}
+
+#[lr::sig(fn(&strg RVec<i32, @n>) -> i32 ensures *v: RVec<i32, 0>)]
+fn drain_sum(v: &mut RVec<i32>) -> i32 {
+    let mut s = 0;
+    while !v.is_empty() {
+        s = s + v.pop();
+    }
+    s
+}
+
+#[lr::sig(fn(usize<@k>) -> i32)]
+fn roundtrip(k: usize) -> i32 {
+    let mut v: RVec<i32> = RVec::new();
+    grow(&mut v, k);
+    drain_sum(&mut v)
+}
+|};
+    }
+    ;
+    {
+      ex_name = "dot_matrix_row";
+      ex_src =
+        {|
+// mixing a refined struct with refined vectors across calls
+#[lr::refined_by(m: int, n: int)]
+#[lr::invariant(0 < m && 1 < n)]
+pub struct RMat {
+    #[lr::field(RVec<RVec<f32, n>, m>)]
+    inner: RVec<RVec<f32>>
+}
+
+impl RMat {
+    #[lr::sig(fn(&RMat<@m, @n>) -> usize<m>)]
+    pub fn rows(&self) -> usize { self.inner.len() }
+
+    #[lr::sig(fn(&RMat<@m, @n>, usize{v: v < m}) -> &RVec<f32, n>)]
+    pub fn row(&self, i: usize) -> &RVec<f32> {
+        self.inner.get(i)
+    }
+}
+
+#[lr::sig(fn(&RVec<f32, @k>, &RVec<f32, k>) -> f32)]
+fn dot(x: &RVec<f32>, y: &RVec<f32>) -> f32 {
+    let mut s = 0.0;
+    let mut i = 0;
+    while i < x.len() {
+        s = s + *x.get(i) * *y.get(i);
+        i += 1;
+    }
+    s
+}
+
+#[lr::sig(fn(&RMat<@m, @n>, &RVec<f32, n>, usize{v: v < m}) -> f32)]
+fn row_dot(a: &RMat, x: &RVec<f32>, i: usize) -> f32 {
+    dot(a.row(i), x)
+}
+|};
+    }
+    ;
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.ex_name name) all

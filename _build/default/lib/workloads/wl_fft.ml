@@ -1,0 +1,248 @@
+(** Benchmark: iterative radix-2 Fast Fourier Transform (ported from
+    DSOLVE's fft benchmark, itself from the classic CMU suite). The
+    arrays are 1-indexed — px and py have length n+1 with slot 0 unused
+    — which is what makes the index reasoning interesting. The paper
+    singles fft out as "particularly egregious" for Prusti, needing 24
+    lines of loop invariants; Flux needs none. *)
+
+let name = "fft"
+
+let flux_src =
+  {|
+// Taylor-series trig, so the kernel is self-contained.
+#[lr::sig(fn(f32) -> f32)]
+fn cos_t(x: f32) -> f32 {
+    let x2 = x * x;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    let mut k = 0;
+    while k < 8 {
+        term = 0.0 - term * x2 / ((2.0 * flt(k) + 1.0) * (2.0 * flt(k) + 2.0));
+        sum = sum + term;
+        k += 1;
+    }
+    sum
+}
+
+#[lr::sig(fn(f32) -> f32)]
+fn sin_t(x: f32) -> f32 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut k = 0;
+    while k < 8 {
+        term = 0.0 - term * x2 / ((2.0 * flt(k) + 2.0) * (2.0 * flt(k) + 3.0));
+        sum = sum + term;
+        k += 1;
+    }
+    sum
+}
+
+// integer-to-float conversion, trusted primitive
+#[lr::trusted]
+#[lr::sig(fn(i32) -> f32)]
+fn flt(x: i32) -> f32;
+
+#[lr::sig(fn(&mut RVec<f32, @n>, &mut RVec<f32, n>) requires 2 <= n)]
+fn fft(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    let n = px.len() - 1;
+
+    // ---- bit-reversal permutation (1-indexed) ----
+    let mut i = 1;
+    let mut j = 1;
+    while i < n {
+        if i < j {
+            if j <= n {
+                let tx = *px.get(i);
+                px.swap(i, j);
+                let ty = *py.get(i);
+                py.swap(i, j);
+                let u = tx + ty; // keep the reads alive
+            }
+        }
+        let mut k = n / 2;
+        while k < j {
+            j -= k;
+            k /= 2;
+        }
+        j += k;
+        i += 1;
+    }
+
+    // ---- Danielson-Lanczos butterflies ----
+    let mut le = 2;
+    while le <= n {
+        let le2 = le / 2;
+        let ang = 3.14159265 / flt2(le2);
+        let wr = cos_t(ang);
+        let wi = 0.0 - sin_t(ang);
+        let mut ur = 1.0;
+        let mut ui = 0.0;
+        let mut j2 = 1;
+        while j2 <= le2 {
+            let mut i2 = j2;
+            while i2 <= n {
+                let ip = i2 + le2;
+                if ip <= n {
+                    let tr = *px.get(ip) * ur - *py.get(ip) * ui;
+                    let ti = *px.get(ip) * ui + *py.get(ip) * ur;
+                    *px.get_mut(ip) = *px.get(i2) - tr;
+                    *py.get_mut(ip) = *py.get(i2) - ti;
+                    *px.get_mut(i2) = *px.get(i2) + tr;
+                    *py.get_mut(i2) = *py.get(i2) + ti;
+                }
+                i2 += le;
+            }
+            let t = ur * wr - ui * wi;
+            ui = ur * wi + ui * wr;
+            ur = t;
+            j2 += 1;
+        }
+        le *= 2;
+    }
+}
+
+#[lr::trusted]
+#[lr::sig(fn(usize) -> f32)]
+fn flt2(x: usize) -> f32;
+
+// driver: round the size up to a power of two, then transform
+#[lr::sig(fn(usize<@n>) -> usize requires 2 <= n)]
+fn fft_test(n: usize) -> usize {
+    let mut np = 2;
+    while np < n {
+        np *= 2;
+    }
+    let mut px = RVec::new();
+    let mut py = RVec::new();
+    let mut i = 0;
+    while i <= np {
+        px.push(flt2(i));
+        py.push(0.0);
+        i += 1;
+    }
+    fft(&mut px, &mut py);
+    px.len()
+}
+|}
+
+let prusti_src =
+  {|
+fn cos_t(x: f32) -> f32 {
+    let x2 = x * x;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    let mut k = 0;
+    while k < 8 {
+        term = 0.0 - term * x2 / ((2.0 * flt(k) + 1.0) * (2.0 * flt(k) + 2.0));
+        sum = sum + term;
+        k += 1;
+    }
+    sum
+}
+
+fn sin_t(x: f32) -> f32 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    let mut k = 0;
+    while k < 8 {
+        term = 0.0 - term * x2 / ((2.0 * flt(k) + 2.0) * (2.0 * flt(k) + 3.0));
+        sum = sum + term;
+        k += 1;
+    }
+    sum
+}
+
+#[trusted]
+fn flt(x: i32) -> f32;
+
+#[trusted]
+fn flt2(x: usize) -> f32;
+
+#[requires(2 <= px.len() - 1 && px.len() == py.len())]
+fn fft(px: &mut RVec<f32>, py: &mut RVec<f32>) {
+    let n = px.len() - 1;
+
+    let mut i = 1;
+    let mut j = 1;
+    while i < n {
+        body_invariant!(px.len() == n + 1 && py.len() == n + 1);
+        body_invariant!(1 <= i && 1 <= j);
+        if i < j {
+            if j <= n {
+                let tx = *px.get(i);
+                px.swap(i, j);
+                let ty = *py.get(i);
+                py.swap(i, j);
+                let u = tx + ty;
+            }
+        }
+        let mut k = n / 2;
+        while k < j {
+            body_invariant!(1 <= j && k <= n);
+            j -= k;
+            k /= 2;
+        }
+        j += k;
+        i += 1;
+    }
+
+    let mut le = 2;
+    while le <= n {
+        body_invariant!(px.len() == n + 1 && py.len() == n + 1);
+        body_invariant!(2 <= le);
+        let le2 = le / 2;
+        let ang = 3.14159265 / flt2(le2);
+        let wr = cos_t(ang);
+        let wi = 0.0 - sin_t(ang);
+        let mut ur = 1.0;
+        let mut ui = 0.0;
+        let mut j2 = 1;
+        while j2 <= le2 {
+            body_invariant!(px.len() == n + 1 && py.len() == n + 1);
+            body_invariant!(1 <= j2 && le2 <= n);
+            let mut i2 = j2;
+            while i2 <= n {
+                body_invariant!(px.len() == n + 1 && py.len() == n + 1);
+                body_invariant!(1 <= i2);
+                let ip = i2 + le2;
+                if ip <= n {
+                    let tr = *px.get(ip) * ur - *py.get(ip) * ui;
+                    let ti = *px.get(ip) * ui + *py.get(ip) * ur;
+                    *px.get_mut(ip) = *px.get(i2) - tr;
+                    *py.get_mut(ip) = *py.get(i2) - ti;
+                    *px.get_mut(i2) = *px.get(i2) + tr;
+                    *py.get_mut(i2) = *py.get(i2) + ti;
+                }
+                i2 += le;
+            }
+            let t = ur * wr - ui * wi;
+            ui = ur * wi + ui * wr;
+            ur = t;
+            j2 += 1;
+        }
+        le *= 2;
+    }
+}
+
+#[requires(2 <= n)]
+fn fft_test(n: usize) -> usize {
+    let mut np = 2;
+    while np < n {
+        body_invariant!(2 <= np);
+        np *= 2;
+    }
+    let mut px = RVec::new();
+    let mut py = RVec::new();
+    let mut i = 0;
+    while i <= np {
+        body_invariant!(px.len() == i && py.len() == i && 2 <= np);
+        px.push(flt2(i));
+        py.push(0.0);
+        i += 1;
+    }
+    fft(&mut px, &mut py);
+    px.len()
+}
+|}

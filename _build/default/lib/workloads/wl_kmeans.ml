@@ -1,0 +1,327 @@
+(** Benchmark: k-means clustering (fig. 2 of the paper plus the full
+    algorithm). Chosen by the paper to showcase invariants over
+    collections of collections — every point and center is an
+    n-dimensional vector, expressed by instantiating RVec's element
+    parameter with the indexed type [RVec<f32, n>]. *)
+
+let name = "kmeans"
+
+let flux_src =
+  {|
+#[lr::trusted]
+#[lr::sig(fn(usize) -> f32)]
+fn flt(x: usize) -> f32;
+
+#[lr::sig(fn(usize<@n>) -> RVec<f32, n>)]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec = RVec::new();
+    let mut i = 0;
+    while i < n {
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}
+
+#[lr::sig(fn(&RVec<f32, @n>, &RVec<f32, n>) -> f32)]
+fn dist(x: &RVec<f32>, y: &RVec<f32>) -> f32 {
+    let mut d = 0.0;
+    let mut i = 0;
+    while i < x.len() {
+        let dx = *x.get(i) - *y.get(i);
+        d = d + dx * dx;
+        i += 1;
+    }
+    d
+}
+
+#[lr::sig(fn(&mut RVec<f32, @n>, &RVec<f32, n>))]
+fn add(x: &mut RVec<f32>, y: &RVec<f32>) {
+    let mut i = 0;
+    while i < x.len() {
+        *x.get_mut(i) = *x.get(i) + *y.get(i);
+        i += 1;
+    }
+}
+
+#[lr::sig(fn(&mut RVec<f32, @n>, usize))]
+fn normal(x: &mut RVec<f32>, w: usize) {
+    let mut i = 0;
+    while i < x.len() {
+        *x.get_mut(i) = *x.get(i) / flt(w);
+        i += 1;
+    }
+}
+
+#[lr::sig(fn(&mut RVec<f32, @n>, &RVec<f32, n>))]
+fn copy_into(dst: &mut RVec<f32>, src: &RVec<f32>) {
+    let mut i = 0;
+    while i < dst.len() {
+        *dst.get_mut(i) = *src.get(i);
+        i += 1;
+    }
+}
+
+#[lr::sig(fn(usize<@n>, &RVec<RVec<f32, n>, @k>, &RVec<f32, n>) -> usize{v: v < k}
+          requires 0 < k)]
+fn nearest(n: usize, cs: &RVec<RVec<f32>>, p: &RVec<f32>) -> usize {
+    let mut best = 0;
+    let mut bestd = dist(cs.get(0), p);
+    let mut i = 1;
+    while i < cs.len() {
+        let d = dist(cs.get(i), p);
+        if d < bestd {
+            best = i;
+            bestd = d;
+        }
+        i += 1;
+    }
+    best
+}
+
+#[lr::sig(fn(usize<@n>, usize<@k>, &mut RVec<RVec<f32, n>, k>, &RVec<RVec<f32, n>, @p>)
+          requires 0 < k)]
+fn kmeans_step(n: usize, k: usize, cs: &mut RVec<RVec<f32>>, points: &RVec<RVec<f32>>) {
+    let mut sums = RVec::new();
+    let mut counts = RVec::new();
+    let mut i = 0;
+    while i < k {
+        sums.push(init_zeros(n));
+        counts.push(0);
+        i += 1;
+    }
+    let mut j = 0;
+    while j < points.len() {
+        let pt = points.get(j);
+        let c = nearest(n, cs, pt);
+        add(sums.get_mut(c), pt);
+        *counts.get_mut(c) = *counts.get(c) + 1;
+        j += 1;
+    }
+    let mut c2 = 0;
+    while c2 < k {
+        let w = *counts.get(c2);
+        if 0 < w {
+            normal(sums.get_mut(c2), w);
+            copy_into(cs.get_mut(c2), sums.get(c2));
+        }
+        c2 += 1;
+    }
+}
+
+#[lr::sig(fn(usize<@n>, &mut RVec<RVec<f32, n>, @k>, &RVec<RVec<f32, n>, @p>, usize)
+          requires 0 < k)]
+fn kmeans(n: usize, cs: &mut RVec<RVec<f32>>, points: &RVec<RVec<f32>>, iters: usize) {
+    let mut it = 0;
+    while it < iters {
+        kmeans_step(n, cs.len(), cs, points);
+        it += 1;
+    }
+}
+|}
+
+let prusti_src =
+  {|
+#[trusted]
+fn flt(x: usize) -> f32;
+
+#[ensures(result.len() == n)]
+fn init_zeros(n: usize) -> RVec<f32> {
+    let mut vec = RVec::new();
+    let mut i = 0;
+    while i < n {
+        body_invariant!(vec.len() == i && i <= n);
+        vec.push(0.0);
+        i += 1;
+    }
+    vec
+}
+
+#[requires(x.len() == y.len())]
+fn dist(x: &RVec<f32>, y: &RVec<f32>) -> f32 {
+    let mut d = 0.0;
+    let mut i = 0;
+    while i < x.len() {
+        body_invariant!(i <= x.len() && x.len() == y.len());
+        let dx = *x.get(i) - *y.get(i);
+        d = d + dx * dx;
+        i += 1;
+    }
+    d
+}
+
+#[requires(x.len() == y.len())]
+#[ensures(x.len() == old(x.len()))]
+fn add(x: &mut RVec<f32>, y: &RVec<f32>) {
+    let mut i = 0;
+    while i < x.len() {
+        body_invariant!(i <= x.len() && x.len() == y.len());
+        body_invariant!(x.len() == old(x.len()));
+        *x.get_mut(i) = *x.get(i) + *y.get(i);
+        i += 1;
+    }
+}
+
+#[ensures(x.len() == old(x.len()))]
+fn normal(x: &mut RVec<f32>, w: usize) {
+    let mut i = 0;
+    while i < x.len() {
+        body_invariant!(i <= x.len() && x.len() == old(x.len()));
+        *x.get_mut(i) = *x.get(i) / flt(w);
+        i += 1;
+    }
+}
+
+#[requires(dst.len() == src.len())]
+#[ensures(dst.len() == old(dst.len()))]
+fn copy_into(dst: &mut RVec<f32>, src: &RVec<f32>) {
+    let mut i = 0;
+    while i < dst.len() {
+        body_invariant!(i <= dst.len() && dst.len() == src.len());
+        body_invariant!(dst.len() == old(dst.len()));
+        *dst.get_mut(i) = *src.get(i);
+        i += 1;
+    }
+}
+
+// In Prusti, quantifying over the inner vectors requires a trusted
+// matrix abstraction (§5.2 of the paper); here each center/point is a
+// row of a conceptual matrix and we expose only length facts.
+#[requires(0 < cs.len())]
+#[requires(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == p.len()))]
+#[ensures(result < cs.len())]
+fn nearest(n: usize, cs: &RVec<RVec<f32>>, p: &RVec<f32>) -> usize {
+    let mut best = 0;
+    let mut bestd = dist(cs.get(0), p);
+    let mut i = 1;
+    while i < cs.len() {
+        body_invariant!(best < cs.len() && i <= cs.len());
+        body_invariant!(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == p.len()));
+        let d = dist(cs.get(i), p);
+        if d < bestd {
+            best = i;
+            bestd = d;
+        }
+        i += 1;
+    }
+    best
+}
+
+// Unlike the Flux version (one function), the Prusti encoding must be
+// factored into one helper per loop: the quantified invariants about
+// several containers at once otherwise overwhelm the VC machinery —
+// the same pressure that §5.2 of the paper describes.
+#[requires(0 < k)]
+#[ensures(result.len() == k)]
+#[ensures(forall(|r: usize| r < result.len() ==> result.row_len(r) == n))]
+fn init_sums(n: usize, k: usize) -> RVec<RVec<f32>> {
+    let mut sums = RVec::new();
+    let mut i = 0;
+    while i < k {
+        body_invariant!(sums.len() == i && i <= k);
+        body_invariant!(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n));
+        sums.push(init_zeros(n));
+        i += 1;
+    }
+    sums
+}
+
+#[ensures(result.len() == k)]
+fn init_counts(k: usize) -> RVec<usize> {
+    let mut counts = RVec::new();
+    let mut i = 0;
+    while i < k {
+        body_invariant!(counts.len() == i && i <= k);
+        counts.push(0);
+        i += 1;
+    }
+    counts
+}
+
+#[requires(c < sums.len() && c < counts.len() && pt.len() == n)]
+#[requires(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n))]
+#[ensures(sums.len() == old(sums.len()) && counts.len() == old(counts.len()))]
+#[ensures(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n))]
+fn add_point(n: usize, sums: &mut RVec<RVec<f32>>, counts: &mut RVec<usize>,
+             pt: &RVec<f32>, c: usize) {
+    add(sums.get_mut(c), pt);
+    *counts.get_mut(c) = *counts.get(c) + 1;
+}
+
+#[requires(0 < cs.len() && sums.len() == cs.len() && counts.len() == cs.len())]
+#[requires(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n))]
+#[requires(forall(|r: usize| r < points.len() ==> points.row_len(r) == n))]
+#[requires(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n))]
+#[ensures(sums.len() == old(sums.len()) && counts.len() == old(counts.len()))]
+#[ensures(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n))]
+fn accumulate(n: usize, cs: &RVec<RVec<f32>>, points: &RVec<RVec<f32>>,
+              sums: &mut RVec<RVec<f32>>, counts: &mut RVec<usize>) {
+    let mut j = 0;
+    while j < points.len() {
+        body_invariant!(sums.len() == cs.len() && counts.len() == cs.len());
+        body_invariant!(sums.len() == old(sums.len()) && counts.len() == old(counts.len()));
+        body_invariant!(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n));
+        let pt = points.get(j);
+        let c = nearest(n, cs, pt);
+        add_point(n, sums, counts, pt, c);
+        j += 1;
+    }
+}
+
+#[requires(c2 < cs.len() && c2 < sums.len())]
+#[requires(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n))]
+#[requires(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n))]
+#[ensures(cs.len() == old(cs.len()) && sums.len() == old(sums.len()))]
+#[ensures(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n))]
+#[ensures(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n))]
+fn write_center(n: usize, cs: &mut RVec<RVec<f32>>, sums: &mut RVec<RVec<f32>>,
+                c2: usize, w: usize) {
+    if 0 < w {
+        normal(sums.get_mut(c2), w);
+        copy_into(cs.get_mut(c2), sums.get(c2));
+    }
+}
+
+#[requires(cs.len() == k && sums.len() == k && counts.len() == k)]
+#[requires(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n))]
+#[requires(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n))]
+#[ensures(cs.len() == old(cs.len()))]
+#[ensures(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n))]
+fn write_back(n: usize, k: usize, cs: &mut RVec<RVec<f32>>,
+              sums: &mut RVec<RVec<f32>>, counts: &RVec<usize>) {
+    let mut c2 = 0;
+    while c2 < k {
+        body_invariant!(sums.len() == k && cs.len() == k);
+        body_invariant!(cs.len() == old(cs.len()));
+        body_invariant!(forall(|r: usize| r < sums.len() ==> sums.row_len(r) == n));
+        body_invariant!(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n));
+        let w = *counts.get(c2);
+        write_center(n, cs, sums, c2, w);
+        c2 += 1;
+    }
+}
+
+#[requires(0 < k && cs.len() == k)]
+#[requires(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n))]
+#[requires(forall(|r: usize| r < points.len() ==> points.row_len(r) == n))]
+#[ensures(cs.len() == old(cs.len()))]
+#[ensures(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n))]
+fn kmeans_step(n: usize, k: usize, cs: &mut RVec<RVec<f32>>, points: &RVec<RVec<f32>>) {
+    let mut sums = init_sums(n, k);
+    let mut counts = init_counts(k);
+    accumulate(n, cs, points, &mut sums, &mut counts);
+    write_back(n, k, cs, &mut sums, &counts);
+}
+
+#[requires(0 < cs.len())]
+#[requires(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n))]
+#[requires(forall(|r: usize| r < points.len() ==> points.row_len(r) == n))]
+fn kmeans(n: usize, cs: &mut RVec<RVec<f32>>, points: &RVec<RVec<f32>>, iters: usize) {
+    let mut it = 0;
+    while it < iters {
+        body_invariant!(forall(|r: usize| r < cs.len() ==> cs.row_len(r) == n));
+        kmeans_step(n, cs.len(), cs, points);
+        it += 1;
+    }
+}
+|}

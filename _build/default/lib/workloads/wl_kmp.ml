@@ -1,0 +1,116 @@
+(** Benchmark: Knuth–Morris–Pratt string search. Chosen by the paper to
+    showcase quantified invariants via polymorphism: the failure table
+    holds indices into the pattern, expressed as the element type
+    [usize{v: v < m}] instead of a universally quantified invariant. *)
+
+let name = "kmp"
+
+let flux_src =
+  {|
+#[lr::sig(fn(&RVec<i32, @m>) -> RVec<usize{v: v < m}, m> requires 0 < m)]
+fn kmp_table(p: &RVec<i32>) -> RVec<usize> {
+    let m = p.len();
+    let mut t = RVec::new();
+    t.push(0);
+    let mut i = 1;
+    let mut j = 0;
+    while i < m {
+        if *p.get(i) == *p.get(j) {
+            t.push(j + 1);
+            i += 1;
+            j += 1;
+        } else if j == 0 {
+            t.push(0);
+            i += 1;
+        } else {
+            j = *t.get(j - 1);
+        }
+    }
+    t
+}
+
+#[lr::sig(fn(&RVec<i32, @n>, &RVec<i32, @m>) -> usize requires 0 < m)]
+fn kmp_search(text: &RVec<i32>, pat: &RVec<i32>) -> usize {
+    let n = text.len();
+    let m = pat.len();
+    let t = kmp_table(pat);
+    let mut i = 0;
+    let mut j = 0;
+    while i < n {
+        if *text.get(i) == *pat.get(j) {
+            i += 1;
+            j += 1;
+            if j == m {
+                // the match starts m characters back; the guard makes
+                // the usize subtraction visibly safe
+                if m <= i {
+                    return i - m;
+                }
+                return 0;
+            }
+        } else if j == 0 {
+            i += 1;
+        } else {
+            j = *t.get(j - 1);
+        }
+    }
+    n
+}
+|}
+
+let prusti_src =
+  {|
+#[requires(0 < p.len())]
+#[ensures(result.len() == p.len())]
+#[ensures(forall(|x: usize| x < result.len() ==> result.lookup(x) < p.len()))]
+fn kmp_table(p: &RVec<usize>) -> RVec<usize> {
+    let m = p.len();
+    let mut t = RVec::new();
+    t.push(0);
+    let mut i = 1;
+    let mut j = 0;
+    while i < m {
+        body_invariant!(forall(|x: usize| x < t.len() ==> t.lookup(x) < i));
+        body_invariant!(j < i && t.len() == i && i <= m);
+        if *p.get(i) == *p.get(j) {
+            t.push(j + 1);
+            i += 1;
+            j += 1;
+        } else if j == 0 {
+            t.push(0);
+            i += 1;
+        } else {
+            j = *t.get(j - 1);
+        }
+    }
+    t
+}
+
+#[requires(0 < pat.len())]
+fn kmp_search(text: &RVec<usize>, pat: &RVec<usize>) -> usize {
+    let n = text.len();
+    let m = pat.len();
+    let t = kmp_table(pat);
+    let mut i = 0;
+    let mut j = 0;
+    while i < n {
+        body_invariant!(j < m && i <= n && t.len() == m);
+        body_invariant!(forall(|x: usize| x < t.len() ==> t.lookup(x) < m));
+        if *text.get(i) == *pat.get(j) {
+            i += 1;
+            j += 1;
+            if j == m {
+                if m <= i {
+                    return i - m;
+                }
+                return 0;
+            }
+        } else if j == 0 {
+            i += 1;
+        } else {
+            j = *t.get(j - 1);
+        }
+    }
+    n
+}
+|}

@@ -1,0 +1,265 @@
+(** Benchmark: the simplex algorithm for linear programming (ported
+    from DSOLVE), operating on an (m × n) tableau built as the refined
+    matrix of fig. 4. Row 0 holds the objective; column n-1 the
+    right-hand side. Sentinel index 0 signals "no pivot found". *)
+
+let name = "simplex"
+
+let flux_src =
+  {|
+#[lr::refined_by(m: int, n: int)]
+#[lr::invariant(0 < m && 1 < n)]
+pub struct RMat {
+    #[lr::field(RVec<RVec<f32, n>, m>)]
+    inner: RVec<RVec<f32>>
+}
+
+impl RMat {
+    #[lr::sig(fn(&RMat<@m, @n>) -> usize<m>)]
+    pub fn rows(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[lr::sig(fn(&RMat<@m, @n>) -> usize<n>)]
+    pub fn cols(&self) -> usize {
+        self.inner.get(0).len()
+    }
+
+    #[lr::sig(fn(&RMat<@m, @n>, usize{v: v < m}, usize{v: v < n}) -> f32)]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        *self.inner.get(i).get(j)
+    }
+
+    #[lr::sig(fn(&mut RMat<@m, @n>, usize{v: v < m}, usize{v: v < n}, f32))]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        *self.inner.get_mut(i).get_mut(j) = v;
+    }
+}
+
+#[lr::sig(fn(usize<@m>, usize<@n>) -> RMat<m, n> requires 0 < m && 1 < n)]
+fn mat_zeros(m: usize, n: usize) -> RMat {
+    let mut inner = RVec::new();
+    let mut i = 0;
+    while i < m {
+        let mut row = RVec::new();
+        let mut j = 0;
+        while j < n {
+            row.push(0.0);
+            j += 1;
+        }
+        inner.push(row);
+        i += 1;
+    }
+    RMat { inner }
+}
+
+// entering column: smallest objective coefficient, 0 if none negative
+#[lr::sig(fn(&RMat<@m, @n>) -> usize{v: v < n})]
+fn pivot_col(t: &RMat) -> usize {
+    let mut best = 0;
+    let mut bestv = 0.0;
+    let mut j = 1;
+    while j < t.cols() - 1 {
+        let c = t.get(0, j);
+        if c < bestv {
+            bestv = c;
+            best = j;
+        }
+        j += 1;
+    }
+    best
+}
+
+// leaving row by minimum ratio test, 0 if the column is unbounded
+#[lr::sig(fn(&RMat<@m, @n>, usize{v: v < n}) -> usize{v: v < m})]
+fn pivot_row(t: &RMat, q: usize) -> usize {
+    let mut best = 0;
+    let mut bestr = 0.0;
+    let mut found = false;
+    let mut i = 1;
+    while i < t.rows() {
+        let c = t.get(i, q);
+        if 0.0 < c {
+            let r = t.get(i, t.cols() - 1) / c;
+            if !found {
+                best = i;
+                bestr = r;
+                found = true;
+            } else {
+                if r < bestr {
+                    best = i;
+                    bestr = r;
+                }
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+#[lr::sig(fn(&mut RMat<@m, @n>, usize{v: v < m}, usize{v: v < n}))]
+fn do_pivot(t: &mut RMat, p: usize, q: usize) {
+    let piv = t.get(p, q);
+    // normalize the pivot row
+    let mut j = 0;
+    while j < t.cols() {
+        t.set(p, j, t.get(p, j) / piv);
+        j += 1;
+    }
+    // eliminate the pivot column from all other rows
+    let mut i = 0;
+    while i < t.rows() {
+        if i != p {
+            let f = t.get(i, q);
+            let mut j2 = 0;
+            while j2 < t.cols() {
+                t.set(i, j2, t.get(i, j2) - f * t.get(p, j2));
+                j2 += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[lr::sig(fn(&mut RMat<@m, @n>, usize) -> f32)]
+fn simplex(t: &mut RMat, max_iters: usize) -> f32 {
+    let mut it = 0;
+    let mut go = true;
+    while go && it < max_iters {
+        let q = pivot_col(t);
+        if q == 0 {
+            go = false;
+        } else {
+            let p = pivot_row(t, q);
+            if p == 0 {
+                go = false;
+            } else {
+                do_pivot(t, p, q);
+            }
+        }
+        it += 1;
+    }
+    t.get(0, t.cols() - 1)
+}
+|}
+
+let prusti_src =
+  {|
+// In Prusti the matrix must be a trusted abstraction (§5.2 of the
+// paper): rows cannot be verified independently, so the API exposes
+// rows()/cols()/get/set with contracts.
+#[trusted]
+#[requires(i < t_rows(mat) && j < t_cols(mat))]
+#[pure]
+fn mat_get(mat: &RMat, i: usize, j: usize) -> f32;
+
+#[trusted]
+#[requires(i < t_rows(mat) && j < t_cols(mat))]
+#[ensures(t_rows(mat) == old(t_rows(mat)) && t_cols(mat) == old(t_cols(mat)))]
+fn mat_set(mat: &mut RMat, i: usize, j: usize, v: f32);
+
+#[trusted]
+#[ensures(result == t_rows(mat))]
+fn mat_rows(mat: &RMat) -> usize;
+
+#[trusted]
+#[ensures(result == t_cols(mat))]
+fn mat_cols(mat: &RMat) -> usize;
+
+#[requires(0 < t_rows(t) && 1 < t_cols(t))]
+#[ensures(result < t_cols(t))]
+fn pivot_col(t: &RMat) -> usize {
+    let mut best = 0;
+    let mut bestv = 0.0;
+    let mut j = 1;
+    while j < mat_cols(t) - 1 {
+        body_invariant!(best < t_cols(t) && 1 <= j);
+        let c = mat_get(t, 0, j);
+        if c < bestv {
+            bestv = c;
+            best = j;
+        }
+        j += 1;
+    }
+    best
+}
+
+#[requires(0 < t_rows(t) && 1 < t_cols(t) && q < t_cols(t))]
+#[ensures(result < t_rows(t))]
+fn pivot_row(t: &RMat, q: usize) -> usize {
+    let mut best = 0;
+    let mut bestr = 0.0;
+    let mut found = false;
+    let mut i = 1;
+    while i < mat_rows(t) {
+        body_invariant!(best < t_rows(t) && 1 <= i);
+        let c = mat_get(t, i, q);
+        if 0.0 < c {
+            let r = mat_get(t, i, mat_cols(t) - 1) / c;
+            if !found {
+                best = i;
+                bestr = r;
+                found = true;
+            } else {
+                if r < bestr {
+                    best = i;
+                    bestr = r;
+                }
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+#[requires(p < t_rows(t) && q < t_cols(t) && 0 < t_rows(t) && 1 < t_cols(t))]
+#[ensures(t_rows(t) == old(t_rows(t)) && t_cols(t) == old(t_cols(t)))]
+fn do_pivot(t: &mut RMat, p: usize, q: usize) {
+    let piv = mat_get(t, p, q);
+    let mut j = 0;
+    while j < mat_cols(t) {
+        body_invariant!(p < t_rows(t) && q < t_cols(t));
+        body_invariant!(t_rows(t) == old(t_rows(t)) && t_cols(t) == old(t_cols(t)));
+        mat_set(t, p, j, mat_get(t, p, j) / piv);
+        j += 1;
+    }
+    let mut i = 0;
+    while i < mat_rows(t) {
+        body_invariant!(p < t_rows(t) && q < t_cols(t));
+        body_invariant!(t_rows(t) == old(t_rows(t)) && t_cols(t) == old(t_cols(t)));
+        if i != p {
+            let f = mat_get(t, i, q);
+            let mut j2 = 0;
+            while j2 < mat_cols(t) {
+                body_invariant!(p < t_rows(t) && q < t_cols(t) && i < t_rows(t));
+                body_invariant!(t_rows(t) == old(t_rows(t)) && t_cols(t) == old(t_cols(t)));
+                mat_set(t, i, j2, mat_get(t, i, j2) - f * mat_get(t, p, j2));
+                j2 += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[requires(0 < t_rows(t) && 1 < t_cols(t))]
+fn simplex(t: &mut RMat, max_iters: usize) -> f32 {
+    let mut it = 0;
+    let mut go = true;
+    while go && it < max_iters {
+        body_invariant!(0 < t_rows(t) && 1 < t_cols(t));
+        let q = pivot_col(t);
+        if q == 0 {
+            go = false;
+        } else {
+            let p = pivot_row(t, q);
+            if p == 0 {
+                go = false;
+            } else {
+                do_pivot(t, p, q);
+            }
+        }
+        it += 1;
+    }
+    mat_get(t, 0, mat_cols(t) - 1)
+}
+|}

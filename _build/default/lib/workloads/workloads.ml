@@ -1,0 +1,132 @@
+(** Registry of the Table 1 benchmarks. Each entry carries the source
+    of the Flux version (refinement signatures only, no loop
+    annotations) and of the Prusti version (contracts plus
+    [body_invariant!] loop annotations), exactly mirroring the paper's
+    experimental setup. *)
+
+type benchmark = {
+  bm_name : string;
+  bm_flux : string;
+  bm_prusti : string;
+}
+
+let all : benchmark list =
+  [
+    { bm_name = Wl_bsearch.name; bm_flux = Wl_bsearch.flux_src; bm_prusti = Wl_bsearch.prusti_src };
+    { bm_name = Wl_dotprod.name; bm_flux = Wl_dotprod.flux_src; bm_prusti = Wl_dotprod.prusti_src };
+    { bm_name = Wl_fft.name; bm_flux = Wl_fft.flux_src; bm_prusti = Wl_fft.prusti_src };
+    { bm_name = Wl_heapsort.name; bm_flux = Wl_heapsort.flux_src; bm_prusti = Wl_heapsort.prusti_src };
+    { bm_name = Wl_simplex.name; bm_flux = Wl_simplex.flux_src; bm_prusti = Wl_simplex.prusti_src };
+    { bm_name = Wl_kmeans.name; bm_flux = Wl_kmeans.flux_src; bm_prusti = Wl_kmeans.prusti_src };
+    { bm_name = Wl_kmp.name; bm_flux = Wl_kmp.flux_src; bm_prusti = Wl_kmp.prusti_src };
+  ]
+
+let find name = List.find_opt (fun b -> String.equal b.bm_name name) all
+
+(** The refined RVec interface of fig. 3. RVec is a built-in (trusted)
+    library in this reproduction, exactly as it is `#[trusted]` code in
+    the paper's artifact; these signatures are what Table 1 counts as
+    its specification. *)
+let rvec_spec =
+  {|
+impl RVec<T, @n> {
+    #[lr::sig(fn() -> RVec<T, 0>)]
+    fn new() -> RVec<T>;
+    #[lr::sig(fn(&RVec<T, @n>) -> usize<n>)]
+    fn len(&self) -> usize;
+    #[lr::sig(fn(&RVec<T, @n>) -> bool<n == 0>)]
+    fn is_empty(&self) -> bool;
+    #[lr::sig(fn(&RVec<T, @n>, usize{v: v < n}) -> &T)]
+    fn get(&self, idx: usize) -> &T;
+    #[lr::sig(fn(&mut RVec<T, @n>, usize{v: v < n}) -> &mut T)]
+    fn get_mut(&mut self, idx: usize) -> &mut T;
+    #[lr::sig(fn(&strg RVec<T, @n>, T) ensures *self: RVec<T, n+1>)]
+    fn push(&mut self, value: T);
+    #[lr::sig(fn(&strg RVec<T, @n>) -> T requires 0 < n ensures *self: RVec<T, n-1>)]
+    fn pop(&mut self) -> T;
+    #[lr::sig(fn(&mut RVec<T, @n>, usize{v: v < n}, usize{v: v < n}))]
+    fn swap(&mut self, i: usize, j: usize);
+    #[lr::sig(fn(&RVec<T, @n>) -> RVec<T, n>)]
+    fn clone(&self) -> RVec<T>;
+}
+|}
+
+(** The RMat library (fig. 4 / §5): in Flux it is implemented and
+    verified in the subset itself; in Prusti it must be a trusted
+    abstraction (§5.2 of the paper). *)
+let rmat_flux =
+  {|
+#[lr::refined_by(m: int, n: int)]
+#[lr::invariant(0 < m && 1 < n)]
+pub struct RMat {
+    #[lr::field(RVec<RVec<f32, n>, m>)]
+    inner: RVec<RVec<f32>>
+}
+
+impl RMat {
+    #[lr::sig(fn(&RMat<@m, @n>) -> usize<m>)]
+    pub fn rows(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[lr::sig(fn(&RMat<@m, @n>) -> usize<n>)]
+    pub fn cols(&self) -> usize {
+        self.inner.get(0).len()
+    }
+
+    #[lr::sig(fn(&RMat<@m, @n>, usize{v: v < m}, usize{v: v < n}) -> f32)]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        *self.inner.get(i).get(j)
+    }
+
+    #[lr::sig(fn(&mut RMat<@m, @n>, usize{v: v < m}, usize{v: v < n}, f32))]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        *self.inner.get_mut(i).get_mut(j) = v;
+    }
+}
+
+#[lr::sig(fn(usize<@m>, usize<@n>) -> RMat<m, n> requires 0 < m && 1 < n)]
+fn mat_zeros(m: usize, n: usize) -> RMat {
+    let mut inner = RVec::new();
+    let mut i = 0;
+    while i < m {
+        let mut row = RVec::new();
+        let mut j = 0;
+        while j < n {
+            row.push(0.0);
+            j += 1;
+        }
+        inner.push(row);
+        i += 1;
+    }
+    RMat { inner }
+}
+|}
+
+let rmat_prusti =
+  {|
+pub struct RMat { inner: RVec<RVec<f32>> }
+
+#[trusted]
+#[requires(i < t_rows(mat) && j < t_cols(mat))]
+#[pure]
+fn mat_get(mat: &RMat, i: usize, j: usize) -> f32;
+
+#[trusted]
+#[requires(i < t_rows(mat) && j < t_cols(mat))]
+#[ensures(t_rows(mat) == old(t_rows(mat)) && t_cols(mat) == old(t_cols(mat)))]
+fn mat_set(mat: &mut RMat, i: usize, j: usize, v: f32);
+
+#[trusted]
+#[ensures(result == t_rows(mat))]
+fn mat_rows(mat: &RMat) -> usize;
+
+#[trusted]
+#[ensures(result == t_cols(mat))]
+fn mat_cols(mat: &RMat) -> usize;
+
+#[trusted]
+#[requires(0 < m && 1 < n)]
+#[ensures(t_rows(result) == m && t_cols(result) == n)]
+fn mat_zeros(m: usize, n: usize) -> RMat;
+|}

@@ -1,0 +1,1 @@
+lib/wp/rty_fresh.ml: Printf

@@ -1,0 +1,1 @@
+lib/wp/wp.ml: Array Flux_mir Flux_smt Flux_syntax Format Hashtbl Int List Map Printf Rty_fresh Solver Sort String Sys Term Unix

@@ -1,0 +1,1 @@
+lib/wp/wp.mli: Flux_mir Flux_syntax Format

@@ -1,0 +1,3 @@
+let counter = ref 0
+let fresh prefix = incr counter; Printf.sprintf "%s!w%d" prefix !counter
+let reset () = counter := 0

@@ -1,0 +1,47 @@
+(** The Prusti-style program-logic baseline verifier (§5 of the paper).
+
+    Forward symbolic execution over MIR with user-supplied
+    [body_invariant!] loop invariants as cut points; vectors are modeled
+    with uninterpreted [len]/[sel] plus McCarthy update axioms;
+    universally quantified contracts are discharged by staged,
+    goal-directed quantifier instantiation. *)
+
+module Ast = Flux_syntax.Ast
+
+type error = { err_fn : string; err_span : Ast.span; err_msg : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+type fn_report = {
+  fr_name : string;
+  fr_errors : error list;
+  fr_vcs : int;  (** verification conditions discharged *)
+  fr_time : float;
+}
+
+val fn_ok : fn_report -> bool
+
+exception Wp_error of string * Ast.span
+(** Structural problems (constructs the baseline does not model);
+    converted into error reports by [verify_body]. *)
+
+val inst_rounds : int ref
+(** Quantifier-instantiation rounds per VC (default 2). *)
+
+val inst_cap : int ref
+(** Cap on candidate trigger terms per VC (default 24). *)
+
+val check_underflow : bool ref
+(** Check usize subtractions for underflow (default [true]), matching
+    the Flux checker's configuration. *)
+
+type report = { rp_fns : fn_report list; rp_time : float }
+
+val report_ok : report -> bool
+val report_errors : report -> error list
+
+val verify_body : Ast.program -> Ast.fn_def -> Flux_mir.Ir.body -> fn_report
+val verify_program_ast : Ast.program -> report
+
+val verify_source : string -> report
+(** Parse, typecheck, lower and verify a source string. *)

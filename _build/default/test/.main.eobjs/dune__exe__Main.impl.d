@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_check Test_fixpoint Test_interp Test_loc Test_mir Test_rtype Test_smt Test_soundness Test_syntax Test_workloads Test_wp

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Flux_check Flux_rtype Format List String

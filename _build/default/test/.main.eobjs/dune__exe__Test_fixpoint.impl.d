@@ -1,0 +1,1 @@
+test/test_fixpoint.ml: Alcotest Flux_fixpoint Flux_smt Hashtbl Horn List Qualifier Solve Solver Sort String Term

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Flux_interp Flux_workloads Format Interp List Option QCheck QCheck_alcotest

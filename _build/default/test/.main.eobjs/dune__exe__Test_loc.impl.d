@@ -1,0 +1,1 @@
+test/test_loc.ml: Alcotest Flux_workloads List Printf

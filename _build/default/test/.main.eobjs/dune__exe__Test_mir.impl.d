@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Array Ast Flux_mir Flux_syntax List Parser String Typeck

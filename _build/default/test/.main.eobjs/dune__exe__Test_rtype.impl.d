@@ -1,0 +1,1 @@
+test/test_rtype.ml: Alcotest Flux_fixpoint Flux_rtype Flux_smt Flux_syntax Hashtbl Horn List Option Rty Solve Sort Specconv Sub Term

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Flux_smt List QCheck QCheck_alcotest Solver Sort Term

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Flux_check Flux_interp Flux_rtype Flux_syntax Interp List Printf QCheck QCheck_alcotest Random String

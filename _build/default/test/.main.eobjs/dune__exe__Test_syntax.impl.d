@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Array Ast Flux_smt Flux_syntax Format Lexer List Parser String Token Typeck

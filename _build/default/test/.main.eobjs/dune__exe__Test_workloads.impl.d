@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Flux_check Flux_rtype Flux_workloads Flux_wp Format List Option Str_replace String

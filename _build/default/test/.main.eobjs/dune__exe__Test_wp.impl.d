@@ -1,0 +1,1 @@
+test/test_wp.ml: Alcotest Flux_wp Format List String

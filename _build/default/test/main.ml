@@ -1,0 +1,17 @@
+(** Test-suite entry point. *)
+
+let () =
+  Alcotest.run "flux"
+    [
+      Test_smt.tests;
+      Test_fixpoint.tests;
+      Test_syntax.tests;
+      Test_mir.tests;
+      Test_rtype.tests;
+      Test_check.tests;
+      Test_wp.tests;
+      Test_interp.tests;
+      Test_loc.tests;
+      Test_soundness.tests;
+      Test_workloads.tests;
+    ]

@@ -1,0 +1,13 @@
+(** Tiny helper: replace the first occurrence of a substring. *)
+
+let first (s : string) (from_s : string) (to_s : string) : string option =
+  let n = String.length s and m = String.length from_s in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = from_s then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i ^ to_s ^ String.sub s (i + m) (n - i - m))

@@ -1,0 +1,414 @@
+(** End-to-end tests for the Flux checker: the paper's examples verify,
+    seeded bugs are rejected, and inference finds the documented
+    invariants. *)
+
+module Checker = Flux_check.Checker
+
+let accepts name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let r = Checker.check_source src in
+      if not (Checker.report_ok r) then
+        Alcotest.failf "expected OK, got:@.%s"
+          (String.concat "\n"
+             (List.map
+                (fun e -> Format.asprintf "%a" Checker.pp_error e)
+                (Checker.report_errors r))))
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Checker.check_source src with
+      | r when not (Checker.report_ok r) -> ()
+      | exception Checker.Check_error _ -> ()
+      | exception Flux_rtype.Rty.Type_error _ -> ()
+      | exception Flux_rtype.Specconv.Spec_error _ -> ()
+      | _ -> Alcotest.fail "expected the checker to reject this program")
+
+(* ---------------- paper figures ---------------- *)
+
+let fig1 =
+  [
+    accepts "fig1: is_pos"
+      {|#[lr::sig(fn(i32<@n>) -> bool<0 < n>)]
+        fn is_pos(n: i32) -> bool { if 0 < n { true } else { false } }|};
+    accepts "fig1: abs"
+      {|#[lr::sig(fn(i32<@x>) -> i32{v: x <= v && 0 <= v})]
+        fn abs(x: i32) -> i32 { if x < 0 { -x } else { x } }|};
+    rejects "fig1: abs with wrong spec"
+      {|#[lr::sig(fn(i32<@x>) -> i32{v: v < x})]
+        fn abs(x: i32) -> i32 { if x < 0 { -x } else { x } }|};
+  ]
+
+let fig2 =
+  [
+    accepts "fig2: init_zeros (loop invariant synthesized)"
+      {|#[lr::sig(fn(usize<@n>) -> RVec<f32, n>)]
+        fn init_zeros(n: usize) -> RVec<f32> {
+            let mut vec = RVec::new();
+            let mut i = 0;
+            while i < n { vec.push(0.0); i += 1; }
+            vec
+        }|};
+    accepts "fig2: add (weak updates preserve the length)"
+      {|#[lr::sig(fn(&mut RVec<f32, @n>, &RVec<f32, n>))]
+        fn add(x: &mut RVec<f32>, y: &RVec<f32>) {
+            let mut i = 0;
+            while i < x.len() {
+                *x.get_mut(i) = *x.get(i) + *y.get(i);
+                i += 1;
+            }
+        }|};
+    rejects "fig2: add with mismatched lengths"
+      {|#[lr::sig(fn(&mut RVec<f32, @n>, &RVec<f32, @m>))]
+        fn add(x: &mut RVec<f32>, y: &RVec<f32>) {
+            let mut i = 0;
+            while i < x.len() {
+                *x.get_mut(i) = *x.get(i) + *y.get(i);
+                i += 1;
+            }
+        }|};
+    accepts "fig2: normalize_centers (polymorphic elements)"
+      {|#[lr::sig(fn(&mut RVec<f32, @n>, usize))]
+        fn normal(x: &mut RVec<f32>, w: usize) {}
+        #[lr::sig(fn(usize<@n>, &mut RVec<RVec<f32, n>, @k>, &RVec<usize, k>))]
+        fn normalize_centers(n: usize, xs: &mut RVec<RVec<f32>>, ws: &RVec<usize>) {
+            let mut i = 0;
+            while i < xs.len() {
+                normal(xs.get_mut(i), *ws.get(i));
+                i += 1;
+            }
+        }|};
+  ]
+
+let fig3_rvec =
+  [
+    accepts "rvec: push then pop"
+      {|fn f() -> i32 {
+            let mut v: RVec<i32> = RVec::new();
+            v.push(1);
+            v.push(2);
+            v.pop()
+        }|};
+    rejects "rvec: pop from empty"
+      {|fn f() -> i32 {
+            let mut v: RVec<i32> = RVec::new();
+            v.pop()
+        }|};
+    rejects "rvec: get out of bounds"
+      {|fn f() -> i32 {
+            let mut v: RVec<i32> = RVec::new();
+            v.push(1);
+            *v.get(1)
+        }|};
+    accepts "rvec: get in bounds after pushes"
+      {|fn f() -> i32 {
+            let mut v: RVec<i32> = RVec::new();
+            v.push(1);
+            v.push(2);
+            *v.get(1)
+        }|};
+    accepts "rvec: len is exact"
+      {|#[lr::sig(fn() -> usize<2>)]
+        fn f() -> usize {
+            let mut v: RVec<i32> = RVec::new();
+            v.push(1);
+            v.push(2);
+            v.len()
+        }|};
+    accepts "rvec: is_empty"
+      {|#[lr::sig(fn() -> bool<false>)]
+        fn f() -> bool {
+            let mut v: RVec<i32> = RVec::new();
+            v.push(1);
+            v.is_empty()
+        }|};
+    accepts "rvec: swap stays in bounds"
+      {|#[lr::sig(fn(&mut RVec<i32, @n>) requires 2 <= n)]
+        fn f(v: &mut RVec<i32>) { v.swap(0, 1); }|};
+    rejects "rvec: swap out of bounds"
+      {|#[lr::sig(fn(&mut RVec<i32, @n>) requires 1 <= n)]
+        fn f(v: &mut RVec<i32>) { v.swap(0, 1); }|};
+    rejects "rvec: push through &mut needs &strg"
+      {|#[lr::sig(fn(&mut RVec<i32, @n>))]
+        fn f(v: &mut RVec<i32>) { v.push(1); }|};
+    accepts "rvec: strong reference push (ensures clause)"
+      {|#[lr::sig(fn(&strg RVec<i32, @n>) ensures *v: RVec<i32, n+1>)]
+        fn f(v: &mut RVec<i32>) { v.push(1); }|};
+    rejects "rvec: strong push with wrong ensures"
+      {|#[lr::sig(fn(&strg RVec<i32, @n>) ensures *v: RVec<i32, n+2>)]
+        fn f(v: &mut RVec<i32>) { v.push(1); }|};
+    accepts "rvec: strong reference grow loop"
+      {|#[lr::sig(fn(&strg RVec<i32, @n>, usize<@k>) ensures *v: RVec<i32, n+k>)]
+        fn grow(v: &mut RVec<i32>, k: usize) {
+            let mut i = 0;
+            while i < k { v.push(0); i += 1; }
+        }|};
+    accepts "rvec: clone preserves the index"
+      {|#[lr::sig(fn(&RVec<i32, @n>) -> RVec<i32, n>)]
+        fn f(v: &RVec<i32>) -> RVec<i32> { v.clone() }|};
+  ]
+
+let fig4_rmat =
+  [
+    accepts "fig4: RMat API"
+      {|#[lr::sig(fn(usize<@n>) -> RVec<f32, n>)]
+        fn init_zeros(n: usize) -> RVec<f32> {
+            let mut vec = RVec::new();
+            let mut i = 0;
+            while i < n { vec.push(0.0); i += 1; }
+            vec
+        }
+        #[lr::refined_by(m: int, n: int)]
+        pub struct RMat {
+            #[lr::field(RVec<RVec<f32, n>, m>)]
+            vec: RVec<RVec<f32>>
+        }
+        impl RMat {
+            #[lr::sig(fn(usize<@m>, usize<@n>) -> RMat<m, n>)]
+            pub fn new(m: usize, n: usize) -> RMat {
+                let mut vec = RVec::new();
+                let mut i = 0;
+                while i < m { vec.push(init_zeros(n)); i += 1; }
+                RMat { vec }
+            }
+            #[lr::sig(fn(&RMat<@m, @n>, usize{v: v < m}, usize{v: v < n}) -> f32)]
+            pub fn get(&self, i: usize, j: usize) -> f32 {
+                *self.vec.get(i).get(j)
+            }
+            #[lr::sig(fn(&mut RMat<@m, @n>, usize{v: v < m}, usize{v: v < n}, f32))]
+            pub fn set(&mut self, i: usize, j: usize, v: f32) {
+                *self.vec.get_mut(i).get_mut(j) = v;
+            }
+        }|};
+    rejects "fig4: RMat get with indices swapped"
+      {|#[lr::refined_by(m: int, n: int)]
+        pub struct RMat {
+            #[lr::field(RVec<RVec<f32, n>, m>)]
+            vec: RVec<RVec<f32>>
+        }
+        impl RMat {
+            #[lr::sig(fn(&RMat<@m, @n>, usize{v: v < n}, usize{v: v < m}) -> f32)]
+            pub fn get(&self, i: usize, j: usize) -> f32 {
+                *self.vec.get(i).get(j)
+            }
+        }|};
+    rejects "fig4: constructor with wrong inner size"
+      {|#[lr::sig(fn(usize<@n>) -> RVec<f32, n>)]
+        fn init_zeros(n: usize) -> RVec<f32> {
+            let mut vec = RVec::new();
+            let mut i = 0;
+            while i < n { vec.push(0.0); i += 1; }
+            vec
+        }
+        #[lr::refined_by(m: int, n: int)]
+        pub struct RMat {
+            #[lr::field(RVec<RVec<f32, n>, m>)]
+            vec: RVec<RVec<f32>>
+        }
+        impl RMat {
+            #[lr::sig(fn(usize<@m>, usize<@n>) -> RMat<m, n>)]
+            pub fn new(m: usize, n: usize) -> RMat {
+                let mut vec = RVec::new();
+                let mut i = 0;
+                while i < m { vec.push(init_zeros(m)); i += 1; }
+                RMat { vec }
+            }
+        }|};
+  ]
+
+let sec43 =
+  [
+    accepts "§4.3: make_vec via polymorphic instantiation"
+      {|#[lr::sig(fn() -> RVec<i32{v: 0 < v}, 1>)]
+        fn make_vec() -> RVec<i32> {
+            let mut vec = RVec::new();
+            vec.push(42);
+            vec
+        }|};
+    rejects "§4.3: make_vec with non-positive element"
+      {|#[lr::sig(fn() -> RVec<i32{v: 0 < v}, 1>)]
+        fn make_vec() -> RVec<i32> {
+            let mut vec = RVec::new();
+            vec.push(0);
+            vec
+        }|};
+  ]
+
+(* ---------------- modular verification & instantiation --------------- *)
+
+let modular =
+  [
+    accepts "calls use signatures, not bodies"
+      {|#[lr::sig(fn(i32<@x>) -> i32{v: x <= v && 0 <= v})]
+        fn abs(x: i32) -> i32 { if x < 0 { -x } else { x } }
+        #[lr::sig(fn(i32) -> i32{v: 0 <= v})]
+        fn client(y: i32) -> i32 { abs(y) }|};
+    rejects "precondition must hold at the call"
+      {|#[lr::sig(fn(usize<@n>) -> usize requires 2 <= n)]
+        fn need2(n: usize) -> usize { n }
+        fn client() -> usize { need2(1) }|};
+    accepts "precondition flows from a branch"
+      {|#[lr::sig(fn(usize<@n>) -> usize requires 2 <= n)]
+        fn need2(n: usize) -> usize { n }
+        fn client(k: usize) -> usize { if 2 <= k { need2(k) } else { 0 } }|};
+    accepts "recursion against the signature"
+      {|#[lr::sig(fn(usize<@n>) -> usize<n>)]
+        fn iddown(n: usize) -> usize {
+            if n == 0 { 0 } else { iddown(n - 1) + 1 }
+        }|};
+    rejects "cannot instantiate a nested-only parameter (§4.1 limitation)"
+      {|#[lr::sig(fn(&RVec<RVec<f32, @n>, @k>) -> usize)]
+        fn f(xs: &RVec<RVec<f32>>) -> usize { xs.len() }
+        fn client(ys: &RVec<RVec<f32>>) -> usize { f(ys) }|};
+    accepts "binder instantiated by unpacking behind a reference"
+      {|#[lr::sig(fn(&RVec<f32, @n>) -> usize<n>)]
+        fn len_of(v: &RVec<f32>) -> usize { v.len() }
+        fn client(w: &RVec<f32>) -> usize { len_of(w) }|};
+  ]
+
+(* ---------------- inference details ---------------- *)
+
+let inference =
+  [
+    Alcotest.test_case "init_zeros solution pins len = i" `Quick (fun () ->
+        let r =
+          Checker.check_source
+            {|#[lr::sig(fn(usize<@n>) -> RVec<f32, n>)]
+              fn init_zeros(n: usize) -> RVec<f32> {
+                  let mut vec = RVec::new();
+                  let mut i = 0;
+                  while i < n { vec.push(0.0); i += 1; }
+                  vec
+              }|}
+        in
+        Alcotest.(check bool) "verified" true (Checker.report_ok r);
+        let fr = List.hd r.Checker.rp_fns in
+        Alcotest.(check bool) "kvars inferred" true (fr.Checker.fr_kvars > 0));
+    accepts "join of two branches"
+      {|#[lr::sig(fn(bool<@b>, usize<@n>) -> usize{v: v <= n + 1})]
+        fn f(b: bool, n: usize) -> usize {
+            let r = if b { n + 1 } else { 0 };
+            r
+        }|};
+    accepts "nested loops"
+      {|#[lr::sig(fn(usize<@n>) -> RVec<RVec<f32, n>, n>)]
+        fn grid(n: usize) -> RVec<RVec<f32>> {
+            let mut rows = RVec::new();
+            let mut i = 0;
+            while i < n {
+                let mut row = RVec::new();
+                let mut j = 0;
+                while j < n { row.push(0.0); j += 1; }
+                rows.push(row);
+                i += 1;
+            }
+            rows
+        }|};
+    accepts "assert is checked"
+      {|fn f(n: usize) {
+            if 2 <= n { assert!(1 <= n); }
+        }|};
+    rejects "failing assert"
+      {|fn f(n: usize) { assert!(1 <= n); }|};
+    accepts "break exits with the loop invariant"
+      {|#[lr::sig(fn(usize<@n>) -> usize{v: v <= n})]
+        fn f(n: usize) -> usize {
+            let mut i = 0;
+            while i < n {
+                if i == 3 { break; }
+                i += 1;
+            }
+            i
+        }|};
+    rejects "off-by-one loop bound"
+      {|#[lr::sig(fn(&RVec<f32, @n>) -> f32)]
+        fn sum(v: &RVec<f32>) -> f32 {
+            let mut s = 0.0;
+            let mut i = 0;
+            while i <= v.len() {
+                s = s + *v.get(i);
+                i += 1;
+            }
+            s
+        }|};
+    rejects "use after move"
+      {|fn consume(v: RVec<i32>) -> usize { v.len() }
+        fn f() -> usize {
+            let mut v: RVec<i32> = RVec::new();
+            let a = consume(v);
+            consume(v)
+        }|};
+  ]
+
+let spec_errors =
+  [
+    rejects "struct invariant checked at construction"
+      {|#[lr::refined_by(n: int)]
+        #[lr::invariant(0 < n)]
+        pub struct NonEmpty {
+            #[lr::field(RVec<i32, n>)]
+            items: RVec<i32>
+        }
+        #[lr::sig(fn() -> NonEmpty<0>)]
+        fn bad() -> NonEmpty {
+            let items: RVec<i32> = RVec::new();
+            NonEmpty { items }
+        }|};
+    accepts "struct invariant usable by clients"
+      {|#[lr::refined_by(n: int)]
+        #[lr::invariant(0 < n)]
+        pub struct NonEmpty {
+            #[lr::field(RVec<i32, n>)]
+            items: RVec<i32>
+        }
+        #[lr::sig(fn(&NonEmpty<@n>) -> i32)]
+        fn first(s: &NonEmpty) -> i32 {
+            *s.items.get(0)
+        }|};
+    rejects "struct index inference failure reported (§4.1 fallback)"
+      {|#[lr::refined_by(m: int, n: int)]
+        pub struct Grid {
+            #[lr::field(RVec<RVec<f32, n>, m>)]
+            rows: RVec<RVec<f32>>
+        }
+        fn bad() -> usize {
+            let mut rows: RVec<RVec<f32>> = RVec::new();
+            let g = Grid { rows };
+            0
+        }|};
+    rejects "usize subtraction may underflow"
+      {|fn f(i: usize) -> usize { i - 1 }|};
+    accepts "guarded usize subtraction"
+      {|#[lr::sig(fn(usize<@i>) -> usize requires 0 < i)]
+        fn f(i: usize) -> usize { i - 1 }|};
+    rejects "writing a too-weak value through &mut"
+      {|#[lr::sig(fn(&mut i32{v: 0 < v}, i32<@x>))]
+        fn f(r: &mut i32, x: i32) { *r = x; }|};
+    accepts "writing a strong-enough value through &mut"
+      {|#[lr::sig(fn(&mut i32{v: 0 <= v}, i32{v: 0 < v}))]
+        fn f(r: &mut i32, x: i32) { *r = x; }|};
+    rejects "ensures must actually hold at return"
+      {|#[lr::sig(fn(&strg RVec<i32, @n>) ensures *v: RVec<i32, 0>)]
+        fn not_clearing(v: &mut RVec<i32>) { }|};
+    accepts "trusted functions are taken at their word"
+      {|#[lr::trusted]
+        #[lr::sig(fn(usize<@n>) -> RVec<i32, n>)]
+        fn magic(n: usize) -> RVec<i32>;
+        #[lr::sig(fn() -> i32)]
+        fn client() -> i32 {
+            let v = magic(3);
+            *v.get(2)
+        }|};
+    rejects "even trusted signatures bind the caller"
+      {|#[lr::trusted]
+        #[lr::sig(fn(usize<@n>) -> RVec<i32, n>)]
+        fn magic(n: usize) -> RVec<i32>;
+        fn client() -> i32 {
+            let v = magic(3);
+            *v.get(3)
+        }|};
+  ]
+
+let tests =
+  ( "check",
+    fig1 @ fig2 @ fig3_rvec @ fig4_rmat @ sec43 @ modular @ inference
+    @ spec_errors )

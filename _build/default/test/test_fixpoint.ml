@@ -1,0 +1,224 @@
+(** Tests for the Horn constraint solver: the paper's worked examples
+    (§4.2 loop inference, §4.3 polymorphic instantiation) and structural
+    properties of solving. *)
+
+open Flux_smt
+open Flux_fixpoint
+
+let mkk name params = Horn.{ kname = name; kparams = params; kvalues = 1 }
+
+let solution_entails sol k (goal : Term.t) (formals : (string * Sort.t) list) =
+  match Hashtbl.find_opt sol k with
+  | None -> false
+  | Some conjuncts ->
+      ignore formals;
+      Solver.entails conjuncts goal
+
+(** §4.2: init_zeros loop — the solver must find κ(b,c) := b = c. *)
+let test_init_zeros () =
+  let k = mkk "k" [ ("b", Sort.Int); ("c", Sort.Int) ] in
+  let open Term in
+  let c =
+    Horn.conj
+      [
+        Horn.CHead (Horn.Kapp ("k", [ int 0; int 0 ]), 1);
+        Horn.CBind
+          ( "j",
+            Sort.Int,
+            [ Horn.Kapp ("k", [ var "j"; var "j" ]) ],
+            Horn.CBind
+              ( "n",
+                Sort.Int,
+                [],
+                Horn.CGuard
+                  ( lt (var "j") (var "n"),
+                    Horn.CHead
+                      ( Horn.Kapp
+                          ("k", [ add (var "j") (int 1); add (var "j") (int 1) ]),
+                        2 ) ) ) );
+        Horn.CBind
+          ( "b",
+            Sort.Int,
+            [],
+            Horn.CBind
+              ( "c",
+                Sort.Int,
+                [ Horn.Kapp ("k", [ var "b"; var "c" ]) ],
+                Horn.CBind
+                  ( "n",
+                    Sort.Int,
+                    [],
+                    Horn.CGuard
+                      ( eq (var "b") (var "n"),
+                        Horn.CHead (Horn.Conc (eq (var "c") (var "n")), 3) ) ) )
+          );
+      ]
+  in
+  match Solve.solve ~kvars:[ k ] c with
+  | Solve.Sat sol ->
+      Alcotest.(check bool)
+        "solution entails b = c" true
+        (solution_entails sol "k"
+           Term.(eq (var "b") (var "c"))
+           k.Horn.kparams)
+  | Solve.Unsat _ -> Alcotest.fail "expected SAT"
+
+(** §4.3: make_vec — κ₁(ν) ⇒ κ₂(ν), ν = 42 ⇒ κ₂(ν), κ₂(ν) ⇒ ν > 0. *)
+let test_make_vec () =
+  let k1 = mkk "k1" [ ("v", Sort.Int) ] in
+  let k2 = mkk "k2" [ ("v", Sort.Int) ] in
+  let open Term in
+  let c =
+    Horn.conj
+      [
+        Horn.CBind
+          ( "v",
+            Sort.Int,
+            [ Horn.Kapp ("k1", [ var "v" ]) ],
+            Horn.CHead (Horn.Kapp ("k2", [ var "v" ]), 1) );
+        Horn.CBind
+          ( "v",
+            Sort.Int,
+            [ Horn.Conc (eq (var "v") (int 42)) ],
+            Horn.CHead (Horn.Kapp ("k2", [ var "v" ]), 2) );
+        Horn.CBind
+          ( "v",
+            Sort.Int,
+            [ Horn.Kapp ("k2", [ var "v" ]) ],
+            Horn.CHead (Horn.Conc (gt (var "v") (int 0)), 3) );
+      ]
+  in
+  match Solve.solve ~kvars:[ k1; k2 ] c with
+  | Solve.Sat sol ->
+      Alcotest.(check bool)
+        "κ2 entails v > 0" true
+        (solution_entails sol "k2" Term.(gt (var "v") (int 0)) k2.Horn.kparams)
+  | Solve.Unsat _ -> Alcotest.fail "expected SAT"
+
+(** An unsatisfiable system reports the failing tag. *)
+let test_unsat_tags () =
+  let open Term in
+  let c =
+    Horn.conj
+      [
+        Horn.CBind
+          ( "x",
+            Sort.Int,
+            [ Horn.Conc (ge (var "x") (int 0)) ],
+            Horn.CHead (Horn.Conc (gt (var "x") (int 0)), 42) );
+      ]
+  in
+  match Solve.solve ~kvars:[] c with
+  | Solve.Sat _ -> Alcotest.fail "expected UNSAT"
+  | Solve.Unsat (fails, _) ->
+      Alcotest.(check (list int)) "tags" [ 42 ]
+        (List.map (fun f -> f.Solve.f_tag) fails)
+
+(** A κ with no constraints keeps its full (strongest) instantiation. *)
+let test_unconstrained_kvar () =
+  let k = mkk "k" [ ("v", Sort.Int); ("x", Sort.Int) ] in
+  match Solve.solve ~kvars:[ k ] Horn.CTrue with
+  | Solve.Sat sol ->
+      Alcotest.(check bool)
+        "strongest solution retained" true
+        (List.length (Hashtbl.find sol "k") > 0)
+  | Solve.Unsat _ -> Alcotest.fail "expected SAT"
+
+(** Multi-value κs (struct indices) constrain every value position. *)
+let test_multi_value_kvar () =
+  let k =
+    Horn.{ kname = "k"; kparams = [ ("a", Sort.Int); ("b", Sort.Int); ("m", Sort.Int) ]; kvalues = 2 }
+  in
+  let open Term in
+  let c =
+    Horn.conj
+      [
+        Horn.CBind
+          ( "m",
+            Sort.Int,
+            [],
+            Horn.CHead (Horn.Kapp ("k", [ var "m"; add (var "m") (int 1); var "m" ]), 1)
+          );
+        Horn.CBind
+          ( "a",
+            Sort.Int,
+            [],
+            Horn.CBind
+              ( "b",
+                Sort.Int,
+                [],
+                Horn.CBind
+                  ( "m",
+                    Sort.Int,
+                    [ Horn.Kapp ("k", [ var "a"; var "b"; var "m" ]) ],
+                    Horn.CHead (Horn.Conc (eq (var "b") (add (var "m") (int 1))), 2)
+                  ) ) );
+      ]
+  in
+  match Solve.solve ~kvars:[ k ] c with
+  | Solve.Sat _ -> ()
+  | Solve.Unsat (fails, _) ->
+      Alcotest.failf "expected SAT, failed tags %s"
+        (String.concat "," (List.map (fun f -> string_of_int f.Solve.f_tag) fails))
+
+(** Qualifier instantiation produces only well-scoped predicates. *)
+let test_qualifier_scope () =
+  let params = [ ("v", Sort.Int); ("a", Sort.Int); ("b", Sort.Bool) ] in
+  let insts = Qualifier.instantiate_all Qualifier.default params in
+  List.iter
+    (fun q ->
+      Term.VarSet.iter
+        (fun x ->
+          if not (List.mem_assoc x params) then
+            Alcotest.failf "out-of-scope variable %s in %s" x (Term.to_string q))
+        (Term.free_vars q))
+    insts;
+  Alcotest.(check bool) "nonempty" true (List.length insts > 5)
+
+(** Qualifier rotation: a second value position gets instances too. *)
+let test_qualifier_rotation () =
+  let params = [ ("v1", Sort.Int); ("v2", Sort.Int); ("m", Sort.Int) ] in
+  let insts = Qualifier.instantiate_all ~values:2 Qualifier.default params in
+  let mentions_v2_first =
+    List.exists
+      (fun q ->
+        match q with
+        | Term.Cmp (_, Term.Var ("v2", _), _) | Term.Eq (Term.Var ("v2", _), _) ->
+            true
+        | _ -> false)
+      insts
+  in
+  Alcotest.(check bool) "v2 constrained" true mentions_v2_first
+
+(** Flattening preserves the number of heads. *)
+let test_flatten () =
+  let open Term in
+  let c =
+    Horn.CBind
+      ( "x",
+        Sort.Int,
+        [ Horn.Conc (ge (var "x") (int 0)) ],
+        Horn.CAnd
+          [
+            Horn.CHead (Horn.Conc (ge (var "x") (int 0)), 1);
+            Horn.CGuard
+              (lt (var "x") (int 10), Horn.CHead (Horn.Conc Term.tt, 2));
+          ] )
+  in
+  let clauses = Horn.flatten c in
+  Alcotest.(check int) "two clauses" 2 (List.length clauses);
+  let c1 = List.nth clauses 0 in
+  Alcotest.(check int) "binder count" 1 (List.length c1.Horn.binders)
+
+let tests =
+  ( "fixpoint",
+    [
+      Alcotest.test_case "init_zeros (§4.2)" `Quick test_init_zeros;
+      Alcotest.test_case "make_vec (§4.3)" `Quick test_make_vec;
+      Alcotest.test_case "unsat tags" `Quick test_unsat_tags;
+      Alcotest.test_case "unconstrained kvar" `Quick test_unconstrained_kvar;
+      Alcotest.test_case "multi-value kvar" `Quick test_multi_value_kvar;
+      Alcotest.test_case "qualifier scoping" `Quick test_qualifier_scope;
+      Alcotest.test_case "qualifier rotation" `Quick test_qualifier_rotation;
+      Alcotest.test_case "flatten" `Quick test_flatten;
+    ] )

@@ -1,0 +1,212 @@
+(** Tests for the MIR interpreter, plus the empirical stuck-freedom
+    property (Theorem 3.2): programs accepted by the Flux checker never
+    panic on verified accesses, across randomized inputs. *)
+
+open Flux_interp
+module Workloads = Flux_workloads.Workloads
+
+let vint n = Interp.VInt n
+let vfloat f = Interp.VFloat f
+let vref v = Interp.VRefCell (ref v)
+let ivec xs = Interp.VVec (Interp.vec_of_list (List.map vint xs))
+let fvec xs = Interp.VVec (Interp.vec_of_list (List.map vfloat xs))
+
+let run name src fname args = ignore name; Interp.run_source src fname args
+
+let unit_tests =
+  [
+    Alcotest.test_case "arith and loops" `Quick (fun () ->
+        let r =
+          Interp.run_source
+            "fn tri(n: i32) -> i32 { let mut s = 0; let mut i = 0; while i < n { i += 1; s += i; } s }"
+            "tri" [ vint 10 ]
+        in
+        Alcotest.(check bool) "55" true (Interp.value_eq r (vint 55)));
+    Alcotest.test_case "vector push/pop/get" `Quick (fun () ->
+        let r =
+          Interp.run_source
+            "fn f() -> i32 { let mut v: RVec<i32> = RVec::new(); v.push(1); v.push(2); v.push(3); v.pop() + *v.get(0) }"
+            "f" []
+        in
+        Alcotest.(check bool) "4" true (Interp.value_eq r (vint 4)));
+    Alcotest.test_case "mutation through references" `Quick (fun () ->
+        let v = Interp.vec_of_list [ vfloat 1.0; vfloat 2.0 ] in
+        let _ =
+          Interp.run_source
+            "fn f(v: &mut RVec<f32>) { *v.get_mut(0) = *v.get(1); }" "f"
+            [ vref (Interp.VVec v) ]
+        in
+        Alcotest.(check bool) "copied" true
+          (Interp.value_eq (Interp.vec_get v 0) (vfloat 2.0)));
+    Alcotest.test_case "out of bounds panics" `Quick (fun () ->
+        match
+          Interp.run_source "fn f(v: &RVec<i32>) -> i32 { *v.get(5) }" "f"
+            [ vref (ivec [ 1 ]) ]
+        with
+        | exception Interp.Panic _ -> ()
+        | _ -> Alcotest.fail "expected a panic");
+    Alcotest.test_case "struct fields" `Quick (fun () ->
+        let r =
+          Interp.run_source
+            "struct P { a: i32, b: i32 }\nfn f() -> i32 { let p = P { a: 3, b: 4 }; p.a + p.b }"
+            "f" []
+        in
+        Alcotest.(check bool) "7" true (Interp.value_eq r (vint 7)));
+    Alcotest.test_case "early return" `Quick (fun () ->
+        let r =
+          Interp.run_source
+            "fn f(x: i32) -> i32 { if x < 0 { return 0 - x; } x * 2 }" "f"
+            [ vint (-5) ]
+        in
+        Alcotest.(check bool) "5" true (Interp.value_eq r (vint 5)));
+    Alcotest.test_case "short-circuit avoids the panic" `Quick (fun () ->
+        let r =
+          Interp.run_source
+            "fn f(v: &RVec<i32>, i: usize) -> bool { i < v.len() && 0 < *v.get(i) }"
+            "f"
+            [ vref (ivec [ 1 ]); vint 7 ]
+        in
+        Alcotest.(check bool) "false without panic" true
+          (Interp.value_eq r (Interp.VBool false)));
+    Alcotest.test_case "fuel bounds divergence" `Quick (fun () ->
+        match
+          Interp.run_source ~fuel:1000 "fn f() { while true { } }" "f" []
+        with
+        | exception Interp.Out_of_fuel -> ()
+        | _ -> Alcotest.fail "expected to run out of fuel");
+  ]
+
+(* ---------------- benchmark behaviour ---------------- *)
+
+let bench_tests =
+  [
+    Alcotest.test_case "bsearch agrees with linear search" `Quick (fun () ->
+        let b = Option.get (Workloads.find "bsearch") in
+        let sorted = [ 2; 4; 6; 8; 10; 12 ] in
+        List.iter
+          (fun k ->
+            let expected =
+              match List.find_index (fun x -> x = k) sorted with
+              | Some i -> i
+              | None -> List.length sorted
+            in
+            let r =
+              run "bsearch" b.Workloads.bm_flux "bsearch"
+                [ vint k; vref (ivec sorted) ]
+            in
+            (* any position with the right element is acceptable, or len *)
+            match r with
+            | Interp.VInt i when i = expected -> ()
+            | Interp.VInt i
+              when i < List.length sorted && List.nth sorted i = k ->
+                ()
+            | Interp.VInt i when i = List.length sorted && not (List.mem k sorted)
+              ->
+                ()
+            | v ->
+                Alcotest.failf "bsearch %d -> %s" k
+                  (Format.asprintf "%a" Interp.pp_value v))
+          [ 2; 5; 12; 13; 1 ]);
+    Alcotest.test_case "heapsort sorts" `Quick (fun () ->
+        let b = Option.get (Workloads.find "heapsort") in
+        let v = Interp.vec_of_list (List.map vfloat [ 5.0; 1.0; 4.0; 2.0; 3.0 ]) in
+        let _ = run "heapsort" b.Workloads.bm_flux "heapsort" [ vref (Interp.VVec v) ] in
+        for i = 0 to v.Interp.len - 2 do
+          match (Interp.vec_get v i, Interp.vec_get v (i + 1)) with
+          | Interp.VFloat a, Interp.VFloat b ->
+              if a > b then Alcotest.fail "not sorted"
+          | _ -> Alcotest.fail "not floats"
+        done);
+    Alcotest.test_case "kmp finds the needle" `Quick (fun () ->
+        let b = Option.get (Workloads.find "kmp") in
+        let r =
+          run "kmp" b.Workloads.bm_flux "kmp_search"
+            [ vref (ivec [ 9; 9; 1; 2; 3; 9 ]); vref (ivec [ 1; 2; 3 ]) ]
+        in
+        Alcotest.(check bool) "found at 2" true (Interp.value_eq r (vint 2)));
+    Alcotest.test_case "kmp misses gracefully" `Quick (fun () ->
+        let b = Option.get (Workloads.find "kmp") in
+        let r =
+          run "kmp" b.Workloads.bm_flux "kmp_search"
+            [ vref (ivec [ 1; 1; 1 ]); vref (ivec [ 2 ]) ]
+        in
+        Alcotest.(check bool) "returns n" true (Interp.value_eq r (vint 3)));
+    Alcotest.test_case "dotprod computes" `Quick (fun () ->
+        let b = Option.get (Workloads.find "dotprod") in
+        let r =
+          run "dotprod" b.Workloads.bm_flux "dotprod"
+            [ vref (fvec [ 1.0; 2.0 ]); vref (fvec [ 3.0; 4.0 ]) ]
+        in
+        Alcotest.(check bool) "11" true (Interp.value_eq r (vfloat 11.0)));
+    Alcotest.test_case "fft runs in bounds" `Quick (fun () ->
+        let b = Option.get (Workloads.find "fft") in
+        let r = run "fft" b.Workloads.bm_flux "fft_test" [ vint 8 ] in
+        Alcotest.(check bool) "size" true (Interp.value_eq r (vint 9)));
+  ]
+
+(* ---------------- stuck freedom (Theorem 3.2, empirically) ---------- *)
+
+(** Random vectors in, no panic out: every benchmark verified by Flux
+    runs without hitting a bounds violation. *)
+let gen_ints = QCheck.Gen.(list_size (int_range 1 12) (int_range (-5) 5))
+let gen_floats =
+  QCheck.Gen.(list_size (int_range 1 10) (map float_of_int (int_range (-9) 9)))
+
+let no_panic f =
+  try
+    ignore (f ());
+    true
+  with
+  | Interp.Panic msg -> QCheck.Test.fail_reportf "panicked: %s" msg
+  | Interp.Out_of_fuel -> true
+
+let stuck_freedom =
+  [
+    QCheck.Test.make ~name:"bsearch never panics" ~count:60
+      (QCheck.make QCheck.Gen.(pair gen_ints (int_range (-10) 10)))
+      (fun (xs, k) ->
+        let b = Option.get (Workloads.find "bsearch") in
+        let sorted = List.sort_uniq compare xs in
+        no_panic (fun () ->
+            run "bsearch" b.Workloads.bm_flux "bsearch"
+              [ vint k; vref (ivec sorted) ]));
+    QCheck.Test.make ~name:"heapsort never panics" ~count:60
+      (QCheck.make gen_floats) (fun xs ->
+        let b = Option.get (Workloads.find "heapsort") in
+        no_panic (fun () ->
+            run "heapsort" b.Workloads.bm_flux "heapsort"
+              [ vref (fvec xs) ]));
+    QCheck.Test.make ~name:"kmp never panics" ~count:60
+      (QCheck.make QCheck.Gen.(pair gen_ints gen_ints))
+      (fun (text, pat) ->
+        let b = Option.get (Workloads.find "kmp") in
+        let pat = match pat with [] -> [ 1 ] | p -> p in
+        no_panic (fun () ->
+            run "kmp" b.Workloads.bm_flux "kmp_search"
+              [ vref (ivec text); vref (ivec pat) ]));
+    QCheck.Test.make ~name:"kmeans never panics" ~count:20
+      (QCheck.make QCheck.Gen.(pair (int_range 1 4) (int_range 1 4)))
+      (fun (n, k) ->
+        let b = Option.get (Workloads.find "kmeans") in
+        let point i = fvec (List.init n (fun j -> float_of_int ((i * j) mod 5))) in
+        let centers = Interp.vec_of_list (List.init k point) in
+        let points = Interp.vec_of_list (List.init 6 point) in
+        no_panic (fun () ->
+            run "kmeans" b.Workloads.bm_flux "kmeans"
+              [
+                vint n;
+                vref (Interp.VVec centers);
+                vref (Interp.VVec points);
+                vint 3;
+              ]));
+    QCheck.Test.make ~name:"fft never panics" ~count:20
+      (QCheck.make QCheck.Gen.(int_range 2 32))
+      (fun n ->
+        let b = Option.get (Workloads.find "fft") in
+        no_panic (fun () -> run "fft" b.Workloads.bm_flux "fft_test" [ vint n ]));
+  ]
+
+let tests =
+  ( "interp",
+    unit_tests @ bench_tests @ List.map QCheck_alcotest.to_alcotest stuck_freedom
+  )

@@ -1,0 +1,60 @@
+(** Tests for the Table 1 line-accounting rules. *)
+
+module Loc = Flux_workloads.Loc
+module Workloads = Flux_workloads.Workloads
+
+let count_eq name src ~loc ~spec ~annot =
+  Alcotest.test_case name `Quick (fun () ->
+      let c = Loc.count src in
+      Alcotest.(check int) "loc" loc c.Loc.loc;
+      Alcotest.(check int) "spec" spec c.Loc.spec;
+      Alcotest.(check int) "annot" annot c.Loc.annot)
+
+let tests =
+  ( "loc",
+    [
+      count_eq "blank and comments ignored" "\n// comment\n  \nfn f() {}\n"
+        ~loc:1 ~spec:0 ~annot:0;
+      count_eq "attribute lines are spec"
+        "#[lr::sig(fn(i32) -> i32)]\nfn f(x: i32) -> i32 { x }" ~loc:1 ~spec:1
+        ~annot:0;
+      count_eq "multi-line attribute"
+        "#[lr::sig(fn(i32) -> i32\n          requires 0 < n)]\nfn f(x: i32) -> i32 { x }"
+        ~loc:1 ~spec:2 ~annot:0;
+      count_eq "body_invariant is annot"
+        "fn f() {\n    while true {\n        body_invariant!(true);\n    }\n}"
+        ~loc:4 ~annot:1 ~spec:0;
+      Alcotest.test_case "benchmark spec asymmetry (paper §5.2)" `Quick
+        (fun () ->
+          (* across the whole suite, the Prusti versions need roughly 2x
+             the specification lines of the Flux versions *)
+          let fs, ps =
+            List.fold_left
+              (fun (f, p) (b : Workloads.benchmark) ->
+                ( f + (Loc.count b.Workloads.bm_flux).Loc.spec,
+                  p + (Loc.count b.Workloads.bm_prusti).Loc.spec ))
+              (0, 0) Workloads.all
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "prusti spec (%d) > flux spec (%d)" ps fs)
+            true (ps > fs));
+      Alcotest.test_case "flux sources carry zero annotations" `Quick
+        (fun () ->
+          List.iter
+            (fun (b : Workloads.benchmark) ->
+              Alcotest.(check int)
+                (b.Workloads.bm_name ^ " flux annot")
+                0
+                (Loc.count b.Workloads.bm_flux).Loc.annot)
+            Workloads.all);
+      Alcotest.test_case "prusti sources carry annotations" `Quick (fun () ->
+          let total =
+            List.fold_left
+              (fun a (b : Workloads.benchmark) ->
+                a + (Loc.count b.Workloads.bm_prusti).Loc.annot)
+              0 Workloads.all
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "total annot lines = %d" total)
+            true (total >= 30));
+    ] )

@@ -1,0 +1,202 @@
+(** Tests for MIR lowering: CFG structure, desugaring of method calls
+    and short-circuit operators, and the liveness analysis. *)
+
+open Flux_syntax
+module Ir = Flux_mir.Ir
+module Lower = Flux_mir.Lower
+module Liveness = Flux_mir.Liveness
+
+let lower_fn src name =
+  let prog = Parser.parse_program src in
+  Typeck.check_program prog;
+  match List.assoc_opt name (Lower.lower_program prog) with
+  | Some b -> b
+  | None -> Alcotest.failf "no body for %s" name
+
+let count_calls (b : Ir.body) pred =
+  Array.fold_left
+    (fun acc blk ->
+      match blk.Ir.term with
+      | Ir.TCall { tc_func; _ } when pred tc_func -> acc + 1
+      | _ -> acc)
+    0 b.Ir.mb_blocks
+
+let test_loop_shape () =
+  let b =
+    lower_fn "fn f(n: usize) { let mut i = 0; while i < n { i += 1; } }" "f"
+  in
+  let heads =
+    Array.to_list b.Ir.mb_loop_heads |> List.filter (fun x -> x) |> List.length
+  in
+  Alcotest.(check int) "one loop head" 1 heads
+
+let test_method_desugar () =
+  let b =
+    lower_fn
+      "fn f() -> usize { let mut v: RVec<i32> = RVec::new(); v.push(1); v.len() }"
+      "f"
+  in
+  Alcotest.(check int) "push call" 1 (count_calls b (String.equal "RVec::push"));
+  Alcotest.(check int) "len call" 1 (count_calls b (String.equal "RVec::len"));
+  Alcotest.(check int) "new call" 1 (count_calls b (String.equal "RVec::new"));
+  (* the push receiver must be a mutable borrow temp *)
+  let has_mut_borrow =
+    Array.exists
+      (fun blk ->
+        List.exists
+          (function
+            | Ir.SAssign (_, Ir.RRef (Ast.Mut, _), _) -> true
+            | _ -> false)
+          blk.Ir.stmts)
+      b.Ir.mb_blocks
+  in
+  Alcotest.(check bool) "mutable borrow temp" true has_mut_borrow
+
+let test_short_circuit () =
+  (* i < v.len() && *v.get(i) > 0 must not evaluate get before the
+     length check: the get call must be dominated by the comparison *)
+  let b =
+    lower_fn
+      "fn f(v: &RVec<i32>, i: usize) -> bool { i < v.len() && 0 < *v.get(i) }"
+      "f"
+  in
+  (* there must be at least two switches (one per conjunct path) *)
+  let switches =
+    Array.fold_left
+      (fun acc blk ->
+        match blk.Ir.term with Ir.TSwitch _ -> acc + 1 | _ -> acc)
+      0 b.Ir.mb_blocks
+  in
+  Alcotest.(check bool) "branching for &&" true (switches >= 2)
+
+let test_early_return () =
+  let b = lower_fn "fn f(x: i32) -> i32 { if x < 0 { return 0; } x }" "f" in
+  let returns =
+    Array.fold_left
+      (fun acc blk ->
+        match blk.Ir.term with Ir.TReturn -> acc + 1 | _ -> acc)
+      0 b.Ir.mb_blocks
+  in
+  Alcotest.(check bool) "two returns" true (returns >= 2)
+
+let test_invariant_in_header () =
+  let b =
+    lower_fn
+      "fn f(n: usize) { let mut i = 0; while i < n { body_invariant!(i <= n); i += 1; } }"
+      "f"
+  in
+  let found = ref false in
+  Array.iteri
+    (fun bb blk ->
+      if b.Ir.mb_loop_heads.(bb) then
+        List.iter
+          (function Ir.SInvariant _ -> found := true | _ -> ())
+          blk.Ir.stmts)
+    b.Ir.mb_blocks;
+  Alcotest.(check bool) "invariant hoisted to header" true !found
+
+let test_autoderef_receiver () =
+  (* calling a method on a &mut parameter reborrows *x *)
+  let b = lower_fn "fn f(v: &mut RVec<f32>) -> usize { v.len() }" "f" in
+  let reborrows =
+    Array.exists
+      (fun blk ->
+        List.exists
+          (function
+            | Ir.SAssign (_, Ir.RRef (_, p), _) -> p.Ir.projs = [ Ir.PDeref ]
+            | _ -> false)
+          blk.Ir.stmts)
+      b.Ir.mb_blocks
+  in
+  Alcotest.(check bool) "reborrow through deref" true reborrows
+
+let test_liveness () =
+  let b =
+    lower_fn
+      "fn f(n: usize) -> usize {\n\
+      \  let mut acc = 0;\n\
+      \  let dead = 17;\n\
+      \  let mut i = 0;\n\
+      \  while i < n { acc += 1; i += 1; }\n\
+      \  acc\n\
+       }"
+      "f"
+  in
+  let live = Liveness.compute b in
+  (* find the loop head and the locals by name *)
+  let local_of name =
+    let r = ref (-1) in
+    Array.iteri (fun i d -> if d.Ir.ld_name = name then r := i) b.Ir.mb_locals;
+    !r
+  in
+  let head = ref (-1) in
+  Array.iteri (fun i h -> if h then head := i) b.Ir.mb_loop_heads;
+  let at_head = Liveness.live_at live ~block:!head in
+  Alcotest.(check bool) "acc live at loop" true at_head.(local_of "acc");
+  Alcotest.(check bool) "i live at loop" true at_head.(local_of "i");
+  Alcotest.(check bool) "dead not live" false at_head.(local_of "dead")
+
+let test_rpo () =
+  let b =
+    lower_fn "fn f(n: usize) { let mut i = 0; while i < n { i += 1; } }" "f"
+  in
+  let rpo = Ir.reverse_postorder b in
+  Alcotest.(check int) "covers all blocks" (Array.length b.Ir.mb_blocks)
+    (List.length rpo);
+  Alcotest.(check int) "starts at entry" 0 (List.hd rpo)
+
+let test_place_ty () =
+  let src =
+    "struct P { v: RVec<f32> }\nfn f(p: &mut P) -> usize { p.v.len() }"
+  in
+  let prog = Parser.parse_program src in
+  Typeck.check_program prog;
+  let b = List.assoc "f" (Lower.lower_program prog) in
+  let ty =
+    Ir.place_ty prog b { Ir.base = 1; Ir.projs = [ Ir.PDeref; Ir.PField "v" ] }
+  in
+  Alcotest.(check bool) "field type" true (Ast.ty_equal ty (Ast.TVec Ast.TFloat))
+
+let test_dominators () =
+  let b =
+    lower_fn
+      "fn f(n: usize) {\n\
+      \  let mut i = 0;\n\
+      \  while i < n {\n\
+      \    let mut j = 0;\n\
+      \    while j < n { j += 1; }\n\
+      \    i += 1;\n\
+      \  }\n\
+       }"
+      "f"
+  in
+  let dom = Ir.dominators b in
+  (* the entry dominates everything *)
+  Array.iteri
+    (fun i di ->
+      ignore i;
+      Alcotest.(check bool) "entry dominates" true di.(0))
+    dom;
+  (* every loop head dominates its back-edge sources *)
+  let preds = Ir.predecessors b in
+  Array.iteri
+    (fun h is_head ->
+      if is_head then
+        let back = List.filter (fun p -> dom.(p).(h)) preds.(h) in
+        Alcotest.(check bool) "has a dominated back edge" true (back <> []))
+    b.Ir.mb_loop_heads
+
+let tests =
+  ( "mir",
+    [
+      Alcotest.test_case "loop shape" `Quick test_loop_shape;
+      Alcotest.test_case "method desugaring" `Quick test_method_desugar;
+      Alcotest.test_case "short-circuit &&" `Quick test_short_circuit;
+      Alcotest.test_case "early return" `Quick test_early_return;
+      Alcotest.test_case "invariants in loop header" `Quick test_invariant_in_header;
+      Alcotest.test_case "receiver autoderef" `Quick test_autoderef_receiver;
+      Alcotest.test_case "liveness" `Quick test_liveness;
+      Alcotest.test_case "reverse postorder" `Quick test_rpo;
+      Alcotest.test_case "place types" `Quick test_place_ty;
+      Alcotest.test_case "dominators" `Quick test_dominators;
+    ] )

@@ -1,0 +1,209 @@
+(** Unit and property tests for the SMT substrate. *)
+
+open Flux_smt
+
+let v = Term.var
+let x = v "x"
+let y = v "y"
+let z = v "z"
+let n = v "n"
+
+let check_valid name expected t =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expected (Solver.valid t))
+
+let check_sat name expected t =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool) name expected (Solver.sat t))
+
+let unit_tests =
+  [
+    (* propositional *)
+    check_valid "excluded middle" true Term.(mk_or [ le x y; gt x y ]);
+    check_valid "contradiction invalid" false Term.(mk_and [ le x y; gt x y ]);
+    check_sat "simple sat" true Term.(lt x y);
+    check_sat "x<y && y<x unsat" false Term.(mk_and [ lt x y; lt y x ]);
+    (* transitivity *)
+    check_valid "lt-le transitivity" true
+      Term.(mk_imp (mk_and [ lt x y; le y n ]) (lt x n));
+    check_valid "not symmetric" false Term.(mk_imp (lt x y) (lt y x));
+    (* integer tightening *)
+    check_valid "0<x<2 => x=1" true
+      Term.(mk_imp (mk_and [ lt (int 0) x; lt x (int 2) ]) (eq x (int 1)));
+    check_valid "strict to nonstrict" true
+      Term.(mk_imp (lt x y) (le (add x (int 1)) y));
+    check_sat "no integer between" false
+      Term.(mk_and [ lt (int 0) x; lt x (int 1) ]);
+    (* equalities and disequalities *)
+    check_valid "eq substitution" true
+      Term.(mk_imp (mk_and [ eq x y; lt y z ]) (lt x z));
+    check_valid "diseq split" true
+      Term.(mk_imp (mk_and [ ne x y; ge x y ]) (gt x y));
+    check_sat "x!=x unsat" false Term.(ne x x);
+    (* division linearization *)
+    check_valid "midpoint lower" true
+      Term.(
+        mk_imp
+          (mk_and [ le x y; le (int 0) x ])
+          (le x (add x (div (sub y x) (int 2)))));
+    check_valid "midpoint strict upper" true
+      Term.(
+        mk_imp
+          (mk_and [ lt x y; le (int 0) x ])
+          (lt (add x (div (sub y x) (int 2))) y));
+    check_valid "halving positive" true
+      Term.(mk_imp (ge x (int 0)) (ge (div x (int 2)) (int 0)));
+    check_valid "div by 2 bound" true
+      Term.(mk_imp (gt x (int 0)) (lt (div x (int 2)) x));
+    (* modulo *)
+    check_valid "mod range" true
+      Term.(
+        mk_imp (ge x (int 0))
+          (mk_and [ le (int 0) (md x (int 3)); lt (md x (int 3)) (int 3) ]));
+    (* booleans *)
+    check_valid "bool hypothesis" true
+      Term.(mk_imp (mk_and [ bvar "b"; mk_imp (bvar "b") (lt x y) ]) (le x y));
+    check_valid "iff reasoning" true
+      Term.(mk_imp (mk_and [ mk_iff (bvar "b") (lt x y); bvar "b" ]) (lt x y));
+    (* uninterpreted functions: Ackermann congruence *)
+    check_valid "congruence" true
+      Term.(mk_imp (eq x y) (eq (app "f" [ x ]) (app "f" [ y ])));
+    check_valid "no spurious congruence" false
+      Term.(eq (app "f" [ x ]) (app "f" [ y ]));
+    check_valid "congruence 2-ary" true
+      Term.(
+        mk_imp
+          (mk_and [ eq x y; eq z n ])
+          (eq (app "g" [ x; z ]) (app "g" [ y; n ])));
+    (* nonlinear abstraction is sound: x*y = x*y *)
+    check_valid "nonlinear reflexivity" true Term.(eq (mul x y) (mul x y));
+    check_valid "nonlinear unknown" false Term.(ge (mul x x) (int 0));
+    (* constant times variable stays linear *)
+    check_valid "2x <= 2y from x<=y" true
+      Term.(mk_imp (le x y) (le (mul (int 2) x) (mul (int 2) y)));
+    (* floats are opaque but consistent *)
+    check_valid "float branch consistency" true
+      Term.(
+        mk_imp
+          (mk_and [ Cmp (Lt, real 1.0, v ~sort:Sort.Real "f"); lt x y ])
+          (lt x y));
+    (* ite lifting: z = min(x,y) implies z <= x *)
+    check_valid "ite" true
+      Term.(mk_imp (eq z (ite (lt x y) x y)) (mk_and [ le z x; le z y ]));
+    (* entailment interface *)
+    Alcotest.test_case "entails" `Quick (fun () ->
+        Alcotest.(check bool) "yes" true
+          (Solver.entails Term.[ le x y; le y z ] Term.(le x z));
+        Alcotest.(check bool)
+          "sliced" true
+          (Solver.entails_sliced
+             Term.[ le x y; le y z; lt n (int 0) ]
+             Term.(le x z)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: agreement with brute-force evaluation               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_term : Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ x; y; z ] in
+  let atomg =
+    let* a = var in
+    let* b = var in
+    let* c = int_range (-3) 3 in
+    let lhs = Term.add a (Term.int c) in
+    oneofl
+      [ Term.lt lhs b; Term.le lhs b; Term.eq lhs b; Term.ne lhs b; Term.ge lhs b ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then atomg
+      else
+        frequency
+          [
+            (3, atomg);
+            ( 2,
+              map2
+                (fun a b -> Term.mk_and [ a; b ])
+                (self (depth - 1)) (self (depth - 1)) );
+            ( 2,
+              map2
+                (fun a b -> Term.mk_or [ a; b ])
+                (self (depth - 1)) (self (depth - 1)) );
+            (1, map Term.mk_not (self (depth - 1)));
+            (1, map2 Term.mk_imp (self (depth - 1)) (self (depth - 1)));
+          ])
+    3
+
+let rec eval_term (env : (string * int) list) (t : Term.t) : int =
+  match t with
+  | Term.Var (s, _) -> List.assoc s env
+  | Term.Int k -> k
+  | Term.Binop (Term.Add, a, b) -> eval_term env a + eval_term env b
+  | Term.Binop (Term.Sub, a, b) -> eval_term env a - eval_term env b
+  | Term.Binop (Term.Mul, a, b) -> eval_term env a * eval_term env b
+  | Term.Neg a -> -eval_term env a
+  | _ -> failwith "eval_term"
+
+let rec eval_pred (env : (string * int) list) (t : Term.t) : bool =
+  match t with
+  | Term.Bool b -> b
+  | Term.Cmp (op, a, b) -> (
+      let a = eval_term env a and b = eval_term env b in
+      match op with
+      | Term.Lt -> a < b
+      | Term.Le -> a <= b
+      | Term.Gt -> a > b
+      | Term.Ge -> a >= b)
+  | Term.Eq (a, b) -> eval_term env a = eval_term env b
+  | Term.Ne (a, b) -> eval_term env a <> eval_term env b
+  | Term.And ts -> List.for_all (eval_pred env) ts
+  | Term.Or ts -> List.exists (eval_pred env) ts
+  | Term.Not a -> not (eval_pred env a)
+  | Term.Imp (a, b) -> (not (eval_pred env a)) || eval_pred env b
+  | Term.Iff (a, b) -> eval_pred env a = eval_pred env b
+  | _ -> failwith "eval_pred"
+
+let cube =
+  let range = [ -2; -1; 0; 1; 2; 3 ] in
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b -> List.map (fun c -> [ ("x", a); ("y", b); ("z", c) ]) range)
+        range)
+    range
+
+let prop_validity_sound =
+  QCheck.Test.make ~name:"valid formulas have no small counterexample"
+    ~count:300 (QCheck.make gen_term) (fun t ->
+      if Solver.valid t then List.for_all (fun env -> eval_pred env t) cube
+      else true)
+
+let prop_unsat_sound =
+  QCheck.Test.make ~name:"unsat formulas have no small model" ~count:300
+    (QCheck.make gen_term) (fun t ->
+      if not (Solver.sat t) then
+        List.for_all (fun env -> not (eval_pred env t)) cube
+      else true)
+
+let prop_negation =
+  QCheck.Test.make ~name:"valid t implies unsat (not t)" ~count:200
+    (QCheck.make gen_term) (fun t ->
+      if Solver.valid t then not (Solver.sat (Term.mk_not t)) else true)
+
+let prop_subst_ground =
+  QCheck.Test.make ~name:"ground substitution agrees with evaluation"
+    ~count:300 (QCheck.make gen_term) (fun t ->
+      let env = [ ("x", 1); ("y", -2); ("z", 3) ] in
+      let m = List.map (fun (s, k) -> (s, Term.int k)) env in
+      match Term.subst m t with
+      | Term.Bool b -> b = eval_pred env t
+      | t' -> Solver.valid t' = eval_pred env t)
+
+let tests =
+  ( "smt",
+    unit_tests
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_validity_sound; prop_unsat_sound; prop_negation; prop_subst_ground ]
+  )

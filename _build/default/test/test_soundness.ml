@@ -1,0 +1,208 @@
+(** A differential soundness fuzzer for the checker (the executable
+    counterpart of Theorem 3.2).
+
+    We generate random well-typed programs in the Rust subset that
+    manipulate vectors with arbitrary (possibly out-of-bounds) index
+    arithmetic, run the Flux checker on them, and for every program the
+    checker ACCEPTS we execute it on many random inputs: a bounds panic
+    is a soundness bug and fails the test. (Programs the checker
+    rejects are fine — the checker is deliberately incomplete.)
+
+    The generator is biased to produce both safe access patterns
+    (guarded by comparisons against [len]) and unsafe ones, so a
+    meaningful fraction of programs lands on each side. *)
+
+open Flux_interp
+module Checker = Flux_check.Checker
+
+(* ------------------------------------------------------------------ *)
+(* Program generator                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A tiny AST of generated statements; rendered to source text. The
+    generated function has the shape:
+
+    fn f(v: &mut RVec<i32>, a: usize, b: usize) -> i32 {
+        let mut acc = 0;
+        let mut i = <init>;
+        <stmts, including a while loop over i>
+        acc
+    }
+*)
+type gexpr =
+  | GVar of string
+  | GInt of int
+  | GAdd of gexpr * gexpr
+  | GSub of gexpr * gexpr
+  | GDiv2 of gexpr
+  | GLen  (** v.len() *)
+
+type gcond =
+  | GLt of gexpr * gexpr
+  | GLe of gexpr * gexpr
+
+type gstmt =
+  | GRead of gexpr  (** acc += *v.get(e) *)
+  | GWrite of gexpr  (** *v.get_mut(e) = acc *)
+  | GIncr of string * gexpr
+  | GIf of gcond * gstmt list
+  | GWhile of gcond * gstmt list
+
+let rec render_expr = function
+  | GVar x -> x
+  | GInt n -> string_of_int n
+  | GAdd (a, b) -> Printf.sprintf "(%s + %s)" (render_expr a) (render_expr b)
+  | GSub (a, b) -> Printf.sprintf "(%s - %s)" (render_expr a) (render_expr b)
+  | GDiv2 a -> Printf.sprintf "(%s / 2)" (render_expr a)
+  | GLen -> "v.len()"
+
+let render_cond = function
+  | GLt (a, b) -> Printf.sprintf "%s < %s" (render_expr a) (render_expr b)
+  | GLe (a, b) -> Printf.sprintf "%s <= %s" (render_expr a) (render_expr b)
+
+let rec render_stmt ind (s : gstmt) : string =
+  let pad = String.make ind ' ' in
+  match s with
+  | GRead e -> Printf.sprintf "%sacc = acc + *v.get(%s);" pad (render_expr e)
+  | GWrite e -> Printf.sprintf "%s*v.get_mut(%s) = acc;" pad (render_expr e)
+  | GIncr (x, e) -> Printf.sprintf "%s%s = %s + %s;" pad x x (render_expr e)
+  | GIf (c, body) ->
+      Printf.sprintf "%sif %s {\n%s\n%s}" pad (render_cond c)
+        (String.concat "\n" (List.map (render_stmt (ind + 4)) body))
+        pad
+  | GWhile (c, body) ->
+      Printf.sprintf "%swhile %s {\n%s\n%s}" pad (render_cond c)
+        (String.concat "\n" (List.map (render_stmt (ind + 4)) body))
+        pad
+
+let render_program (stmts : gstmt list) : string =
+  Printf.sprintf
+    "fn f(v: &mut RVec<i32>, a: usize, b: usize) -> i32 {\n\
+    \    let mut acc = 0;\n\
+    \    let mut i = 0;\n\
+     %s\n\
+    \    acc\n\
+     }"
+    (String.concat "\n" (List.map (render_stmt 4) stmts))
+
+let gen_program : gstmt list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let base_expr =
+    frequency
+      [
+        (3, return (GVar "i"));
+        (2, return (GVar "a"));
+        (1, return (GVar "b"));
+        (2, map (fun n -> GInt n) (int_range 0 3));
+        (1, return GLen);
+      ]
+  in
+  let expr =
+    frequency
+      [
+        (4, base_expr);
+        (2, map2 (fun a b -> GAdd (a, b)) base_expr base_expr);
+        (2, map2 (fun a b -> GSub (a, b)) base_expr base_expr);
+        (1, map (fun a -> GDiv2 a) base_expr);
+        (1, return (GSub (GLen, GInt 1)));
+      ]
+  in
+  let cond =
+    frequency
+      [
+        (3, map (fun e -> GLt (e, GLen)) expr);
+        (2, map2 (fun a b -> GLt (a, b)) expr expr);
+        (1, map2 (fun a b -> GLe (a, b)) expr expr);
+      ]
+  in
+  let leaf =
+    frequency
+      [
+        (3, map (fun e -> GRead e) expr);
+        (2, map (fun e -> GWrite e) expr);
+        (2, map (fun e -> GIncr ("i", e)) (oneofl [ GInt 1; GInt 2 ]));
+      ]
+  in
+  let stmt =
+    frequency
+      [
+        (4, leaf);
+        (2, map2 (fun c body -> GIf (c, [ body ])) cond leaf);
+        ( 2,
+          map2
+            (fun c body -> GWhile (GLt (GVar "i", GLen), [ body; GIncr ("i", c) ]))
+            (oneofl [ GInt 1; GInt 2 ])
+            leaf );
+      ]
+  in
+  list_size (int_range 1 5) stmt
+
+(* ------------------------------------------------------------------ *)
+(* The oracle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let runs_without_panic (src : string) : bool =
+  let prog = Flux_syntax.Parser.parse_program src in
+  Flux_syntax.Typeck.check_program prog;
+  let inputs =
+    [
+      ([], 0, 0);
+      ([ 1 ], 0, 1);
+      ([ 1; 2; 3 ], 1, 2);
+      ([ 5; 4; 3; 2; 1 ], 4, 0);
+      ([ 0 ], 7, 9);
+      ([ 2; 2 ], 2, 2);
+      ([ 1; 2; 3; 4; 5; 6; 7 ], 3, 6);
+    ]
+  in
+  List.for_all
+    (fun (xs, a, b) ->
+      let vec =
+        Interp.VVec (Interp.vec_of_list (List.map (fun n -> Interp.VInt n) xs))
+      in
+      match
+        Interp.run_fn ~fuel:200_000 prog "f"
+          [ Interp.VRefCell (ref vec); Interp.VInt a; Interp.VInt b ]
+      with
+      | _ -> true
+      | exception Interp.Out_of_fuel -> true
+      | exception Interp.Panic _ -> false)
+    inputs
+
+let accepted_by_flux (src : string) : bool =
+  try Checker.report_ok (Checker.check_source src)
+  with Checker.Check_error _ | Flux_rtype.Rty.Type_error _ -> false
+
+let soundness_prop =
+  QCheck.Test.make ~name:"accepted random programs never panic" ~count:150
+    (QCheck.make ~print:render_program gen_program) (fun stmts ->
+      let src = render_program stmts in
+      if accepted_by_flux src then
+        if runs_without_panic src then true
+        else
+          QCheck.Test.fail_reportf
+            "SOUNDNESS BUG: flux accepted a panicking program:@.%s" src
+      else true (* rejection is always allowed *))
+
+(** Sanity meta-test: the generator must produce a healthy mix of
+    accepted and rejected programs, otherwise the property above is
+    vacuous. *)
+let generator_mix () =
+  let st = Random.State.make [| 42 |] in
+  let accepted = ref 0 and rejected = ref 0 in
+  for _ = 1 to 60 do
+    let stmts = QCheck.Gen.generate1 ~rand:st gen_program in
+    let src = render_program stmts in
+    if accepted_by_flux src then incr accepted else incr rejected
+  done;
+  if !accepted < 3 then
+    Alcotest.failf "generator too hostile: only %d/60 accepted" !accepted;
+  if !rejected < 3 then
+    Alcotest.failf "generator too tame: only %d/60 rejected" !rejected
+
+let tests =
+  ( "soundness-fuzz",
+    [
+      Alcotest.test_case "generator produces a mix" `Slow generator_mix;
+      QCheck_alcotest.to_alcotest soundness_prop;
+    ] )

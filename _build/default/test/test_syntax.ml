@@ -1,0 +1,199 @@
+(** Tests for the frontend: lexer, parser, specification parsing, and
+    the unrefined typechecker. *)
+
+open Flux_syntax
+
+let parse_ok name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let prog = Parser.parse_program src in
+      Typeck.check_program prog;
+      Alcotest.(check bool) "parsed" true (List.length prog > 0))
+
+let parse_fails name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match
+        (try
+           let prog = Parser.parse_program src in
+           Typeck.check_program prog;
+           `Ok
+         with
+        | Parser.Error _ | Lexer.Error _ -> `ParseError
+        | Typeck.Error _ -> `TypeError)
+      with
+      | `Ok -> Alcotest.fail "expected a frontend error"
+      | `ParseError | `TypeError -> ())
+
+let lexer_tests =
+  [
+    Alcotest.test_case "tokens" `Quick (fun () ->
+        let toks = Lexer.tokenize "fn f(x: i32) -> bool { x <= 0 }" in
+        Alcotest.(check int) "count" 15 (Array.length toks));
+    Alcotest.test_case "attribute capture" `Quick (fun () ->
+        let toks = Lexer.tokenize "#[lr::sig(fn(i32<@n>) -> bool<0 < n>)] fn f() {}" in
+        match toks.(0) with
+        | Token.ATTR raw, _ ->
+            Alcotest.(check string) "raw" "lr::sig(fn(i32<@n>) -> bool<0 < n>)" raw
+        | _ -> Alcotest.fail "expected an attribute token");
+    Alcotest.test_case "nested attribute brackets" `Quick (fun () ->
+        let toks = Lexer.tokenize "#[outer(a[b[c]])] fn f() {}" in
+        match toks.(0) with
+        | Token.ATTR raw, _ -> Alcotest.(check string) "raw" "outer(a[b[c]])" raw
+        | _ -> Alcotest.fail "expected an attribute token");
+    Alcotest.test_case "comments" `Quick (fun () ->
+        let toks = Lexer.tokenize "// line\n/* block\n */ fn" in
+        Alcotest.(check int) "only fn+eof" 2 (Array.length toks));
+    Alcotest.test_case "float vs method" `Quick (fun () ->
+        let toks = Lexer.tokenize "1.5 x.len" in
+        (match toks.(0) with
+        | Token.FLOAT f, _ -> Alcotest.(check (float 0.0001)) "float" 1.5 f
+        | _ -> Alcotest.fail "expected float");
+        match toks.(2) with
+        | Token.DOT, _ -> ()
+        | t, _ -> Alcotest.failf "expected dot, got %s" (Token.to_string t));
+    Alcotest.test_case "int suffix" `Quick (fun () ->
+        let toks = Lexer.tokenize "1usize 2i32" in
+        match (toks.(0), toks.(1)) with
+        | (Token.INT 1, _), (Token.INT 2, _) -> ()
+        | _ -> Alcotest.fail "suffixed ints");
+    Alcotest.test_case "operators" `Quick (fun () ->
+        let toks = Lexer.tokenize "==> => == = <= < >= >" in
+        let expect =
+          Token.[ IMPLIES; FATARROW; EQEQ; EQ; LE; LT; GE; GT; EOF ]
+        in
+        Alcotest.(check int) "count" (List.length expect) (Array.length toks);
+        List.iteri
+          (fun i t -> Alcotest.(check bool) "tok" true (fst toks.(i) = t))
+          expect);
+  ]
+
+let parser_tests =
+  [
+    parse_ok "minimal fn" "fn f() {}";
+    parse_ok "params and return" "fn f(x: i32, y: bool) -> i32 { x }";
+    parse_ok "let and while"
+      "fn f(n: usize) -> usize { let mut i = 0; while i < n { i += 1; } i }";
+    parse_ok "if else chain"
+      "fn f(x: i32) -> i32 { if x < 0 { -x } else if x == 0 { 1 } else { x } }";
+    parse_ok "vector methods"
+      "fn f() -> usize { let mut v: RVec<i32> = RVec::new(); v.push(1); v.len() }";
+    parse_ok "nested generics" "fn f(v: &RVec<RVec<f32>>) -> usize { v.len() }";
+    parse_ok "struct and impl"
+      "struct P { x: i32, y: i32 }\n\
+       impl P { fn get_x(&self) -> i32 { self.x } }\n\
+       fn mk() -> P { P { x: 1, y: 2 } }";
+    parse_ok "struct field shorthand" "struct P { x: i32 }\nfn mk(x: i32) -> P { P { x } }";
+    parse_ok "early return" "fn f(x: i32) -> i32 { if x < 0 { return 0; } x }";
+    parse_ok "break" "fn f() { let mut i = 0; while true { i += 1; break; } }";
+    parse_ok "deref store"
+      "fn f(v: &mut RVec<f32>) { if 0 < v.len() { *v.get_mut(0) = 1.0; } }";
+    parse_ok "unary and precedence" "fn f(a: bool, b: bool) -> bool { !a && b || a }";
+    parse_ok "trusted decl" "#[lr::trusted]\nfn ext(x: i32) -> f32;";
+    parse_fails "missing semicolon" "fn f() { let x = 1 let y = 2; }";
+    parse_fails "unknown variable" "fn f() -> i32 { y }";
+    parse_fails "bad call arity" "fn g(x: i32) {}\nfn f() { g(1, 2); }";
+    parse_fails "type mismatch" "fn f() -> i32 { true }";
+    parse_fails "spec form in code" "fn f() -> bool { forall(|x: usize| true) }";
+    parse_fails "shadowing rejected" "fn f() { let x = 1; let x = 2; }";
+    parse_fails "float index" "fn f(v: &RVec<f32>) -> f32 { *v.get(1.5) }";
+    parse_fails "assign to expression" "fn f() { 1 = 2; }";
+  ]
+
+let spec_tests =
+  [
+    Alcotest.test_case "indexed type" `Quick (fun () ->
+        match Parser.parse_rtype "i32<n+1>" with
+        | Ast.RBase (Ast.RBInt Ast.I32, [ Ast.IxExpr _ ]) -> ()
+        | t -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Ast.pp_rty t));
+    Alcotest.test_case "binder" `Quick (fun () ->
+        match Parser.parse_rtype "usize<@n>" with
+        | Ast.RBase (Ast.RBInt Ast.Usize, [ Ast.IxBinder "n" ]) -> ()
+        | _ -> Alcotest.fail "binder");
+    Alcotest.test_case "existential" `Quick (fun () ->
+        match Parser.parse_rtype "usize{v: v < n}" with
+        | Ast.RExists ("v", Ast.RBInt Ast.Usize, _) -> ()
+        | _ -> Alcotest.fail "existential");
+    Alcotest.test_case "bool with comparison index" `Quick (fun () ->
+        match Parser.parse_rtype "bool<0 < n>" with
+        | Ast.RBase (Ast.RBBool, [ Ast.IxExpr _ ]) -> ()
+        | _ -> Alcotest.fail "bool index");
+    Alcotest.test_case "vector with refined elements" `Quick (fun () ->
+        match Parser.parse_rtype "RVec<usize{v: v < m}, m>" with
+        | Ast.RBase (Ast.RBVec (Ast.RExists _), [ Ast.IxExpr _ ]) -> ()
+        | _ -> Alcotest.fail "vec");
+    Alcotest.test_case "references" `Quick (fun () ->
+        (match Parser.parse_rtype "&mut RVec<f32, n>" with
+        | Ast.RRef (Ast.RMut, _) -> ()
+        | _ -> Alcotest.fail "mut");
+        match Parser.parse_rtype "&strg RVec<T, n>" with
+        | Ast.RRef (Ast.RStrg, _) -> ()
+        | _ -> Alcotest.fail "strg");
+    Alcotest.test_case "fn sig with requires/ensures" `Quick (fun () ->
+        let s =
+          Parser.parse_fn_spec
+            "fn(&strg RVec<T, @n>, T) requires 0 <= n ensures *self: RVec<T, n+1>"
+        in
+        Alcotest.(check int) "args" 2 (List.length s.Ast.fs_args);
+        Alcotest.(check int) "requires" 1 (List.length s.Ast.fs_requires);
+        Alcotest.(check int) "ensures" 1 (List.length s.Ast.fs_ensures));
+    Alcotest.test_case "sig without fn keyword (fig. 4 style)" `Quick (fun () ->
+        let s = Parser.parse_fn_spec "(&RMat<@m, @n>, usize{v: v < m}) -> f32" in
+        Alcotest.(check int) "args" 2 (List.length s.Ast.fs_args));
+    Alcotest.test_case "refined_by attribute" `Quick (fun () ->
+        match Parser.parse_attr "lr::refined_by(m: int, n: int)" with
+        | Some (Parser.ARefinedBy [ ("m", Flux_smt.Sort.Int); ("n", Flux_smt.Sort.Int) ]) ->
+            ()
+        | _ -> Alcotest.fail "refined_by");
+    Alcotest.test_case "prusti requires attr" `Quick (fun () ->
+        match Parser.parse_attr "requires(x.len() == y.len())" with
+        | Some (Parser.ARequires _) -> ()
+        | _ -> Alcotest.fail "requires");
+    Alcotest.test_case "forall spec" `Quick (fun () ->
+        let e =
+          Parser.parse_expression
+            "forall(|x: usize| x < t.len() ==> t.lookup(x) < i)"
+        in
+        match e.Ast.e with
+        | Ast.EForall ([ ("x", Ast.TInt Ast.Usize) ], _) -> ()
+        | _ -> Alcotest.fail "forall");
+  ]
+
+(* round trip: pretty printing a parsed program reparses to the same
+   shape (number of items & function names) *)
+let roundtrip_src name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let prog = Parser.parse_program src in
+      let printed =
+        String.concat "\n"
+          (List.map
+             (fun item ->
+               match item with
+               | Ast.IFn fd -> (
+                   match fd.Ast.fn_body with
+                   | Some body ->
+                       Format.asprintf "fn %s(%s) -> %a %a"
+                         (* method names like A::b cannot be reparsed bare *)
+                         (String.map (fun c -> if c = ':' then '_' else c) fd.Ast.fn_name)
+                         (String.concat ", "
+                            (List.map
+                               (fun (x, t) -> Format.asprintf "%s: %a" x Ast.pp_ty t)
+                               (List.filter (fun (x, _) -> x <> "self") fd.Ast.fn_params)))
+                         Ast.pp_ty fd.Ast.fn_ret Ast.pp_block body
+                   | None -> "")
+               | Ast.IStruct _ -> "")
+             prog)
+      in
+      let reparsed = Parser.parse_program printed in
+      Alcotest.(check int)
+        "same item count"
+        (List.length (Ast.program_fns prog))
+        (List.length (Ast.program_fns reparsed)))
+
+let roundtrip_tests =
+  [
+    roundtrip_src "roundtrip simple"
+      "fn f(n: usize) -> usize { let mut i = 0; while i < n { i += 1; } i }";
+    roundtrip_src "roundtrip branching"
+      "fn f(x: i32) -> i32 { if x < 0 { -x } else { x + 1 } }";
+  ]
+
+let tests = ("syntax", lexer_tests @ parser_tests @ spec_tests @ roundtrip_tests)

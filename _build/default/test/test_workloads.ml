@@ -1,0 +1,82 @@
+(** Integration tests over the Table 1 benchmark suite: every benchmark
+    verifies with Flux (no loop annotations) and with the Prusti-style
+    baseline (with its annotations); seeded off-by-one bugs are caught
+    by both tools. *)
+
+module Checker = Flux_check.Checker
+module Wp = Flux_wp.Wp
+module Workloads = Flux_workloads.Workloads
+
+let flux_ok name =
+  Alcotest.test_case (name ^ " verifies with flux") `Slow (fun () ->
+      let b = Option.get (Workloads.find name) in
+      let r = Checker.check_source b.Workloads.bm_flux in
+      if not (Checker.report_ok r) then
+        Alcotest.failf "flux rejected %s:@.%s" name
+          (String.concat "\n"
+             (List.map
+                (fun e -> Format.asprintf "%a" Checker.pp_error e)
+                (Checker.report_errors r))))
+
+let prusti_ok name =
+  Alcotest.test_case (name ^ " verifies with the baseline") `Slow (fun () ->
+      let b = Option.get (Workloads.find name) in
+      let r = Wp.verify_source b.Workloads.bm_prusti in
+      if not (Wp.report_ok r) then
+        Alcotest.failf "baseline rejected %s:@.%s" name
+          (String.concat "\n"
+             (List.map (fun e -> Format.asprintf "%a" Wp.pp_error e)
+                (Wp.report_errors r))))
+
+(** Seed a bug by textual replacement and expect rejection. *)
+let flux_catches name ~bug:(from_s, to_s) =
+  Alcotest.test_case (name ^ " mutation caught by flux") `Slow (fun () ->
+      let b = Option.get (Workloads.find name) in
+      let src = b.Workloads.bm_flux in
+      (match String.index_opt src 'f' with None -> () | Some _ -> ());
+      let mutated =
+        match Str_replace.first src from_s to_s with
+        | Some s -> s
+        | None -> Alcotest.failf "mutation pattern %S not found" from_s
+      in
+      match Checker.check_source mutated with
+      | r when not (Checker.report_ok r) -> ()
+      | exception Checker.Check_error _ -> ()
+      | exception Flux_rtype.Rty.Type_error _ -> ()
+      | _ -> Alcotest.failf "flux accepted the %s mutation" name)
+
+let names = List.map (fun b -> b.Workloads.bm_name) Workloads.all
+
+module Extra = Flux_workloads.Wl_extra
+
+let extra_ok (e : Extra.extra) =
+  Alcotest.test_case ("extra: " ^ e.Extra.ex_name) `Slow (fun () ->
+      let r = Checker.check_source e.Extra.ex_src in
+      if not (Checker.report_ok r) then
+        Alcotest.failf "flux rejected %s:@.%s" e.Extra.ex_name
+          (String.concat "\n"
+             (List.map
+                (fun er -> Format.asprintf "%a" Checker.pp_error er)
+                (Checker.report_errors r))))
+
+let library_ok name src verify =
+  Alcotest.test_case name `Slow (fun () -> verify src)
+
+let tests =
+  ( "workloads",
+    List.map flux_ok names
+    @ List.map prusti_ok names
+    @ List.map extra_ok Extra.all
+    @ [
+        library_ok "rmat library verifies (Table 1 row)" Workloads.rmat_flux
+          (fun src ->
+            let r = Checker.check_source src in
+            if not (Checker.report_ok r) then Alcotest.fail "rmat_flux rejected");
+        flux_catches "bsearch" ~bug:("while lo < hi", "while lo <= hi");
+        flux_catches "dotprod" ~bug:("i < x.len()", "i <= x.len()");
+        flux_catches "heapsort" ~bug:("let mut end = len - 1;", "let mut end = len;");
+        flux_catches "kmp" ~bug:("t.push(j + 1);", "t.push(j + 2);");
+        flux_catches "kmeans" ~bug:("sums.push(init_zeros(n));", "sums.push(init_zeros(k));");
+        flux_catches "simplex" ~bug:("let mut j = 1;", "let mut j = 0 - 1;");
+        flux_catches "fft" ~bug:("if ip <= n {", "if ip <= n + 1 {");
+      ] )

@@ -1,0 +1,133 @@
+(** Tests for the Prusti-style baseline: annotated programs verify,
+    programs with missing or wrong loop invariants are rejected — the
+    annotation burden the paper measures in §5.3. *)
+
+module Wp = Flux_wp.Wp
+
+let accepts name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let r = Wp.verify_source src in
+      if not (Wp.report_ok r) then
+        Alcotest.failf "expected OK, got:@.%s"
+          (String.concat "\n"
+             (List.map (fun e -> Format.asprintf "%a" Wp.pp_error e)
+                (Wp.report_errors r))))
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Wp.verify_source src with
+      | r when not (Wp.report_ok r) -> ()
+      | exception Wp.Wp_error _ -> ()
+      | _ -> Alcotest.fail "expected the baseline to reject this program")
+
+let tests =
+  ( "wp",
+    [
+      accepts "bounds from a guard"
+        {|fn f(v: &RVec<i32>, i: usize) -> i32 {
+              if i < v.len() { *v.get(i) } else { 0 }
+          }|};
+      rejects "unguarded access"
+        {|fn f(v: &RVec<i32>, i: usize) -> i32 { *v.get(i) }|};
+      accepts "loop with invariant"
+        {|fn sum(v: &RVec<i32>) -> i32 {
+              let mut s = 0;
+              let mut i = 0;
+              while i < v.len() {
+                  body_invariant!(i <= v.len());
+                  s = s + *v.get(i);
+                  i += 1;
+              }
+              s
+          }|};
+      rejects "loop without the invariant fails (annotation burden)"
+        {|fn sum2(v: &RVec<i32>) -> i32 {
+              let mut s = 0;
+              let mut j = v.len();
+              while 0 < j {
+                  j -= 1;
+                  s = s + *v.get(j);
+              }
+              s
+          }|};
+      accepts "the same loop verifies once annotated"
+        {|fn sum2(v: &RVec<i32>) -> i32 {
+              let mut s = 0;
+              let mut j = v.len();
+              while 0 < j {
+                  body_invariant!(j <= v.len());
+                  j -= 1;
+                  s = s + *v.get(j);
+              }
+              s
+          }|};
+      accepts "contracts compose across calls"
+        {|#[requires(i < v.len())]
+          #[ensures(result == v.lookup(i))]
+          fn read(v: &RVec<i32>, i: usize) -> i32 { *v.get(i) }
+          fn client(v: &RVec<i32>) -> i32 {
+              if 0 < v.len() { read(v, 0) } else { 0 }
+          }|};
+      rejects "caller must establish the precondition"
+        {|#[requires(i < v.len())]
+          fn read(v: &RVec<i32>, i: usize) -> i32 { *v.get(i) }
+          fn client(v: &RVec<i32>) -> i32 { read(v, 0) }|};
+      accepts "push axiom: new length"
+        {|fn f() -> i32 {
+              let mut v: RVec<i32> = RVec::new();
+              v.push(7);
+              *v.get(0)
+          }|};
+      accepts "store frame: other slots unchanged"
+        {|#[requires(2 <= v.len())]
+          #[ensures(result == old(v.lookup(1)))]
+          fn f(v: &mut RVec<i32>) -> i32 {
+              *v.get_mut(0) = 9;
+              *v.get(1)
+          }|};
+      accepts "quantified postcondition (kmp-style table)"
+        {|#[requires(0 < n)]
+          #[ensures(result.len() == n)]
+          #[ensures(forall(|x: usize| x < result.len() ==> result.lookup(x) == 0))]
+          fn zeros(n: usize) -> RVec<usize> {
+              let mut t = RVec::new();
+              let mut i = 0;
+              while i < n {
+                  body_invariant!(t.len() == i && i <= n);
+                  body_invariant!(forall(|x: usize| x < t.len() ==> t.lookup(x) == 0));
+                  t.push(0);
+                  i += 1;
+              }
+              t
+          }|};
+      rejects "quantified postcondition without the quantified invariant"
+        {|#[requires(0 < n)]
+          #[ensures(forall(|x: usize| x < result.len() ==> result.lookup(x) == 0))]
+          fn zeros(n: usize) -> RVec<usize> {
+              let mut t = RVec::new();
+              let mut i = 0;
+              while i < n {
+                  body_invariant!(t.len() == i && i <= n);
+                  t.push(0);
+                  i += 1;
+              }
+              t
+          }|};
+      accepts "old() in ensures"
+        {|#[ensures(v.len() == old(v.len()))]
+          fn touch(v: &mut RVec<f32>) {
+              if 0 < v.len() { *v.get_mut(0) = 0.0; }
+          }|};
+      rejects "ensures violated by a push"
+        {|#[ensures(v.len() == old(v.len()))]
+          fn f(v: &mut RVec<f32>) { v.push(1.0); }|};
+      accepts "swap keeps bounds"
+        {|#[requires(2 <= v.len())]
+          fn f(v: &mut RVec<i32>) { v.swap(0, 1); }|};
+      rejects "pop requires non-empty"
+        {|fn f(v: &mut RVec<i32>) -> i32 { v.pop() }|};
+      accepts "assert discharged from facts"
+        {|fn f(n: usize) { if 3 <= n { assert!(2 <= n); } }|};
+      rejects "assert not discharged"
+        {|fn f(n: usize) { assert!(2 <= n); }|};
+    ] )
