@@ -13,18 +13,23 @@
     [bench/main.exe micro] runs Bechamel micro-benchmarks of the
     substrate (one [Test.make] per measured series).
 
-    [bench/main.exe all] runs everything. *)
+    [table1] additionally writes [BENCH_table1.json]: the same rows in
+    machine-readable form, each with the full {!Flux_smt.Profile} dump
+    for that verification run, so the perf trajectory is diffable
+    across PRs. *)
 
 module Checker = Flux_check.Checker
 module Wp = Flux_wp.Wp
 module Workloads = Flux_workloads.Workloads
 module Loc = Flux_workloads.Loc
 module Solver = Flux_smt.Solver
+module Profile = Flux_smt.Profile
 
 let fresh_caches () =
   Solver.clear_cache ();
   Solver.reset_stats ();
-  Flux_fixpoint.Solve.reset_stats ()
+  Flux_fixpoint.Solve.reset_stats ();
+  Profile.reset ()
 
 let time_flux src =
   fresh_caches ();
@@ -38,6 +43,16 @@ let time_prusti src =
   let r = Wp.verify_source src in
   (Unix.gettimeofday () -. t0, Wp.report_ok r)
 
+(* Like [time_flux]/[time_prusti], but also snapshot the profiler
+   (reset by [fresh_caches], so the snapshot covers exactly this run). *)
+let time_flux_prof src =
+  let t, ok = time_flux src in
+  (t, ok, Profile.to_json ())
+
+let time_prusti_prof src =
+  let t, ok = time_prusti src in
+  (t, ok, Profile.to_json ())
+
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -47,10 +62,55 @@ type row = {
   r_flux : Loc.counts;
   r_flux_time : float option;
   r_flux_ok : bool;
+  r_flux_profile : string option;  (** Profile JSON for the flux run *)
   r_prusti : Loc.counts;
   r_prusti_time : float option;
   r_prusti_ok : bool;
+  r_prusti_profile : string option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_table1.json                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_opt_float = function
+  | None -> "null"
+  | Some t -> Printf.sprintf "%.3f" t
+
+let json_opt_raw = function None -> "null" | Some s -> s
+
+let json_side ~(annot : int option) (c : Loc.counts) time ok profile =
+  let annot_field =
+    match annot with None -> "" | Some a -> Printf.sprintf "\"annot\": %d, " a
+  in
+  Printf.sprintf
+    "{\"loc\": %d, \"spec\": %d, %s\"time_s\": %s, \"ok\": %b, \"profile\": %s}"
+    c.Loc.loc c.Loc.spec annot_field (json_opt_float time) ok
+    (json_opt_raw profile)
+
+let json_row (r : row) =
+  Printf.sprintf "    {\"name\": \"%s\", \"flux\": %s, \"prusti\": %s}"
+    r.r_name
+    (json_side ~annot:None r.r_flux r.r_flux_time r.r_flux_ok r.r_flux_profile)
+    (json_side ~annot:(Some r.r_prusti.Loc.annot) r.r_prusti r.r_prusti_time
+       r.r_prusti_ok r.r_prusti_profile)
+
+let write_table1_json ~(rows : row list) ~totals ~claims =
+  let fl, fs, ft, pl, ps, pa, pt = totals in
+  let time_ratio, spec_ratio, annot_pct = claims in
+  let oc = open_out "BENCH_table1.json" in
+  Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map json_row rows));
+  Printf.fprintf oc
+    "  \"totals\": {\"flux\": {\"loc\": %d, \"spec\": %d, \"time_s\": %.3f}, \
+     \"prusti\": {\"loc\": %d, \"spec\": %d, \"annot\": %d, \"time_s\": \
+     %.3f}},\n"
+    fl fs ft pl ps pa pt;
+  Printf.fprintf oc
+    "  \"claims\": {\"time_ratio_prusti_over_flux\": %.2f, \
+     \"spec_ratio_prusti_over_flux\": %.2f, \"annot_pct_of_loc\": %.1f}\n}\n"
+    time_ratio spec_ratio annot_pct;
+  close_out oc
 
 let opt_time = function
   | None -> "    -"
@@ -73,41 +133,51 @@ let table1 () =
   Printf.printf "%s\n" (String.make 72 '-');
   Printf.printf "Library\n";
   let rvec_counts = Loc.count Workloads.rvec_spec in
-  print_row
+  let rvec_row =
     {
       r_name = "RVec";
       r_flux = { rvec_counts with Loc.loc = 0 };
       r_flux_time = None (* built-in / trusted *);
       r_flux_ok = true;
+      r_flux_profile = None;
       r_prusti = { rvec_counts with Loc.loc = 0 };
       r_prusti_time = None;
       r_prusti_ok = true;
-    };
-  let rmat_time, rmat_ok = time_flux Workloads.rmat_flux in
-  print_row
+      r_prusti_profile = None;
+    }
+  in
+  print_row rvec_row;
+  let rmat_time, rmat_ok, rmat_prof = time_flux_prof Workloads.rmat_flux in
+  let rmat_row =
     {
       r_name = "RMat";
       r_flux = Loc.count Workloads.rmat_flux;
       r_flux_time = Some rmat_time;
       r_flux_ok = rmat_ok;
+      r_flux_profile = Some rmat_prof;
       r_prusti = Loc.count Workloads.rmat_prusti;
       r_prusti_time = None (* trusted abstraction in Prusti, §5.2 *);
       r_prusti_ok = true;
-    };
+      r_prusti_profile = None;
+    }
+  in
+  print_row rmat_row;
   Printf.printf "Benchmarks\n";
   let rows =
     List.map
       (fun (b : Workloads.benchmark) ->
-        let ft, fok = time_flux b.Workloads.bm_flux in
-        let pt, pok = time_prusti b.Workloads.bm_prusti in
+        let ft, fok, fprof = time_flux_prof b.Workloads.bm_flux in
+        let pt, pok, pprof = time_prusti_prof b.Workloads.bm_prusti in
         {
           r_name = b.Workloads.bm_name;
           r_flux = Loc.count b.Workloads.bm_flux;
           r_flux_time = Some ft;
           r_flux_ok = fok;
+          r_flux_profile = Some fprof;
           r_prusti = Loc.count b.Workloads.bm_prusti;
           r_prusti_time = Some pt;
           r_prusti_ok = pok;
+          r_prusti_profile = Some pprof;
         })
       Workloads.all
   in
@@ -136,10 +206,18 @@ let table1 () =
      (paper: ~14%% of LOC, ~11%% here depending on counting)\n"
     pa
     (100.0 *. float_of_int pa /. float_of_int pl);
+  write_table1_json
+    ~rows:(rvec_row :: rmat_row :: rows)
+    ~totals:(fl, fs, ft, pl, ps, pa, pt)
+    ~claims:
+      ( pt /. ft,
+        float_of_int ps /. float_of_int fs,
+        100.0 *. float_of_int pa /. float_of_int pl );
+  Printf.printf "\nWrote BENCH_table1.json\n";
   let all_ok =
     List.for_all (fun r -> r.r_flux_ok && r.r_prusti_ok) rows && rmat_ok
   in
-  Printf.printf "\nAll verifications succeeded: %b\n" all_ok;
+  Printf.printf "All verifications succeeded: %b\n" all_ok;
   if not all_ok then exit 1
 
 (* ------------------------------------------------------------------ *)

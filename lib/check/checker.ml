@@ -1124,6 +1124,8 @@ let initial_env ck : env =
   !env
 
 let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
+  Profile.with_fn fd.Ast.fn_name @@ fun () ->
+  Profile.time "check.fn_s" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let fsig =
     match Genv.find_sig genv fd.Ast.fn_name with
@@ -1149,6 +1151,8 @@ let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
     }
   in
   let report errors solution =
+    Profile.add "check.clauses" (List.length ck.clauses);
+    Profile.add "check.kvars" (List.length ck.kvars);
     {
       fr_name = fd.Ast.fn_name;
       fr_errors = errors;

@@ -71,35 +71,15 @@ let prepare_hyps kenv sol (c : Horn.clause) : (Term.t * Term.VarSet.t) list =
   |> List.concat_map (function Term.And ts -> ts | t -> [ t ])
   |> List.map (fun h -> (h, Term.free_vars h))
 
-(** Cone-of-influence slice of prepared hypotheses w.r.t. [rhs]. *)
+(** Cone-of-influence slice of prepared hypotheses w.r.t. [rhs], via
+    the shared {!Term.cone_of_influence} worklist. *)
 let slice_prepared (hyps : (Term.t * Term.VarSet.t) list) (rhs : Term.t) :
     Term.t =
   if not !slice_enabled then Term.mk_and (List.map fst hyps)
   else
     let seed = Term.free_vars rhs in
     if Term.VarSet.is_empty seed then Term.mk_and (List.map fst hyps)
-    else begin
-      let seed = ref seed in
-      let remaining = ref hyps in
-      let kept = ref [] in
-      let changed = ref true in
-      while !changed do
-        changed := false;
-        remaining :=
-          List.filter
-            (fun (h, vs) ->
-              if Term.VarSet.exists (fun v -> Term.VarSet.mem v !seed) vs
-              then begin
-                kept := h :: !kept;
-                seed := Term.VarSet.union vs !seed;
-                changed := true;
-                false
-              end
-              else true)
-            !remaining
-      done;
-      Term.mk_and !kept
-    end
+    else Term.mk_and (Term.cone_of_influence hyps seed)
 
 let sliced_lhs kenv sol (c : Horn.clause) (rhs : Term.t) : Term.t =
   slice_prepared (prepare_hyps kenv sol c) rhs
@@ -107,6 +87,7 @@ let sliced_lhs kenv sol (c : Horn.clause) (rhs : Term.t) : Term.t =
 (** Solve a set of flat clauses over the given κ declarations. *)
 let solve_clauses ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
     (clauses : Horn.clause list) : result =
+  Profile.time "fixpoint.solve_s" @@ fun () ->
   let kenv = Hashtbl.create 16 in
   List.iter (fun kv -> Hashtbl.replace kenv kv.Horn.kname kv) kvars;
   (* Initial solution: all qualifier instantiations. *)
@@ -128,6 +109,7 @@ let solve_clauses ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
   while !changed do
     changed := false;
     stats.iterations <- stats.iterations + 1;
+    Profile.incr "fixpoint.iterations";
     List.iter
       (fun cl ->
         match cl.Horn.head with
@@ -140,13 +122,29 @@ let solve_clauses ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
                   List.map2 (fun (x, _) a -> (x, a)) kv.Horn.kparams args
                 in
                 let prepared = prepare_hyps kenv sol cl in
+                (* The slice depends on the goal only through its
+                   free-variable set, and the qualifiers of one sweep
+                   mostly range over a handful of variable sets — share
+                   the cone computation across them. *)
+                let slices = ref [] in
+                let slice_for rhs =
+                  let seed = Term.free_vars rhs in
+                  match
+                    List.find_opt (fun (s, _) -> Term.VarSet.equal s seed) !slices
+                  with
+                  | Some (_, lhs) -> lhs
+                  | None ->
+                      let lhs = slice_prepared prepared rhs in
+                      slices := (seed, lhs) :: !slices;
+                      lhs
+                in
                 let keep =
                   List.filter
                     (fun q ->
                       stats.weaken_checks <- stats.weaken_checks + 1;
+                      Profile.incr "fixpoint.weaken_checks";
                       let rhs = Term.subst m q in
-                      let lhs = slice_prepared prepared rhs in
-                      Solver.valid (Term.mk_imp lhs rhs))
+                      Solver.valid (Term.mk_imp (slice_for rhs) rhs))
                     conjuncts
                 in
                 if List.length keep <> List.length conjuncts then begin
@@ -163,6 +161,7 @@ let solve_clauses ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
         match cl.Horn.head with
         | Horn.Conc rhs ->
             stats.final_checks <- stats.final_checks + 1;
+            Profile.incr "fixpoint.final_checks";
             let lhs = sliced_lhs kenv sol cl rhs in
             if Solver.valid (Term.mk_imp lhs rhs) then None
             else Some { f_tag = cl.Horn.tag; f_clause = cl; f_lhs = lhs; f_rhs = rhs }

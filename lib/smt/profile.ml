@@ -1,0 +1,120 @@
+(** Unified performance counters and timers for the whole verification
+    stack (SMT solver, fixpoint solver, Flux checker, WP baseline).
+
+    Every metric is a named cell holding a count and an accumulated
+    wall-clock time. Cells are recorded twice: once in a global group
+    (totals for the current run) and once under the enclosing function
+    scope established by {!with_fn}, so per-function solver costs are
+    attributable ("which function burned the weaken checks?"). A
+    counter bump is a hashtable lookup plus an integer increment, cheap
+    enough to leave on unconditionally.
+
+    The whole profile serializes to JSON ({!to_json}) — this is what
+    [bench/main.exe table1] embeds in [BENCH_table1.json] so the perf
+    trajectory is tracked across PRs. *)
+
+type cell = { mutable count : int; mutable time : float }
+type group = (string, cell) Hashtbl.t
+
+let global : group = Hashtbl.create 64
+let per_fn : (string, group) Hashtbl.t = Hashtbl.create 64
+let current_fn : string option ref = ref None
+
+let reset () =
+  Hashtbl.reset global;
+  Hashtbl.reset per_fn;
+  current_fn := None
+
+let cell_of (g : group) key =
+  match Hashtbl.find_opt g key with
+  | Some c -> c
+  | None ->
+      let c = { count = 0; time = 0.0 } in
+      Hashtbl.add g key c;
+      c
+
+let touch key f =
+  f (cell_of global key);
+  match !current_fn with
+  | None -> ()
+  | Some fn ->
+      let g =
+        match Hashtbl.find_opt per_fn fn with
+        | Some g -> g
+        | None ->
+            let g = Hashtbl.create 16 in
+            Hashtbl.add per_fn fn g;
+            g
+      in
+      f (cell_of g key)
+
+(** [incr key]: bump counter [key] by one. *)
+let incr key = touch key (fun c -> c.count <- c.count + 1)
+
+(** [add key n]: bump counter [key] by [n]. *)
+let add key n = if n <> 0 then touch key (fun c -> c.count <- c.count + n)
+
+(** [add_time key dt]: record [dt] seconds (and one occurrence). *)
+let add_time key dt = touch key (fun c -> c.time <- c.time +. dt; c.count <- c.count + 1)
+
+(** [time key f]: run [f ()], charging its wall-clock time to [key]. *)
+let time key f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_time key (Unix.gettimeofday () -. t0)) f
+
+(** [with_fn name f]: run [f ()] with metrics additionally attributed
+    to function scope [name]. Nesting restores the outer scope. *)
+let with_fn name f =
+  let saved = !current_fn in
+  current_fn := Some name;
+  Fun.protect ~finally:(fun () -> current_fn := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and JSON                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_group (g : group) : (string * (int * float)) list =
+  Hashtbl.fold (fun k c acc -> (k, (c.count, c.time)) :: acc) g []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Global metrics, sorted by name: [(key, (count, seconds))]. *)
+let snapshot () = snapshot_group global
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_group (g : group) : string =
+  let entries =
+    List.map
+      (fun (k, (n, t)) ->
+        if t = 0.0 then Printf.sprintf "\"%s\": %d" (json_escape k) n
+        else Printf.sprintf "\"%s\": %.6f" (json_escape k) t)
+      (snapshot_group g)
+  in
+  "{" ^ String.concat ", " entries ^ "}"
+
+(** The full profile as a JSON object: untimed metrics render as
+    integer counts, timed metrics as accumulated seconds.
+    [{"totals": {metric: value, ...},
+      "functions": {fn: {metric: value, ...}, ...}}] *)
+let to_json () : string =
+  let fns =
+    Hashtbl.fold (fun k g acc -> (k, g) :: acc) per_fn []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (k, g) ->
+           Printf.sprintf "\"%s\": %s" (json_escape k) (json_of_group g))
+  in
+  Printf.sprintf "{\"totals\": %s, \"functions\": {%s}}" (json_of_group global)
+    (String.concat ", " fns)

@@ -3,12 +3,14 @@
 
     Pipeline:
     + {b Elaboration}: integer division/modulo by a positive constant is
-      linearized with fresh quotient/remainder variables; products of
-      two non-constants and general division are abstracted by opaque
-      variables; uninterpreted applications are Ackermannized (opaque
-      variables plus pairwise congruence constraints); [Ite] is lifted
-      out of terms; atoms mentioning reals are abstracted as opaque
-      boolean atoms (floats are never refined, only branched on).
+      linearized with fresh quotient/remainder variables under
+      {e truncated} (Rust/OCaml) semantics — the remainder's sign
+      follows the dividend's; products of two non-constants and general
+      division are abstracted by opaque variables; uninterpreted
+      applications are Ackermannized (opaque variables plus pairwise
+      congruence constraints); [Ite] is lifted out of terms; atoms
+      mentioning reals are abstracted as opaque boolean atoms (floats
+      are never refined, only branched on).
     + {b DPLL}: the boolean skeleton is searched by splitting on atoms,
       with the theory consulted at (partially) complete assignments.
     + {b Theory}: conjunctions of linear integer literals go to
@@ -35,228 +37,6 @@ let reset_stats () =
   stats.theory_checks <- 0;
   stats.max_atoms <- 0;
   stats.time <- 0.0
-
-(* ------------------------------------------------------------------ *)
-(* Elaboration                                                         *)
-(* ------------------------------------------------------------------ *)
-
-type elab_state = {
-  mutable defs : Term.t list;  (** definitional constraints *)
-  opaque : (string, Term.t) Hashtbl.t;  (** original term -> opaque var *)
-  apps : (string, (Term.t * Term.t list) list) Hashtbl.t;
-      (** fn symbol -> [(opaque var, elaborated args)] for Ackermann *)
-  mutable counter : int;
-}
-
-let fresh st prefix sort =
-  st.counter <- st.counter + 1;
-  Term.Var (Printf.sprintf "$%s%d" prefix st.counter, sort)
-
-let opaque_of st key sort =
-  match Hashtbl.find_opt st.opaque key with
-  | Some v -> v
-  | None ->
-      let v = fresh st "o" sort in
-      Hashtbl.add st.opaque key v;
-      v
-
-let rec has_real (t : Term.t) =
-  match t with
-  | Real _ -> true
-  | Var (_, Sort.Real) -> true
-  | Var _ | Int _ | Bool _ -> false
-  | Neg a | Not a -> has_real a
-  | Binop (_, a, b) | Cmp (_, a, b) | Eq (a, b) | Ne (a, b) | Imp (a, b) | Iff (a, b)
-    ->
-      has_real a || has_real b
-  | And ts | Or ts | App (_, ts) -> List.exists has_real ts
-  | Ite (a, b, c) -> has_real a || has_real b || has_real c
-
-(** Elaborate an integer-sorted term into a linear-safe one. *)
-let rec elab_int st (t : Term.t) : Term.t =
-  match t with
-  | Var _ | Int _ -> t
-  | Real _ -> opaque_of st (Term.to_string t) Sort.Int
-  | Neg a -> Term.neg (elab_int st a)
-  | Binop (Add, a, b) -> Term.add (elab_int st a) (elab_int st b)
-  | Binop (Sub, a, b) -> Term.sub (elab_int st a) (elab_int st b)
-  | Binop (Mul, a, b) -> (
-      let a = elab_int st a and b = elab_int st b in
-      match (a, b) with
-      | Int _, _ | _, Int _ -> Term.mul a b
-      | _ ->
-          (* nonlinear: abstract, but remember commutativity *)
-          let key =
-            let sa = Term.to_string a and sb = Term.to_string b in
-            if sa <= sb then sa ^ "*" ^ sb else sb ^ "*" ^ sa
-          in
-          opaque_of st key Sort.Int)
-  | Binop (Div, a, (Int c as cc)) when c > 0 ->
-      let a = elab_int st a in
-      let key = Term.to_string (Term.Binop (Div, a, cc)) in
-      (match Hashtbl.find_opt st.opaque key with
-      | Some q -> q
-      | None ->
-          let q = fresh st "q" Sort.Int in
-          Hashtbl.add st.opaque key q;
-          let r = Term.sub a (Term.mul (Term.int c) q) in
-          st.defs <-
-            Term.le (Term.int 0) r :: Term.lt r (Term.int c) :: st.defs;
-          q)
-  | Binop (Mod, a, (Int c as cc)) when c > 0 ->
-      let a = elab_int st a in
-      let key = Term.to_string (Term.Binop (Mod, a, cc)) in
-      (match Hashtbl.find_opt st.opaque key with
-      | Some r -> r
-      | None ->
-          let r = fresh st "r" Sort.Int in
-          Hashtbl.add st.opaque key r;
-          let q = fresh st "q" Sort.Int in
-          st.defs <-
-            Term.eq a (Term.add (Term.mul (Term.int c) q) r)
-            :: Term.le (Term.int 0) r
-            :: Term.lt r (Term.int c)
-            :: st.defs;
-          r)
-  | Binop ((Div | Mod), _, _) -> opaque_of st (Term.to_string t) Sort.Int
-  | App (f, args) ->
-      let args = List.map (elab_int st) args in
-      let key = Term.to_string (Term.App (f, args)) in
-      let v = opaque_of st key Sort.Int in
-      let prev = try Hashtbl.find st.apps f with Not_found -> [] in
-      if not (List.exists (fun (v', _) -> Term.equal v v') prev) then begin
-        (* Ackermann congruence with earlier applications of f. To keep
-           the quadratic blowup in check on array-heavy queries (the WP
-           baseline), once a symbol has many applications we only relate
-           pairs that already share one argument syntactically — e.g.
-           sel(a,i) vs sel(a,j). Dropping the other pairs only weakens
-           the hypotheses, which is sound for validity. *)
-        let filtered = List.length args >= 2 && List.length prev >= 8 in
-        List.iter
-          (fun (v', args') ->
-            if
-              List.length args = List.length args'
-              && ((not filtered) || List.exists2 Term.equal args args')
-            then
-              st.defs <-
-                Term.mk_imp
-                  (Term.mk_and (List.map2 Term.eq args args'))
-                  (Term.eq v v')
-                :: st.defs)
-          prev;
-        Hashtbl.replace st.apps f ((v, args) :: prev)
-      end;
-      v
-  | Ite (c, a, b) ->
-      let c = elab_pred st c in
-      let a = elab_int st a and b = elab_int st b in
-      let v = fresh st "ite" Sort.Int in
-      st.defs <-
-        Term.mk_imp c (Term.eq v a)
-        :: Term.mk_imp (Term.mk_not c) (Term.eq v b)
-        :: st.defs;
-      v
-  | Bool _ | Cmp _ | Eq _ | Ne _ | And _ | Or _ | Not _ | Imp _ | Iff _ ->
-      raise (Term.Ill_sorted (Term.to_string t))
-
-(** Elaborate a boolean-sorted term (a predicate). *)
-and elab_pred st (t : Term.t) : Term.t =
-  match t with
-  | Bool _ -> t
-  | Var (_, Sort.Bool) -> t
-  | Var _ -> raise (Term.Ill_sorted (Term.to_string t))
-  | Cmp (op, a, b) ->
-      if has_real a || has_real b then
-        opaque_of st (Term.to_string t) Sort.Bool
-      else Term.mk_cmp op (elab_int st a) (elab_int st b)
-  | Eq (a, b) | Ne (a, b) -> (
-      let mk x y = match t with Eq _ -> Term.mk_eq x y | _ -> Term.mk_ne x y in
-      match Term.sort_of a with
-      | Sort.Bool ->
-          let p = Term.mk_iff (elab_pred st a) (elab_pred st b) in
-          (match t with Eq _ -> p | _ -> Term.mk_not p)
-      | Sort.Real -> opaque_of st (Term.to_string t) Sort.Bool
-      | Sort.Int | Sort.Loc ->
-          if has_real a || has_real b then
-            opaque_of st (Term.to_string t) Sort.Bool
-          else mk (elab_int st a) (elab_int st b))
-  | And ts -> Term.mk_and (List.map (elab_pred st) ts)
-  | Or ts -> Term.mk_or (List.map (elab_pred st) ts)
-  | Not a -> Term.mk_not (elab_pred st a)
-  | Imp (a, b) -> Term.mk_imp (elab_pred st a) (elab_pred st b)
-  | Iff (a, b) -> Term.mk_iff (elab_pred st a) (elab_pred st b)
-  | Ite (c, a, b) ->
-      let c = elab_pred st c in
-      Term.mk_or
-        [
-          Term.mk_and [ c; elab_pred st a ];
-          Term.mk_and [ Term.mk_not c; elab_pred st b ];
-        ]
-  | App _ ->
-      (* boolean-valued uninterpreted application: opaque atom *)
-      opaque_of st (Term.to_string t) Sort.Bool
-  | Int _ | Real _ | Binop _ | Neg _ ->
-      raise (Term.Ill_sorted (Term.to_string t))
-
-(* ------------------------------------------------------------------ *)
-(* NNF over atom ids                                                   *)
-(* ------------------------------------------------------------------ *)
-
-type bform =
-  | BTrue
-  | BFalse
-  | BLit of int * bool  (** atom id, polarity *)
-  | BAnd of bform list
-  | BOr of bform list
-
-type atoms = {
-  table : (Term.t, int) Hashtbl.t;  (** structural keys *)
-  mutable list : Term.t list;  (** reversed *)
-  mutable n : int;
-}
-
-let atom_id atoms (t : Term.t) =
-  let key = t in
-  match Hashtbl.find_opt atoms.table key with
-  | Some i -> i
-  | None ->
-      let i = atoms.n in
-      atoms.n <- i + 1;
-      atoms.list <- t :: atoms.list;
-      Hashtbl.add atoms.table key i;
-      i
-
-(** Convert an elaborated predicate to NNF over atom ids. *)
-let rec to_bform atoms pol (t : Term.t) : bform =
-  match t with
-  | Bool b -> if b = pol then BTrue else BFalse
-  | Not a -> to_bform atoms (not pol) a
-  | And ts ->
-      if pol then BAnd (List.map (to_bform atoms true) ts)
-      else BOr (List.map (to_bform atoms false) ts)
-  | Or ts ->
-      if pol then BOr (List.map (to_bform atoms true) ts)
-      else BAnd (List.map (to_bform atoms false) ts)
-  | Imp (a, b) ->
-      if pol then BOr [ to_bform atoms false a; to_bform atoms true b ]
-      else BAnd [ to_bform atoms true a; to_bform atoms false b ]
-  | Iff (a, b) ->
-      if pol then
-        BOr
-          [
-            BAnd [ to_bform atoms true a; to_bform atoms true b ];
-            BAnd [ to_bform atoms false a; to_bform atoms false b ];
-          ]
-      else
-        BOr
-          [
-            BAnd [ to_bform atoms true a; to_bform atoms false b ];
-            BAnd [ to_bform atoms false a; to_bform atoms true b ];
-          ]
-  | Ne (a, b) -> to_bform atoms (not pol) (Term.Eq (a, b))
-  | Var _ | Cmp _ | Eq _ -> BLit (atom_id atoms t, pol)
-  | Ite _ | App _ | Int _ | Real _ | Binop _ | Neg _ ->
-      raise (Term.Ill_sorted (Term.to_string t))
 
 (* ------------------------------------------------------------------ *)
 (* Linear conversion of atoms                                          *)
@@ -306,6 +86,309 @@ let literal_of_atom (t : Term.t) (value : bool) : Lia.literal option =
         if value then Some (Lia.Eq0 d) else Some (Lia.Ne0 d)
       with Nonlinear -> None)
   | _ -> None
+
+(** The query's top-level unit facts, as linear theory literals:
+    conjuncts forced by the boolean structure alone ([And] children
+    under positive polarity, [Or]/[Imp] children under negation).
+    Every model of the query satisfies them, so the div/mod encoding
+    below may consult them to settle a dividend's sign up front. *)
+let rec unit_facts acc (sign : bool) (t : Term.t) : Lia.literal list =
+  match (sign, t) with
+  | true, Term.And ts ->
+      List.fold_left (fun acc t -> unit_facts acc true t) acc ts
+  | false, Term.Or ts ->
+      List.fold_left (fun acc t -> unit_facts acc false t) acc ts
+  | false, Term.Imp (a, b) -> unit_facts (unit_facts acc false b) true a
+  | _, Term.Not a -> unit_facts acc (not sign) a
+  | _, Term.Ne (a, b) -> unit_facts acc (not sign) (Term.Eq (a, b))
+  | _, (Term.Cmp _ | Term.Eq _) -> (
+      match literal_of_atom t sign with Some l -> l :: acc | None -> acc)
+  | _ -> acc
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Hash table for {e small} term keys — elaboration's opaque keys and
+   the DPLL atom table. These keys are leaf-sized, so the bounded
+   polymorphic hash covers them fully — one cheap lookup per
+   occurrence, with the phys-first [Term.equal] resolving hits
+   immediately because such terms are interned by the smart
+   constructors. Keying by the memoized full [Term.hash] ({!Term.Tbl})
+   would route every occurrence through the intern table a second time
+   for no gain; [Term.Tbl] is reserved for the query caches, whose
+   large raw keys the bounded hash would collapse into a few buckets. *)
+module SmallTbl = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Stdlib.Hashtbl.hash
+end)
+
+type elab_state = {
+  mutable defs : Term.t list;  (** definitional constraints *)
+  opaque : Term.t SmallTbl.t;  (** original term -> opaque var *)
+  apps : (string, (Term.t * Term.t list) list) Hashtbl.t;
+      (** fn symbol -> [(opaque var, elaborated args)] for Ackermann *)
+  mutable counter : int;
+  units : Lia.literal list Lazy.t;
+      (** the query's top-level unit facts (see {!unit_facts}); lazy
+          because they are only consulted when elaboration meets a
+          division/remainder, and computing them walks every top-level
+          atom of the query *)
+}
+
+let fresh st prefix sort =
+  st.counter <- st.counter + 1;
+  Term.var ~sort (Printf.sprintf "$%s%d" prefix st.counter)
+
+let opaque_of st key sort =
+  let key = Term.hc key in
+  match SmallTbl.find_opt st.opaque key with
+  | Some v -> v
+  | None ->
+      let v = fresh st "o" sort in
+      SmallTbl.add st.opaque key v;
+      v
+
+let rec has_real (t : Term.t) =
+  match t with
+  | Real _ -> true
+  | Var (_, Sort.Real) -> true
+  | Var _ | Int _ | Bool _ -> false
+  | Neg a | Not a -> has_real a
+  | Binop (_, a, b) | Cmp (_, a, b) | Eq (a, b) | Ne (a, b) | Imp (a, b) | Iff (a, b)
+    ->
+      has_real a || has_real b
+  | And ts | Or ts | App (_, ts) -> List.exists has_real ts
+  | Ite (a, b, c) -> has_real a || has_real b || has_real c
+
+(** Truncated (Rust/OCaml) division semantics, shared between [a / c]
+    and [a % c] for a positive constant [c]: one quotient variable [q]
+    per (dividend, divisor) pair, with the remainder [r = a - c*q]
+    constrained by
+
+      -c < r < c,   a >= 0 ==> r >= 0,   a <= 0 ==> r <= 0
+
+    so the remainder's sign follows the dividend's — exactly OCaml's
+    [/]/[mod] and Rust's [/]/[%]. The previously-used Euclidean
+    constraint [0 <= r < c] is {e unsound} for this operational
+    semantics: it proves (-7)/2 = -4 and (-7) mod 2 = 1, while the
+    interpreter computes -3 and -1. Sharing [q] also links [a / c] and
+    [a % c] appearing in the same query via [a = c*q + r].
+
+    The sign conditionals cost two extra DPLL branch atoms per
+    division. When the query's unit facts already settle the dividend's
+    sign (the common case: usize index arithmetic under hypotheses like
+    [lo <= hi]), a single Fourier–Motzkin check here lets us emit the
+    unconditional one-sided bounds instead — same strength, no case
+    split. *)
+let divmod st (a : Term.t) (c : int) : Term.t * Term.t =
+  let dkey = Term.hc (Term.Binop (Div, a, Term.int c)) in
+  let q =
+    match SmallTbl.find_opt st.opaque dkey with
+    | Some q -> q
+    | None ->
+        let q = fresh st "q" Sort.Int in
+        SmallTbl.add st.opaque dkey q;
+        let r = Term.sub a (Term.mul (Term.int c) q) in
+        let la = try Some (lin_of_term a) with Nonlinear -> None in
+        (* [refuted l]: the unit facts rule out [l], definitely. *)
+        let refuted l = not (Lia.sat_literals (l :: Lazy.force st.units)) in
+        let a_neg la = Lia.Le0 { la with Lia.const = la.Lia.const + 1 } in
+        let a_pos la =
+          let n = Lia.lin_scale (-1) la in
+          Lia.Le0 { n with Lia.const = n.Lia.const + 1 }
+        in
+        let sign_defs =
+          match la with
+          | Some la when refuted (a_neg la) ->
+              (* a >= 0 in every model: truncated = Euclidean *)
+              Profile.incr "solver.divmod_sign_known";
+              [ Term.le (Term.int 0) r; Term.lt r (Term.int c) ]
+          | Some la when refuted (a_pos la) ->
+              (* a <= 0 in every model *)
+              Profile.incr "solver.divmod_sign_known";
+              [ Term.lt (Term.int (-c)) r; Term.le r (Term.int 0) ]
+          | _ ->
+              Profile.incr "solver.divmod_sign_split";
+              [
+                Term.lt (Term.int (-c)) r;
+                Term.lt r (Term.int c);
+                Term.mk_imp (Term.ge a (Term.int 0)) (Term.ge r (Term.int 0));
+                Term.mk_imp (Term.le a (Term.int 0)) (Term.le r (Term.int 0));
+              ]
+        in
+        st.defs <- sign_defs @ st.defs;
+        q
+  in
+  (q, Term.sub a (Term.mul (Term.int c) q))
+
+(** Elaborate an integer-sorted term into a linear-safe one. *)
+let rec elab_int st (t : Term.t) : Term.t =
+  match t with
+  | Var _ | Int _ -> t
+  | Real _ -> opaque_of st t Sort.Int
+  | Neg a -> Term.neg (elab_int st a)
+  | Binop (Add, a, b) -> Term.add (elab_int st a) (elab_int st b)
+  | Binop (Sub, a, b) -> Term.sub (elab_int st a) (elab_int st b)
+  | Binop (Mul, a, b) -> (
+      let a = elab_int st a and b = elab_int st b in
+      match (a, b) with
+      | Int _, _ | _, Int _ -> Term.mul a b
+      | _ -> (
+          (* nonlinear: abstract, but remember commutativity by also
+             registering the flipped product under the same variable *)
+          let key = Term.hc (Term.Binop (Mul, a, b)) in
+          match SmallTbl.find_opt st.opaque key with
+          | Some v -> v
+          | None ->
+              let v = fresh st "o" Sort.Int in
+              SmallTbl.replace st.opaque key v;
+              SmallTbl.replace st.opaque (Term.hc (Term.Binop (Mul, b, a))) v;
+              v))
+  | Binop (Div, a, Int c) when c > 0 ->
+      let a = elab_int st a in
+      fst (divmod st a c)
+  | Binop (Mod, a, Int c) when c > 0 ->
+      let a = elab_int st a in
+      snd (divmod st a c)
+  | Binop ((Div | Mod), _, _) -> opaque_of st t Sort.Int
+  | App (f, args) ->
+      let args = List.map (elab_int st) args in
+      let key = Term.App (f, args) in
+      let v = opaque_of st key Sort.Int in
+      let prev = try Hashtbl.find st.apps f with Not_found -> [] in
+      if not (List.exists (fun (v', _) -> Term.equal v v') prev) then begin
+        (* Ackermann congruence with earlier applications of f. To keep
+           the quadratic blowup in check on array-heavy queries (the WP
+           baseline), once a symbol has many applications we only relate
+           pairs that already share one argument syntactically — e.g.
+           sel(a,i) vs sel(a,j). Dropping the other pairs only weakens
+           the hypotheses, which is sound for validity. *)
+        let filtered = List.length args >= 2 && List.length prev >= 8 in
+        List.iter
+          (fun (v', args') ->
+            if
+              List.length args = List.length args'
+              && ((not filtered) || List.exists2 Term.equal args args')
+            then
+              st.defs <-
+                Term.mk_imp
+                  (Term.mk_and (List.map2 Term.eq args args'))
+                  (Term.eq v v')
+                :: st.defs)
+          prev;
+        Hashtbl.replace st.apps f ((v, args) :: prev)
+      end;
+      v
+  | Ite (c, a, b) ->
+      let c = elab_pred st c in
+      let a = elab_int st a and b = elab_int st b in
+      let v = fresh st "ite" Sort.Int in
+      st.defs <-
+        Term.mk_imp c (Term.eq v a)
+        :: Term.mk_imp (Term.mk_not c) (Term.eq v b)
+        :: st.defs;
+      v
+  | Bool _ | Cmp _ | Eq _ | Ne _ | And _ | Or _ | Not _ | Imp _ | Iff _ ->
+      raise (Term.Ill_sorted (Term.to_string t))
+
+(** Elaborate a boolean-sorted term (a predicate). *)
+and elab_pred st (t : Term.t) : Term.t =
+  match t with
+  | Bool _ -> t
+  | Var (_, Sort.Bool) -> t
+  | Var _ -> raise (Term.Ill_sorted (Term.to_string t))
+  | Cmp (op, a, b) ->
+      if has_real a || has_real b then opaque_of st t Sort.Bool
+      else Term.mk_cmp op (elab_int st a) (elab_int st b)
+  | Eq (a, b) | Ne (a, b) -> (
+      let mk x y = match t with Eq _ -> Term.mk_eq x y | _ -> Term.mk_ne x y in
+      match Term.sort_of a with
+      | Sort.Bool ->
+          let p = Term.mk_iff (elab_pred st a) (elab_pred st b) in
+          (match t with Eq _ -> p | _ -> Term.mk_not p)
+      | Sort.Real -> opaque_of st t Sort.Bool
+      | Sort.Int | Sort.Loc ->
+          if has_real a || has_real b then opaque_of st t Sort.Bool
+          else mk (elab_int st a) (elab_int st b))
+  | And ts -> Term.mk_and (List.map (elab_pred st) ts)
+  | Or ts -> Term.mk_or (List.map (elab_pred st) ts)
+  | Not a -> Term.mk_not (elab_pred st a)
+  | Imp (a, b) -> Term.mk_imp (elab_pred st a) (elab_pred st b)
+  | Iff (a, b) -> Term.mk_iff (elab_pred st a) (elab_pred st b)
+  | Ite (c, a, b) ->
+      let c = elab_pred st c in
+      Term.mk_or
+        [
+          Term.mk_and [ c; elab_pred st a ];
+          Term.mk_and [ Term.mk_not c; elab_pred st b ];
+        ]
+  | App _ ->
+      (* boolean-valued uninterpreted application: opaque atom *)
+      opaque_of st t Sort.Bool
+  | Int _ | Real _ | Binop _ | Neg _ ->
+      raise (Term.Ill_sorted (Term.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* NNF over atom ids                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type bform =
+  | BTrue
+  | BFalse
+  | BLit of int * bool  (** atom id, polarity *)
+  | BAnd of bform list
+  | BOr of bform list
+
+type atoms = {
+  table : int SmallTbl.t;  (** structural keys, phys-fast on interned terms *)
+  mutable list : Term.t list;  (** reversed *)
+  mutable n : int;
+}
+
+let atom_id atoms (t : Term.t) =
+  match SmallTbl.find_opt atoms.table t with
+  | Some i -> i
+  | None ->
+      let i = atoms.n in
+      atoms.n <- i + 1;
+      atoms.list <- t :: atoms.list;
+      SmallTbl.add atoms.table t i;
+      i
+
+(** Convert an elaborated predicate to NNF over atom ids. *)
+let rec to_bform atoms pol (t : Term.t) : bform =
+  match t with
+  | Bool b -> if b = pol then BTrue else BFalse
+  | Not a -> to_bform atoms (not pol) a
+  | And ts ->
+      if pol then BAnd (List.map (to_bform atoms true) ts)
+      else BOr (List.map (to_bform atoms false) ts)
+  | Or ts ->
+      if pol then BOr (List.map (to_bform atoms true) ts)
+      else BAnd (List.map (to_bform atoms false) ts)
+  | Imp (a, b) ->
+      if pol then BOr [ to_bform atoms false a; to_bform atoms true b ]
+      else BAnd [ to_bform atoms true a; to_bform atoms false b ]
+  | Iff (a, b) ->
+      if pol then
+        BOr
+          [
+            BAnd [ to_bform atoms true a; to_bform atoms true b ];
+            BAnd [ to_bform atoms false a; to_bform atoms false b ];
+          ]
+      else
+        BOr
+          [
+            BAnd [ to_bform atoms true a; to_bform atoms false b ];
+            BAnd [ to_bform atoms false a; to_bform atoms true b ];
+          ]
+  | Ne (a, b) -> to_bform atoms (not pol) (Term.Eq (a, b))
+  | Var _ | Cmp _ | Eq _ -> BLit (atom_id atoms t, pol)
+  | Ite _ | App _ | Int _ | Real _ | Binop _ | Neg _ ->
+      raise (Term.Ill_sorted (Term.to_string t))
 
 (* ------------------------------------------------------------------ *)
 (* DPLL                                                                *)
@@ -413,60 +496,84 @@ let dpll_sat (atom_arr : Term.t array) (f : bform) : bool =
 (* Public API                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let cache_sat : (Term.t, bool) Hashtbl.t = Hashtbl.create 4096
-let cache_valid : (Term.t, bool) Hashtbl.t = Hashtbl.create 4096
+let cache_sat : bool Term.Tbl.t = Term.Tbl.create 4096
+let cache_valid : bool Term.Tbl.t = Term.Tbl.create 4096
 
 let clear_cache () =
-  Hashtbl.clear cache_sat;
-  Hashtbl.clear cache_valid
+  Term.Tbl.clear cache_sat;
+  Term.Tbl.clear cache_valid
 
 (** [sat t]: is [t] satisfiable over the integers? May over-approximate
     (answer [true] for an unsatisfiable [t]) but [false] is definite. *)
 let sat_raw (t : Term.t) : bool =
   let st =
-    { defs = []; opaque = Hashtbl.create 16; apps = Hashtbl.create 8; counter = 0 }
+    {
+      defs = [];
+      opaque = SmallTbl.create 16;
+      apps = Hashtbl.create 8;
+      counter = 0;
+      units = lazy (unit_facts [] true t);
+    }
   in
+  let t_elab = Unix.gettimeofday () in
   let t' = elab_pred st t in
   let full = Term.mk_and (t' :: st.defs) in
+  Profile.add_time "solver.elab_s" (Unix.gettimeofday () -. t_elab);
   match full with
   | Bool b -> b
   | _ ->
-      let atoms = { table = Hashtbl.create 64; list = []; n = 0 } in
+      let atoms = { table = SmallTbl.create 64; list = []; n = 0 } in
       let f = to_bform atoms true full in
       let atom_arr = Array.of_list (List.rev atoms.list) in
       if Array.length atom_arr > stats.max_atoms then
         stats.max_atoms <- Array.length atom_arr;
-      dpll_sat atom_arr f
+      let tc0 = stats.theory_checks in
+      let t_dpll = Unix.gettimeofday () in
+      let r = dpll_sat atom_arr f in
+      Profile.add_time "solver.dpll_s" (Unix.gettimeofday () -. t_dpll);
+      Profile.add "solver.theory_checks" (stats.theory_checks - tc0);
+      r
 
 let sat (t : Term.t) : bool =
   stats.queries <- stats.queries + 1;
-  match Hashtbl.find_opt cache_sat t with
+  Profile.incr "solver.queries";
+  match Term.Tbl.find_opt cache_sat t with
   | Some r ->
       stats.cache_hits <- stats.cache_hits + 1;
+      Profile.incr "solver.cache_hits";
       r
   | None ->
       let t0 = Unix.gettimeofday () in
       let r = sat_raw t in
       stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
-      Hashtbl.replace cache_sat t r;
+      Term.Tbl.replace cache_sat t r;
       r
 
 (** [valid t]: does [t] hold for all integer assignments? [true] is
     definite; [false] may be incompleteness. *)
 let valid (t : Term.t) : bool =
+  (* trivial [Bool] goals short-circuit below, but still count as
+     queries: cache-hit rates must be computed against the true query
+     volume *)
+  stats.queries <- stats.queries + 1;
+  Profile.incr "solver.queries";
   match t with
-  | Bool b -> b
-  | _ ->
-      stats.queries <- stats.queries + 1;
-      (match Hashtbl.find_opt cache_valid t with
+  | Bool b ->
+      Profile.incr "solver.trivial";
+      b
+  | _ -> (
+      match Term.Tbl.find_opt cache_valid t with
       | Some r ->
           stats.cache_hits <- stats.cache_hits + 1;
+          Profile.incr "solver.cache_hits";
           r
       | None ->
           let t0 = Unix.gettimeofday () in
           let r = not (sat_raw (Term.mk_not t)) in
-          stats.time <- stats.time +. (Unix.gettimeofday () -. t0);
-          Hashtbl.replace cache_valid t r;
+          let dt = Unix.gettimeofday () -. t0 in
+          stats.time <- stats.time +. dt;
+          Profile.add_time "solver.solve_s" dt;
+          Term.Tbl.replace cache_valid t r;
           r)
 
 (** Does the conjunction of [hyps] entail [goal]? *)
@@ -475,30 +582,12 @@ let entails (hyps : Term.t list) (goal : Term.t) : bool =
 
 (** Like {!entails}, but first slices the hypotheses to the cone of
     influence of the goal (hypotheses transitively sharing a variable
-    with it). Sound: dropping hypotheses only weakens the left-hand
-    side. Variable-free goals skip slicing. *)
+    with it) via the shared {!Term.cone_of_influence}. Sound: dropping
+    hypotheses only weakens the left-hand side. Variable-free goals
+    skip slicing. *)
 let entails_sliced (hyps : Term.t list) (goal : Term.t) : bool =
   let seed = Term.free_vars goal in
   if Term.VarSet.is_empty seed then entails hyps goal
-  else begin
+  else
     let tagged = List.map (fun h -> (h, Term.free_vars h)) hyps in
-    let seed = ref seed in
-    let remaining = ref tagged in
-    let kept = ref [] in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      remaining :=
-        List.filter
-          (fun (h, vs) ->
-            if Term.VarSet.exists (fun v -> Term.VarSet.mem v !seed) vs then begin
-              kept := h :: !kept;
-              seed := Term.VarSet.union vs !seed;
-              changed := true;
-              false
-            end
-            else true)
-          !remaining
-    done;
-    entails !kept goal
-  end
+    entails (Term.cone_of_influence tagged seed) goal

@@ -7,13 +7,18 @@
     abstraction of nonlinear terms loses information — the safe polarity
     for a program verifier.
 
-    Division and modulo by positive constants are linearized exactly;
-    products of two non-constants are abstracted as opaque variables;
-    uninterpreted applications are Ackermannized; atoms over reals
-    (floats) are abstracted as opaque boolean atoms. *)
+    Division and modulo by positive constants are linearized exactly
+    with {e truncated} (Rust/OCaml) semantics — the quotient rounds
+    toward zero and the remainder takes the sign of the dividend, e.g.
+    [(-7)/2 = -3] and [(-7) mod 2 = -1] — matching [Interp]'s use of
+    OCaml's [/] and [mod]. Products of two non-constants are abstracted
+    as opaque variables; uninterpreted applications are Ackermannized;
+    atoms over reals (floats) are abstracted as opaque boolean atoms. *)
 
 type stats = {
-  mutable queries : int;  (** [valid]/[sat] calls, including cache hits *)
+  mutable queries : int;
+      (** [valid]/[sat] calls, including cache hits and trivially
+          constant ([Bool _]) goals *)
   mutable cache_hits : int;
   mutable theory_checks : int;  (** DPLL leaf/branch theory consultations *)
   mutable max_atoms : int;  (** largest boolean skeleton seen *)

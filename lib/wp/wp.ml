@@ -170,6 +170,7 @@ let container_var_set (t : Term.t) : Term.VarSet.t =
 (** Check a verification condition: do the path facts entail [goal]? *)
 let check_vc ck (st : state) span ~(what : string) (goal : Term.t) : unit =
   ck.vcs <- ck.vcs + 1;
+  Profile.incr "wp.vcs";
   match goal with
   | Term.Bool true -> ()
   | _ ->
@@ -1020,6 +1021,8 @@ and exec_term ck (st : state) (term : Ir.terminator) : unit =
 
 let verify_body (prog : Ast.program) (fd : Ast.fn_def) (body : Ir.body) :
     fn_report =
+  Profile.with_fn fd.Ast.fn_name @@ fun () ->
+  Profile.time "wp.fn_s" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let preds = Ir.predecessors body in
   let dom = Ir.dominators body in

@@ -13,5 +13,6 @@ let () =
       Test_interp.tests;
       Test_loc.tests;
       Test_soundness.tests;
+      Test_soundness.divmod_tests;
       Test_workloads.tests;
     ]

@@ -60,6 +60,24 @@ let unit_tests =
       Term.(
         mk_imp (ge x (int 0))
           (mk_and [ le (int 0) (md x (int 3)); lt (md x (int 3)) (int 3) ]));
+    (* truncated (Rust/OCaml) div/mod on negative dividends: the
+       quotient rounds toward zero, the remainder takes the dividend's
+       sign. The old Euclidean encoding proved (-7)/2 = -4, which the
+       interpreter falsifies. *)
+    check_valid "(-7)/2 = -3 (truncated)" true
+      Term.(eq (div (int (-7)) (int 2)) (int (-3)));
+    check_valid "(-7) mod 2 = -1 (truncated)" true
+      Term.(eq (md (int (-7)) (int 2)) (int (-1)));
+    check_sat "(-7)/2 = -4 (Euclidean) unsat" false
+      Term.(eq (div (int (-7)) (int 2)) (int (-4)));
+    check_sat "(-7) mod 2 = 1 (Euclidean) unsat" false
+      Term.(eq (md (int (-7)) (int 2)) (int 1));
+    check_valid "mod sign follows dividend" true
+      Term.(mk_imp (le x (int 0)) (le (md x (int 3)) (int 0)));
+    check_valid "mod nonneg needs nonneg dividend" false
+      Term.(ge (md x (int 2)) (int 0));
+    check_valid "truncated div rounds toward zero" true
+      Term.(mk_imp (le x (int 0)) (ge (mul (int 2) (div x (int 2))) x));
     (* booleans *)
     check_valid "bool hypothesis" true
       Term.(mk_imp (mk_and [ bvar "b"; mk_imp (bvar "b") (lt x y) ]) (le x y));
@@ -99,6 +117,25 @@ let unit_tests =
           (Solver.entails_sliced
              Term.[ le x y; le y z; lt n (int 0) ]
              Term.(le x z)));
+    (* hash-consing: structurally equal smart-constructed terms are
+       physically equal, and free_vars memoization agrees with a fresh
+       computation *)
+    Alcotest.test_case "hash-consing" `Quick (fun () ->
+        let t1 = Term.(mk_and [ le x y; eq (add x (int 1)) z ]) in
+        let t2 = Term.(mk_and [ le x y; eq (add x (int 1)) z ]) in
+        Alcotest.(check bool) "interned phys-eq" true (t1 == t2);
+        Alcotest.(check bool) "structural equal agrees" true (Term.equal t1 t2);
+        Alcotest.(check bool)
+          "hash agrees" true
+          (Term.hash t1 = Term.hash t2);
+        let fvs = Term.free_vars t1 in
+        Alcotest.(check (list string))
+          "free vars" [ "x"; "y"; "z" ]
+          (Term.VarSet.elements fvs);
+        (* memoized result is stable across calls *)
+        Alcotest.(check bool)
+          "memo stable" true
+          (Term.VarSet.equal fvs (Term.free_vars t2)));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -200,9 +200,113 @@ let generator_mix () =
   if !rejected < 3 then
     Alcotest.failf "generator too tame: only %d/60 rejected" !rejected
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic differential tests: truncated div/mod                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The solver used to linearize [/] and [%] with Euclidean semantics
+   (remainder in [0, c)), while the interpreter — like Rust — truncates
+   toward zero: [(-7) / 2 = -3] and [(-7) % 2 = -1]. Each case below is
+   a one-argument program, the checker's expected verdict, and an OCaml
+   mirror of its spec. The [`dc_accept = false`] cases are exactly the
+   programs the Euclidean encoding wrongly accepted: if the encoding
+   regresses, either the verdict check or the interpreter cross-check
+   fails. *)
+
+type divmod_case = {
+  dc_name : string;
+  dc_src : string;
+  dc_accept : bool;
+  dc_spec : int -> int -> bool;  (** input → result → does the spec hold? *)
+}
+
+let divmod_cases =
+  [
+    {
+      dc_name = "x % 2 is not nonnegative (Euclid-unsound)";
+      dc_src =
+        {|#[lr::sig(fn(i32) -> i32{v: 0 <= v})]
+          fn f(x: i32) -> i32 { x % 2 }|};
+      dc_accept = false;
+      dc_spec = (fun _ r -> 0 <= r);
+    };
+    {
+      dc_name = "x % 2 < 2";
+      dc_src =
+        {|#[lr::sig(fn(i32) -> i32{v: v < 2})]
+          fn f(x: i32) -> i32 { x % 2 }|};
+      dc_accept = true;
+      dc_spec = (fun _ r -> r < 2);
+    };
+    {
+      dc_name = "x / 2 halves within one";
+      dc_src =
+        {|#[lr::sig(fn(i32<@a>) -> i32{v: a - 1 <= v + v && v + v <= a + 1})]
+          fn f(x: i32) -> i32 { x / 2 }|};
+      dc_accept = true;
+      dc_spec = (fun a r -> a - 1 <= r + r && r + r <= a + 1);
+    };
+    {
+      dc_name = "2*(x/2) <= x (Euclid-unsound)";
+      dc_src =
+        {|#[lr::sig(fn(i32<@a>) -> i32{v: v + v <= a})]
+          fn f(x: i32) -> i32 { x / 2 }|};
+      dc_accept = false;
+      dc_spec = (fun a r -> r + r <= a);
+    };
+    {
+      (* joins infer κ over the qualifier lattice, so the spec sticks
+         to qualifier-expressible facts (0 <= v); the point is that the
+         sign guard still recovers nonnegativity of [%] under the
+         truncated encoding *)
+      dc_name = "guarded mod is nonnegative";
+      dc_src =
+        {|#[lr::sig(fn(i32) -> i32{v: 0 <= v})]
+          fn f(x: i32) -> i32 { if 0 <= x { x % 5 } else { 0 } }|};
+      dc_accept = true;
+      dc_spec = (fun _ r -> 0 <= r);
+    };
+  ]
+
+let divmod_inputs = [ -9; -8; -7; -5; -3; -2; -1; 0; 1; 2; 3; 5; 7; 8; 9 ]
+
+let run_f (src : string) (n : int) : int =
+  let prog = Flux_syntax.Parser.parse_program src in
+  Flux_syntax.Typeck.check_program prog;
+  match Interp.run_fn ~fuel:10_000 prog "f" [ Interp.VInt n ] with
+  | Interp.VInt r -> r
+  | _ -> Alcotest.fail "expected an integer result"
+
+let divmod_test (c : divmod_case) =
+  Alcotest.test_case c.dc_name `Quick (fun () ->
+      Alcotest.(check bool) "checker verdict" c.dc_accept
+        (accepted_by_flux c.dc_src);
+      if c.dc_accept then
+        (* accepted ⇒ the interpreter agrees with the spec everywhere,
+           negative dividends included *)
+        List.iter
+          (fun n ->
+            let r = run_f c.dc_src n in
+            if not (c.dc_spec n r) then
+              Alcotest.failf
+                "SOUNDNESS BUG: accepted, but spec fails at x=%d (result %d)" n
+                r)
+          divmod_inputs
+      else
+        (* rejected ⇒ the rejection is a genuine soundness issue, not
+           incompleteness: some input falsifies the spec, so any
+           encoding accepting this program (Euclidean did) is unsound *)
+        Alcotest.(check bool)
+          "spec genuinely falsified by some input" true
+          (List.exists
+             (fun n -> not (c.dc_spec n (run_f c.dc_src n)))
+             divmod_inputs))
+
 let tests =
   ( "soundness-fuzz",
     [
       Alcotest.test_case "generator produces a mix" `Slow generator_mix;
       QCheck_alcotest.to_alcotest soundness_prop;
     ] )
+
+let divmod_tests = ("soundness-divmod", List.map divmod_test divmod_cases)
