@@ -20,6 +20,7 @@
 
 module Checker = Flux_check.Checker
 module Wp = Flux_wp.Wp
+module Engine = Flux_engine.Engine
 module Workloads = Flux_workloads.Workloads
 module Loc = Flux_workloads.Loc
 module Solver = Flux_smt.Solver
@@ -54,6 +55,99 @@ let time_prusti_prof src =
   (t, ok, Profile.to_json ())
 
 (* ------------------------------------------------------------------ *)
+(* Engine measurements (parallel + incremental cache)                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Remove every cache entry so a run against [dir] starts cold. *)
+let wipe_cache dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+let profile_count key =
+  match List.assoc_opt key (Profile.snapshot ()) with
+  | Some (n, _, _) -> n
+  | None -> 0
+
+type engine_meas = {
+  eg_jobs : int;
+  eg_fns : int;  (** functions in the pooled suite *)
+  eg_cold_t : float;  (** parallel wall-clock, empty cache *)
+  eg_cold_ok : bool;
+  eg_cold_hits : int;
+  eg_warm_t : float;  (** parallel wall-clock, fully warm cache *)
+  eg_warm_ok : bool;
+  eg_warm_hits : int;
+  eg_warm_misses : int;
+  eg_warm_queries : int;  (** solver queries issued during the warm run *)
+  eg_rows : (string * (int * int)) list;
+      (** per-benchmark warm-run (cache hits, misses) *)
+}
+
+(** Verify all [srcs] as one pooled engine batch, cold then warm: the
+    whole suite shares one schedule, so the parallel wall-clock is
+    bounded by the single largest function rather than the largest
+    per-benchmark sum. *)
+let engine_suite ~jobs ~dir (srcs : (string * string) list) : engine_meas =
+  let progs =
+    List.map
+      (fun (_, src) ->
+        let p = Flux_syntax.Parser.parse_program src in
+        Flux_syntax.Typeck.check_program p;
+        p)
+      srcs
+  in
+  let cfg = { Engine.jobs; cache_dir = Some dir } in
+  (* The engine phases run late in the bench process; shed the heap the
+     earlier suites grew (interned terms, major-heap garbage) so their
+     wall-clock is not paying for the sequential runs' GC debt. *)
+  let pristine () =
+    fresh_caches ();
+    Flux_smt.Term.reset_intern ();
+    Gc.compact ()
+  in
+  wipe_cache dir;
+  pristine ();
+  let t0 = Unix.gettimeofday () in
+  let cold = Engine.check_programs cfg progs in
+  let cold_t = Unix.gettimeofday () -. t0 in
+  pristine ();
+  let t1 = Unix.gettimeofday () in
+  let warm = Engine.check_programs cfg progs in
+  let warm_t = Unix.gettimeofday () -. t1 in
+  let warm_queries = profile_count "solver.queries" in
+  let sum f runs = List.fold_left (fun a r -> a + f r) 0 runs in
+  {
+    eg_jobs = (if jobs <= 0 then Domain.recommended_domain_count () else jobs);
+    eg_fns = sum (fun r -> List.length r.Engine.run_fns) warm;
+    eg_cold_t = cold_t;
+    eg_cold_ok = List.for_all Engine.run_ok cold;
+    eg_cold_hits = sum (fun r -> r.Engine.run_hits) cold;
+    eg_warm_t = warm_t;
+    eg_warm_ok = List.for_all Engine.run_ok warm;
+    eg_warm_hits = sum (fun r -> r.Engine.run_hits) warm;
+    eg_warm_misses = sum (fun r -> r.Engine.run_misses) warm;
+    eg_warm_queries = warm_queries;
+    eg_rows =
+      List.map2
+        (fun (name, _) r -> (name, (r.Engine.run_hits, r.Engine.run_misses)))
+        srcs warm;
+  }
+
+let json_engine (e : engine_meas) ~seq_time =
+  Printf.sprintf
+    "{\"jobs\": %d, \"cores\": %d, \"functions\": %d, \"sequential_time_s\": \
+     %.3f, \"parallel_time_s\": %.3f, \"parallel_over_sequential\": %.3f, \
+     \"warm_time_s\": %.3f, \"warm_cache_hits\": %d, \"warm_cache_misses\": \
+     %d, \"warm_solver_queries\": %d}"
+    e.eg_jobs
+    (Domain.recommended_domain_count ())
+    e.eg_fns seq_time e.eg_cold_t
+    (e.eg_cold_t /. seq_time)
+    e.eg_warm_t e.eg_warm_hits e.eg_warm_misses e.eg_warm_queries
+
+(* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -79,33 +173,44 @@ let json_opt_float = function
 
 let json_opt_raw = function None -> "null" | Some s -> s
 
-let json_side ~(annot : int option) (c : Loc.counts) time ok profile =
+let json_side ~(annot : int option) ?cache (c : Loc.counts) time ok profile =
   let annot_field =
     match annot with None -> "" | Some a -> Printf.sprintf "\"annot\": %d, " a
   in
+  let cache_field =
+    match cache with
+    | None -> ""
+    | Some (h, m) ->
+        Printf.sprintf "\"warm_cache_hits\": %d, \"warm_cache_misses\": %d, " h m
+  in
   Printf.sprintf
-    "{\"loc\": %d, \"spec\": %d, %s\"time_s\": %s, \"ok\": %b, \"profile\": %s}"
-    c.Loc.loc c.Loc.spec annot_field (json_opt_float time) ok
+    "{\"loc\": %d, \"spec\": %d, %s%s\"time_s\": %s, \"ok\": %b, \"profile\": %s}"
+    c.Loc.loc c.Loc.spec annot_field cache_field (json_opt_float time) ok
     (json_opt_raw profile)
 
-let json_row (r : row) =
+let json_row ~cache_rows (r : row) =
   Printf.sprintf "    {\"name\": \"%s\", \"flux\": %s, \"prusti\": %s}"
     r.r_name
-    (json_side ~annot:None r.r_flux r.r_flux_time r.r_flux_ok r.r_flux_profile)
+    (json_side ~annot:None
+       ?cache:(List.assoc_opt r.r_name cache_rows)
+       r.r_flux r.r_flux_time r.r_flux_ok r.r_flux_profile)
     (json_side ~annot:(Some r.r_prusti.Loc.annot) r.r_prusti r.r_prusti_time
        r.r_prusti_ok r.r_prusti_profile)
 
-let write_table1_json ~(rows : row list) ~totals ~claims =
+let write_table1_json ~(rows : row list) ~totals ~claims ~cache_rows ~engine =
   let fl, fs, ft, pl, ps, pa, pt = totals in
   let time_ratio, spec_ratio, annot_pct = claims in
   let oc = open_out "BENCH_table1.json" in
   Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ],\n"
-    (String.concat ",\n" (List.map json_row rows));
+    (String.concat ",\n" (List.map (json_row ~cache_rows) rows));
   Printf.fprintf oc
     "  \"totals\": {\"flux\": {\"loc\": %d, \"spec\": %d, \"time_s\": %.3f}, \
      \"prusti\": {\"loc\": %d, \"spec\": %d, \"annot\": %d, \"time_s\": \
      %.3f}},\n"
     fl fs ft pl ps pa pt;
+  (match engine with
+  | Some e -> Printf.fprintf oc "  \"engine\": %s,\n" e
+  | None -> ());
   Printf.fprintf oc
     "  \"claims\": {\"time_ratio_prusti_over_flux\": %.2f, \
      \"spec_ratio_prusti_over_flux\": %.2f, \"annot_pct_of_loc\": %.1f}\n}\n"
@@ -124,7 +229,7 @@ let print_row r =
     (opt_time r.r_prusti_time)
     (if r.r_prusti_ok then " " else "FAIL")
 
-let table1 () =
+let table1 ~jobs () =
   Printf.printf
     "Table 1 - Flux vs. the Prusti-style baseline (this reproduction)\n\n";
   Printf.printf "%-10s | %-27s | %-27s\n" "" "Flux" "Prusti (baseline)";
@@ -206,19 +311,83 @@ let table1 () =
      (paper: ~14%% of LOC, ~11%% here depending on counting)\n"
     pa
     (100.0 *. float_of_int pa /. float_of_int pl);
+  (* Engine: the same Flux suite, pooled through the parallel scheduler
+     with the persistent cache — cold (parallel speedup) then warm
+     (incremental replay). *)
+  let eng =
+    engine_suite ~jobs ~dir:".flux-cache-bench"
+      (List.map
+         (fun (b : Workloads.benchmark) -> (b.Workloads.bm_name, b.Workloads.bm_flux))
+         Workloads.all)
+  in
+  Printf.printf
+    "\nEngine (scheduler + incremental cache, --jobs %d on %d core(s)):\n"
+    eng.eg_jobs
+    (Domain.recommended_domain_count ());
+  Printf.printf "  flux suite sequential     : %6.1fs\n" ft;
+  Printf.printf "  flux suite parallel (cold): %6.1fs  (%.2fx of sequential%s)\n"
+    eng.eg_cold_t (eng.eg_cold_t /. ft)
+    (if eng.eg_cold_ok then "" else "; FAIL");
+  Printf.printf
+    "  flux suite warm cache     : %6.2fs  (%d/%d hits, %d solver queries%s)\n"
+    eng.eg_warm_t eng.eg_warm_hits eng.eg_fns eng.eg_warm_queries
+    (if eng.eg_warm_ok then "" else "; FAIL");
   write_table1_json
     ~rows:(rvec_row :: rmat_row :: rows)
     ~totals:(fl, fs, ft, pl, ps, pa, pt)
+    ~cache_rows:eng.eg_rows
+    ~engine:(Some (json_engine eng ~seq_time:ft))
     ~claims:
       ( pt /. ft,
         float_of_int ps /. float_of_int fs,
         100.0 *. float_of_int pa /. float_of_int pl );
   Printf.printf "\nWrote BENCH_table1.json\n";
   let all_ok =
-    List.for_all (fun r -> r.r_flux_ok && r.r_prusti_ok) rows && rmat_ok
+    List.for_all (fun r -> r.r_flux_ok && r.r_prusti_ok) rows
+    && rmat_ok && eng.eg_cold_ok && eng.eg_warm_ok
   in
   Printf.printf "All verifications succeeded: %b\n" all_ok;
   if not all_ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* CI smoke: small suite, cold + warm, asserting full warm hits        *)
+(* ------------------------------------------------------------------ *)
+
+let smoke ~jobs () =
+  let names = [ "dotprod"; "bsearch" ] in
+  let srcs =
+    List.map
+      (fun n ->
+        let b = Option.get (Workloads.find n) in
+        (n, b.Workloads.bm_flux))
+      names
+  in
+  let eng = engine_suite ~jobs ~dir:".flux-cache-smoke" srcs in
+  Printf.printf
+    "Engine smoke (%s; --jobs %d):\n  cold: %.2fs (%d hits)\n  warm: %.2fs \
+     (%d/%d hits, %d solver queries)\n"
+    (String.concat "+" names) eng.eg_jobs eng.eg_cold_t eng.eg_cold_hits
+    eng.eg_warm_t eng.eg_warm_hits eng.eg_fns eng.eg_warm_queries;
+  let oc = open_out "BENCH_smoke.json" in
+  Printf.fprintf oc
+    "{\"suite\": \"%s\", \"engine\": %s, \"cold_cache_hits\": %d, \"ok\": %b}\n"
+    (String.concat "+" names)
+    (json_engine eng ~seq_time:eng.eg_cold_t)
+    eng.eg_cold_hits
+    (eng.eg_cold_ok && eng.eg_warm_ok);
+  close_out oc;
+  Printf.printf "Wrote BENCH_smoke.json\n";
+  let pass =
+    eng.eg_cold_ok && eng.eg_warm_ok
+    && eng.eg_cold_hits = 0
+    && eng.eg_warm_hits = eng.eg_fns
+    && eng.eg_warm_misses = 0
+    && eng.eg_warm_queries = 0
+  in
+  Printf.printf "Smoke assertions (cold all-miss, warm all-hit, zero warm \
+                 solver queries): %s\n"
+    (if pass then "PASS" else "FAIL");
+  if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -264,7 +433,7 @@ let synth_solve ~quals ~scope_n =
     | Solve.Sat _ -> true
     | Solve.Unsat _ -> false
   in
-  (Unix.gettimeofday () -. t0, ok, Solve.stats.weaken_checks)
+  (Unix.gettimeofday () -. t0, ok, (Solve.stats ()).weaken_checks)
 
 let ablations () =
   let full = Flux_fixpoint.Qualifier.default in
@@ -369,18 +538,32 @@ let micro () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = Array.to_list Sys.argv in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> ( try int_of_string n with Failure _ -> 4)
+      | _ :: rest -> find rest
+      | [] -> 4
+    in
+    find args
+  in
+  let mode =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) <> "--jobs" then Sys.argv.(1)
+    else "all"
+  in
   match mode with
-  | "table1" -> table1 ()
+  | "table1" -> table1 ~jobs ()
+  | "smoke" -> smoke ~jobs ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()
   | "all" ->
-      table1 ();
+      table1 ~jobs ();
       Printf.printf "\n";
       ablations ();
       Printf.printf "\n";
       micro ()
   | m ->
       Printf.eprintf
-        "unknown mode %s (expected table1 | ablations | micro | all)\n" m;
+        "unknown mode %s (expected table1 | smoke | ablations | micro | all)\n"
+        m;
       exit 2

@@ -3,10 +3,19 @@
     Usage: [flux check FILE.rs] type-checks a program in the Rust
     subset against its [#[lr::sig(...)]] refinement signatures, with
     optional dumps of the MIR, the generated Horn constraints and the
-    inferred κ solutions. *)
+    inferred κ solutions.
+
+    Checking goes through the engine ({!Flux_engine.Engine}): functions
+    are verified in parallel on [--jobs] domains and previously-proved
+    functions are replayed from the persistent on-disk cache
+    ([--cache-dir], disable with [--no-cache]). Output is byte-identical
+    for every [--jobs] value: reports are emitted in declaration order
+    and per-function wall-clock times are only shown on request
+    ([--times], inherently nondeterministic). *)
 
 open Cmdliner
 module Checker = Flux_check.Checker
+module Engine = Flux_engine.Engine
 
 let read_file path =
   let ic = open_in_bin path in
@@ -15,7 +24,7 @@ let read_file path =
   close_in ic;
   s
 
-let check_cmd_run file dump_mir dump_solution quiet =
+let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times =
   try
     let src = read_file file in
     let prog = Flux_syntax.Parser.parse_program src in
@@ -24,27 +33,52 @@ let check_cmd_run file dump_mir dump_solution quiet =
       List.iter
         (fun (_, body) -> Format.printf "%a@." Flux_mir.Ir.pp_body body)
         (Flux_mir.Lower.lower_program prog);
-    let report = Checker.check_program_ast prog in
+    let cfg =
+      {
+        Engine.jobs;
+        (* cached hits replay verdicts without re-solving, so they have
+           no κ solution to dump: [--dump-solution] implies a full
+           re-check *)
+        cache_dir = (if cache && not dump_solution then Some cache_dir else None);
+      }
+    in
+    let run = Engine.check_program_ast cfg prog in
     List.iter
-      (fun (fr : Checker.fn_report) ->
+      (fun (o : Engine.fn_outcome) ->
+        let fr = o.Engine.fo_report in
         if not quiet then
-          Format.printf "%-24s %s  (%d κ, %d clauses, %.3fs)@." fr.fr_name
-            (if Checker.fn_ok fr then "OK" else "ERROR")
-            fr.fr_kvars fr.fr_clauses fr.fr_time;
+          if times then
+            Format.printf "%-24s %s  (%d κ, %d clauses, %.3fs%s)@." fr.fr_name
+              (if Checker.fn_ok fr then "OK" else "ERROR")
+              fr.fr_kvars fr.fr_clauses fr.fr_time
+              (if o.Engine.fo_cached then ", cached" else "")
+          else
+            Format.printf "%-24s %s  (%d κ, %d clauses)@." fr.fr_name
+              (if Checker.fn_ok fr then "OK" else "ERROR")
+              fr.fr_kvars fr.fr_clauses;
         List.iter
           (fun e -> Format.printf "  error: %a@." Checker.pp_error e)
           fr.fr_errors;
         if dump_solution then
           match fr.fr_solution with
           | Some sol ->
-              Format.printf "  inferred solution:@.%a" Flux_fixpoint.Solve.pp_solution sol
+              Format.printf "  inferred solution:@.%a"
+                Flux_fixpoint.Solve.pp_solution sol
           | None -> ())
-      report.Checker.rp_fns;
-    if Checker.report_ok report then begin
-      if not quiet then
-        Format.printf "flux: %d function(s) verified in %.3fs@."
-          (List.length report.Checker.rp_fns)
-          report.Checker.rp_time;
+      run.Engine.run_fns;
+    if Engine.run_ok run then begin
+      if not quiet then begin
+        let n = List.length run.Engine.run_fns in
+        let cached =
+          if run.Engine.run_hits > 0 then
+            Printf.sprintf " (%d from cache)" run.Engine.run_hits
+          else ""
+        in
+        if times then
+          Format.printf "flux: %d function(s) verified%s in %.3fs@." n cached
+            run.Engine.run_time
+        else Format.printf "flux: %d function(s) verified%s@." n cached
+      end;
       0
     end
     else begin
@@ -73,14 +107,44 @@ let dump_mir_flag =
   Arg.(value & flag & info [ "dump-mir" ] ~doc:"Print the lowered MIR")
 
 let dump_solution_flag =
-  Arg.(value & flag & info [ "dump-solution" ] ~doc:"Print the inferred κ solutions")
+  Arg.(value & flag & info [ "dump-solution" ]
+         ~doc:"Print the inferred κ solutions (disables the cache)")
 
 let quiet_flag = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print errors")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Verify functions in parallel on $(docv) domains (0 = one per core; clamped to core count)")
+
+let cache_flag =
+  Arg.(
+    value
+    & vflag true
+        [
+          (true, info [ "cache" ] ~doc:"Use the persistent verification cache (default)");
+          (false, info [ "no-cache" ] ~doc:"Disable the persistent verification cache");
+        ])
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string Engine.default_cache_dir
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Verification cache directory")
+
+let times_flag =
+  Arg.(
+    value & flag
+    & info [ "times" ]
+        ~doc:"Show per-function and total wall-clock times (nondeterministic)")
 
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a program with liquid refinement types")
-    Term.(const check_cmd_run $ file_arg $ dump_mir_flag $ dump_solution_flag $ quiet_flag)
+    Term.(
+      const check_cmd_run $ file_arg $ dump_mir_flag $ dump_solution_flag
+      $ quiet_flag $ jobs_arg $ cache_flag $ cache_dir_arg $ times_flag)
 
 let main =
   Cmd.group

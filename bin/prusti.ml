@@ -2,10 +2,16 @@
 
     Usage: [prusti check FILE.rs] verifies a program annotated with
     Prusti-style contracts ([#[requires]], [#[ensures]]) and loop
-    invariants ([body_invariant!]). *)
+    invariants ([body_invariant!]).
+
+    Like [flux check], verification goes through the engine: [--jobs]
+    domains in parallel, persistent verdict cache keyed on bodies and
+    contracts ([--no-cache] to disable), declaration-order output with
+    times gated behind [--times]. *)
 
 open Cmdliner
 module Wp = Flux_wp.Wp
+module Engine = Flux_engine.Engine
 
 let read_file path =
   let ic = open_in_bin path in
@@ -14,23 +20,41 @@ let read_file path =
   close_in ic;
   s
 
-let check_cmd_run file quiet =
+let check_cmd_run file quiet jobs cache cache_dir times =
   try
     let src = read_file file in
-    let report = Wp.verify_source src in
+    let cfg =
+      { Engine.jobs; cache_dir = (if cache then Some cache_dir else None) }
+    in
+    let run = Engine.verify_source cfg src in
     List.iter
-      (fun (fr : Wp.fn_report) ->
+      (fun (o : Engine.wp_outcome) ->
+        let fr = o.Engine.wo_report in
         if not quiet then
-          Format.printf "%-24s %s  (%d VCs, %.3fs)@." fr.fr_name
-            (if Wp.fn_ok fr then "OK" else "ERROR")
-            fr.fr_vcs fr.fr_time;
+          if times then
+            Format.printf "%-24s %s  (%d VCs, %.3fs%s)@." fr.fr_name
+              (if Wp.fn_ok fr then "OK" else "ERROR")
+              fr.fr_vcs fr.fr_time
+              (if o.Engine.wo_cached then ", cached" else "")
+          else
+            Format.printf "%-24s %s  (%d VCs)@." fr.fr_name
+              (if Wp.fn_ok fr then "OK" else "ERROR")
+              fr.fr_vcs;
         List.iter (fun e -> Format.printf "  error: %a@." Wp.pp_error e) fr.fr_errors)
-      report.Wp.rp_fns;
-    if Wp.report_ok report then begin
-      if not quiet then
-        Format.printf "prusti: %d function(s) verified in %.3fs@."
-          (List.length report.Wp.rp_fns)
-          report.Wp.rp_time;
+      run.Engine.wr_fns;
+    if Engine.wp_run_ok run then begin
+      if not quiet then begin
+        let n = List.length run.Engine.wr_fns in
+        let cached =
+          if run.Engine.wr_hits > 0 then
+            Printf.sprintf " (%d from cache)" run.Engine.wr_hits
+          else ""
+        in
+        if times then
+          Format.printf "prusti: %d function(s) verified%s in %.3fs@." n cached
+            run.Engine.wr_time
+        else Format.printf "prusti: %d function(s) verified%s@." n cached
+      end;
       0
     end
     else begin
@@ -57,10 +81,39 @@ let file_arg =
 
 let quiet_flag = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print errors")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Verify functions in parallel on $(docv) domains (0 = one per core; clamped to core count)")
+
+let cache_flag =
+  Arg.(
+    value
+    & vflag true
+        [
+          (true, info [ "cache" ] ~doc:"Use the persistent verification cache (default)");
+          (false, info [ "no-cache" ] ~doc:"Disable the persistent verification cache");
+        ])
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string Engine.default_cache_dir
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Verification cache directory")
+
+let times_flag =
+  Arg.(
+    value & flag
+    & info [ "times" ]
+        ~doc:"Show per-function and total wall-clock times (nondeterministic)")
+
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a program with the program-logic baseline")
-    Term.(const check_cmd_run $ file_arg $ quiet_flag)
+    Term.(
+      const check_cmd_run $ file_arg $ quiet_flag $ jobs_arg $ cache_flag
+      $ cache_dir_arg $ times_flag)
 
 let main =
   Cmd.group

@@ -1127,6 +1127,13 @@ let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
   Profile.with_fn fd.Ast.fn_name @@ fun () ->
   Profile.time "check.fn_s" @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  (* Per-function determinism: every check draws fresh names (and κ
+     names) from zero, so the constraints — and the report — are a
+     pure function of (genv, fd, body), independent of check order or
+     of which domain runs the check. Signature-era binders cannot be
+     captured: [Sub.unpack] renames them and [Sub.sub] substitutes
+     them away before they reach any context. *)
+  Rty.reset_fresh ();
   let fsig =
     match Genv.find_sig genv fd.Ast.fn_name with
     | Some s -> s

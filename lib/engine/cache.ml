@@ -1,0 +1,195 @@
+(** The persistent incremental verification cache.
+
+    Content-addressed: a function's cache key is the MD5 of everything
+    its (modular) verification depends on — its lowered MIR body, its
+    own resolved refinement signature, the signatures of every function
+    it calls, the struct environment, the qualifier set, the relevant
+    configuration flags, and a checker-version salt. Two consequences:
+
+    - a hit is sound to reuse: by modularity (PAPER.md §6) the check of
+      a function reads nothing outside the key material;
+    - edits invalidate exactly the affected keys: changing one callee's
+      [lr::sig] changes the keys of that callee and its callers, and
+      nothing else (fingerprints are span-insensitive, so shifting line
+      numbers invalidates nothing, and signature binder names restart
+      at zero per declaration — see [Specconv.resolve_sig] — so they
+      do not leak positional state between declarations).
+
+    Only error-free verdicts are stored: error reports carry source
+    spans, which the key deliberately ignores, so replaying them after
+    an edit elsewhere in the file could point at stale locations.
+    Failing functions are simply re-checked — re-reporting errors is
+    the cheap case compared to re-proving successes.
+
+    Entries are plain scalar records serialized with [Marshal] (no
+    closures or custom blocks, so they are stable across executables
+    built by the same compiler) and written atomically (temp file +
+    rename), making concurrent writers from parallel runs or separate
+    processes safe. A corrupt or unreadable entry degrades to a miss. *)
+
+module Ast = Flux_syntax.Ast
+module Ir = Flux_mir.Ir
+open Flux_smt
+open Flux_rtype
+open Flux_fixpoint
+
+(** Bump on any change to constraint generation, solving, or the
+    fingerprint scheme: stale entries from older checkers must miss. *)
+let version = "flux-engine-v1"
+
+type entry = {
+  e_kvars : int;  (** κ variables of the original check (0 for WP) *)
+  e_clauses : int;  (** Horn clauses (Flux) or VCs discharged (WP) *)
+  e_time : float;  (** wall-clock seconds of the original check *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let hex s = Digest.to_hex (Digest.string s)
+
+(** The printers used below render no source spans, so fingerprints are
+    stable under edits that only move code around. *)
+let body_fingerprint (b : Ir.body) : string =
+  hex (Format.asprintf "%a" Ir.pp_body b)
+
+let pp_sorted_binders fmt bs =
+  List.iter (fun (x, s) -> Format.fprintf fmt "%s:%a;" x Sort.pp s) bs
+
+let fsig_fingerprint (s : Specconv.fsig) : string =
+  hex
+    (Format.asprintf "%s|params:%a|args:%a|req:%a|ret:%a|ens:%a"
+       s.Specconv.fsg_name pp_sorted_binders s.Specconv.fsg_params
+       (Format.pp_print_list Rty.pp)
+       s.Specconv.fsg_args
+       (Format.pp_print_list Term.pp)
+       s.Specconv.fsg_requires Rty.pp s.Specconv.fsg_ret
+       (Format.pp_print_list (fun fmt (i, t) ->
+            Format.fprintf fmt "%d->%a" i Rty.pp t))
+       s.Specconv.fsg_ensures)
+
+let struct_env_fingerprint (senv : Rty.struct_env) : string =
+  let infos =
+    Hashtbl.fold (fun _ si acc -> si :: acc) senv []
+    |> List.sort (fun a b -> String.compare a.Rty.si_name b.Rty.si_name)
+  in
+  hex
+    (Format.asprintf "%a"
+       (Format.pp_print_list (fun fmt si ->
+            Format.fprintf fmt "%s|%a|%a|inv:%a;" si.Rty.si_name
+              pp_sorted_binders si.Rty.si_params
+              (Format.pp_print_list (fun fmt (f, t) ->
+                   Format.fprintf fmt "%s:%a," f Rty.pp t))
+              si.Rty.si_fields
+              (Format.pp_print_option Term.pp)
+              si.Rty.si_invariant))
+       infos)
+
+let qualifiers_fingerprint (qs : Qualifier.t list) : string =
+  hex
+    (Format.asprintf "%a|limit:%d"
+       (Format.pp_print_list Qualifier.pp)
+       qs
+       !Qualifier.multi_wildcard_scope_limit)
+
+(** A function's Prusti-side interface: plain types plus contract. *)
+let contract_fingerprint (fd : Ast.fn_def) : string =
+  hex
+    (Format.asprintf "%s|%a|ret:%a|req:%a|ens:%a|trusted:%b" fd.Ast.fn_name
+       (Format.pp_print_list (fun fmt (x, t) ->
+            Format.fprintf fmt "%s:%a;" x Ast.pp_ty t))
+       fd.Ast.fn_params Ast.pp_ty fd.Ast.fn_ret
+       (Format.pp_print_list Ast.pp_expr)
+       fd.Ast.fn_contract.Ast.c_requires
+       (Format.pp_print_list Ast.pp_expr)
+       fd.Ast.fn_contract.Ast.c_ensures fd.Ast.fn_trusted)
+
+(** Direct callees of a body, sorted and deduplicated — modular
+    checking consults exactly their signatures, no deeper. *)
+let callees (b : Ir.body) : string list =
+  Array.fold_left
+    (fun acc blk ->
+      match blk.Ir.term with
+      | Ir.TCall { tc_func; _ } -> tc_func :: acc
+      | _ -> acc)
+    [] b.Ir.mb_blocks
+  |> List.sort_uniq String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let callee_material ~fingerprint ~lookup names =
+  List.map
+    (fun f ->
+      match lookup f with
+      | Some x -> f ^ "=" ^ fingerprint x
+      (* no user signature: semantics are built in (e.g. [RVec::*]),
+         covered by the version salt *)
+      | None -> f ^ "=builtin")
+    names
+
+(** Cache key for one Flux per-function check. [config] captures the
+    flag state the check runs under (underflow checking, slicing);
+    [lookup] resolves callee names the way the checker will. *)
+let flux_key ~(config : string) ~(senv_fp : string) ~(quals_fp : string)
+    ~(lookup : string -> Specconv.fsig option) (fd : Ast.fn_def)
+    (body : Ir.body) : string =
+  let own =
+    match lookup fd.Ast.fn_name with
+    | Some s -> fsig_fingerprint s
+    | None -> "default"
+  in
+  hex
+    (String.concat "\n"
+       ([ version; "flux"; config; senv_fp; quals_fp; own;
+          body_fingerprint body ]
+       @ callee_material ~fingerprint:fsig_fingerprint ~lookup
+           (callees body)))
+
+(** Cache key for one WP (Prusti-baseline) per-function check. *)
+let wp_key ~(config : string) ~(lookup : string -> Ast.fn_def option)
+    (fd : Ast.fn_def) (body : Ir.body) : string =
+  hex
+    (String.concat "\n"
+       ([ version; "wp"; config; contract_fingerprint fd;
+          body_fingerprint body ]
+       @ callee_material ~fingerprint:contract_fingerprint ~lookup
+           (callees body)))
+
+(* ------------------------------------------------------------------ *)
+(* The on-disk store                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let path dir key = Filename.concat dir (key ^ ".entry")
+
+let load ~(dir : string) (key : string) : entry option =
+  match open_in_bin (path dir key) with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match (Marshal.from_channel ic : entry) with
+          | e -> Some e
+          | exception _ -> None)
+
+let store ~(dir : string) (key : string) (e : entry) : unit =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  let p = path dir key in
+  let tmp = Printf.sprintf "%s.tmp.%d" p (Unix.getpid ()) in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+      let written =
+        match Marshal.to_channel oc e [] with
+        | () ->
+            close_out_noerr oc;
+            true
+        | exception _ ->
+            close_out_noerr oc;
+            false
+      in
+      if written then ( try Sys.rename tmp p with Sys_error _ -> ())
+      else ( try Sys.remove tmp with Sys_error _ -> ())

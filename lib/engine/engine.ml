@@ -1,0 +1,367 @@
+(** The verification engine: parallel scheduling plus the persistent
+    incremental cache, between the CLI/bench drivers and the checkers.
+
+    Flux checking is modular — each function is verified against callee
+    {e signatures} only — so per-function checks are independent tasks.
+    The engine exploits that twice:
+
+    - {b Parallelism}: misses run on a {!Pool} of OCaml 5 domains,
+      largest estimated task first (LPT) so one heavyweight function
+      does not serialize the tail of the schedule. All checker state is
+      domain-local (term interning, solver stats/caches, fixpoint
+      stats, profiles, fresh-name counters), and each per-function
+      check resets its fresh-name counter, so results — verdicts,
+      errors, κ/clause counts — are byte-identical to a sequential run
+      regardless of [jobs]. Worker profiles are merged back into the
+      calling domain in declaration order ({!Flux_smt.Profile.absorb}).
+
+    - {b Incrementality}: before scheduling, each function is probed in
+      the content-addressed on-disk cache ({!Cache}); hits return the
+      stored verdict/stats without generating or solving anything.
+
+    The engine accepts a {e list} of programs and pools all their
+    functions into one schedule: for a suite (the Table-1 benchmarks),
+    the makespan is governed by the single largest function rather than
+    the largest per-program sum. *)
+
+module Ast = Flux_syntax.Ast
+module Ir = Flux_mir.Ir
+module Checker = Flux_check.Checker
+module Genv = Flux_check.Genv
+module Wp = Flux_wp.Wp
+open Flux_smt
+open Flux_fixpoint
+
+type config = {
+  jobs : int;  (** worker domains; [<= 0] selects {!Pool.default_jobs} *)
+  cache_dir : string option;  (** [None] disables the persistent cache *)
+}
+
+let default_cache_dir = ".flux-cache"
+let default_config = { jobs = 0; cache_dir = Some default_cache_dir }
+
+(* Flag state a check runs under; part of the cache key so toggling a
+   flag cannot replay verdicts obtained under another configuration. *)
+let flux_config_string () =
+  Printf.sprintf "underflow=%b;slice=%b" !Checker.check_underflow
+    !Solve.slice_enabled
+
+let wp_config_string () =
+  Printf.sprintf "underflow=%b;rounds=%d;cap=%d" !Wp.check_underflow
+    !Wp.inst_rounds !Wp.inst_cap
+
+(* ------------------------------------------------------------------ *)
+(* The pooled scheduler                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Static size estimate driving the LPT schedule: constraint volume —
+    and hence solving time — grows with the number of statements and
+    blocks. Mis-estimates cost only schedule quality, never results. *)
+let body_size (b : Ir.body) : int =
+  Array.fold_left
+    (fun acc blk -> acc + 1 + List.length blk.Ir.stmts)
+    0 b.Ir.mb_blocks
+
+(** Run independent checks through the domain pool, largest first,
+    returning results in input order. Each task runs with a clean
+    per-domain profile; the captured profiles are merged back into the
+    calling domain in input order, so the aggregated profile is
+    deterministic and scheduling-independent. *)
+let run_pool ~(jobs : int) ~(sizes : int array) (fns : (unit -> 'a) array) :
+    'a array =
+  let n = Array.length fns in
+  if n = 0 then [||]
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (sizes.(b), a) (sizes.(a), b)) order;
+    let tasks =
+      Array.map
+        (fun i () ->
+          Profile.reset ();
+          let r = fns.(i) () in
+          (r, Profile.capture ()))
+        order
+    in
+    (* The per-task resets also clear the calling domain's profile when
+       running inline (jobs <= 1); save it and merge it back. *)
+    let outer = Profile.capture () in
+    let outcomes = Pool.run ~jobs tasks in
+    Profile.reset ();
+    Profile.absorb outer;
+    let results = Array.make n None in
+    Array.iteri (fun k i -> results.(i) <- Some outcomes.(k)) order;
+    Array.init n (fun i ->
+        match results.(i) with
+        | Some (r, cap) ->
+            Profile.absorb cap;
+            r
+        | None -> assert false)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flux                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type fn_outcome = {
+  fo_report : Checker.fn_report;
+  fo_cached : bool;  (** verdict replayed from the persistent cache *)
+}
+
+type run = {
+  run_fns : fn_outcome list;  (** declaration order *)
+  run_hits : int;
+  run_misses : int;  (** functions actually checked *)
+  run_time : float;
+      (** wall-clock of the engine invocation that produced this run
+          (shared across the batch for {!check_programs}) *)
+}
+
+let report_of_run (r : run) : Checker.report =
+  {
+    Checker.rp_fns = List.map (fun o -> o.fo_report) r.run_fns;
+    rp_time = r.run_time;
+  }
+
+let run_ok (r : run) = List.for_all (fun o -> Checker.fn_ok o.fo_report) r.run_fns
+
+(* A per-function slot is either replayed from the cache or an index
+   into the shared task arrays. *)
+type 'r slot = Hit of 'r | Todo of int * string option
+
+(** Check several programs through one shared schedule. Genvs are built
+    sequentially on the calling domain and are read-only afterwards, so
+    worker domains may read them concurrently. *)
+let check_programs (cfg : config) (progs : Ast.program list) : run list =
+  let t0 = Unix.gettimeofday () in
+  let config = flux_config_string () in
+  let quals_fp = Cache.qualifiers_fingerprint Qualifier.default in
+  let tasks = ref [] in
+  let n_tasks = ref 0 in
+  let slots =
+    List.map
+      (fun prog ->
+        let genv = Genv.build prog in
+        let senv_fp =
+          if cfg.cache_dir = None then ""
+          else Cache.struct_env_fingerprint genv.Genv.senv
+        in
+        List.filter_map
+          (fun (fd : Ast.fn_def) ->
+            if fd.Ast.fn_trusted then None
+            else
+              match Genv.find_body genv fd.Ast.fn_name with
+              | None -> None
+              | Some body ->
+                  let key =
+                    Option.map
+                      (fun _dir ->
+                        Cache.flux_key ~config ~senv_fp ~quals_fp
+                          ~lookup:(Genv.find_sig genv) fd body)
+                      cfg.cache_dir
+                  in
+                  let hit =
+                    match (key, cfg.cache_dir) with
+                    | Some k, Some dir ->
+                        Option.map
+                          (fun (e : Cache.entry) ->
+                            {
+                              Checker.fr_name = fd.Ast.fn_name;
+                              fr_errors = [];
+                              fr_solution = None;
+                              fr_kvars = e.Cache.e_kvars;
+                              fr_clauses = e.Cache.e_clauses;
+                              fr_time = 0.0;
+                            })
+                          (Cache.load ~dir k)
+                    | _ -> None
+                  in
+                  (match hit with
+                  | Some r ->
+                      Profile.incr "engine.cache_hits";
+                      Some (Hit r)
+                  | None ->
+                      if key <> None then Profile.incr "engine.cache_misses";
+                      let i = !n_tasks in
+                      incr n_tasks;
+                      tasks := (genv, fd, body, key) :: !tasks;
+                      Some (Todo (i, key))))
+          (Ast.program_fns prog))
+      progs
+  in
+  let task_arr = Array.of_list (List.rev !tasks) in
+  let sizes = Array.map (fun (_, _, body, _) -> body_size body) task_arr in
+  let fns =
+    Array.map
+      (fun (genv, fd, body, _) () -> Checker.check_body genv fd body)
+      task_arr
+  in
+  let results = run_pool ~jobs:cfg.jobs ~sizes fns in
+  (match cfg.cache_dir with
+  | Some dir ->
+      Array.iteri
+        (fun i (_, _, _, key) ->
+          match key with
+          | Some k when Checker.fn_ok results.(i) ->
+              let r = results.(i) in
+              Cache.store ~dir k
+                {
+                  Cache.e_kvars = r.Checker.fr_kvars;
+                  e_clauses = r.Checker.fr_clauses;
+                  e_time = r.Checker.fr_time;
+                }
+          | _ -> ())
+        task_arr
+  | None -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  List.map
+    (fun prog_slots ->
+      let fns =
+        List.map
+          (function
+            | Hit r -> { fo_report = r; fo_cached = true }
+            | Todo (i, _) -> { fo_report = results.(i); fo_cached = false })
+          prog_slots
+      in
+      let hits =
+        List.length (List.filter (fun o -> o.fo_cached) fns)
+      in
+      {
+        run_fns = fns;
+        run_hits = hits;
+        run_misses = List.length fns - hits;
+        run_time = elapsed;
+      })
+    slots
+
+let check_program_ast (cfg : config) (prog : Ast.program) : run =
+  match check_programs cfg [ prog ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+let check_source (cfg : config) (src : string) : run =
+  let prog = Flux_syntax.Parser.parse_program src in
+  Flux_syntax.Typeck.check_program prog;
+  check_program_ast cfg prog
+
+(* ------------------------------------------------------------------ *)
+(* WP (Prusti baseline)                                                *)
+(* ------------------------------------------------------------------ *)
+
+type wp_outcome = { wo_report : Wp.fn_report; wo_cached : bool }
+
+type wp_run = {
+  wr_fns : wp_outcome list;
+  wr_hits : int;
+  wr_misses : int;
+  wr_time : float;
+}
+
+let wp_report_of_run (r : wp_run) : Wp.report =
+  {
+    Wp.rp_fns = List.map (fun o -> o.wo_report) r.wr_fns;
+    rp_time = r.wr_time;
+  }
+
+let wp_run_ok (r : wp_run) = List.for_all (fun o -> Wp.fn_ok o.wo_report) r.wr_fns
+
+let verify_programs (cfg : config) (progs : Ast.program list) : wp_run list =
+  let t0 = Unix.gettimeofday () in
+  let config = wp_config_string () in
+  let tasks = ref [] in
+  let n_tasks = ref 0 in
+  let slots =
+    List.map
+      (fun prog ->
+        let bodies = Flux_mir.Lower.lower_program prog in
+        List.filter_map
+          (fun (fd : Ast.fn_def) ->
+            if fd.Ast.fn_trusted then None
+            else
+              match List.assoc_opt fd.Ast.fn_name bodies with
+              | None -> None
+              | Some body ->
+                  let key =
+                    Option.map
+                      (fun _dir ->
+                        Cache.wp_key ~config ~lookup:(Ast.find_fn prog) fd body)
+                      cfg.cache_dir
+                  in
+                  let hit =
+                    match (key, cfg.cache_dir) with
+                    | Some k, Some dir ->
+                        Option.map
+                          (fun (e : Cache.entry) ->
+                            {
+                              Wp.fr_name = fd.Ast.fn_name;
+                              fr_errors = [];
+                              fr_vcs = e.Cache.e_clauses;
+                              fr_time = 0.0;
+                            })
+                          (Cache.load ~dir k)
+                    | _ -> None
+                  in
+                  (match hit with
+                  | Some r ->
+                      Profile.incr "engine.cache_hits";
+                      Some (Hit r)
+                  | None ->
+                      if key <> None then Profile.incr "engine.cache_misses";
+                      let i = !n_tasks in
+                      incr n_tasks;
+                      tasks := (prog, fd, body, key) :: !tasks;
+                      Some (Todo (i, key))))
+          (Ast.program_fns prog))
+      progs
+  in
+  let task_arr = Array.of_list (List.rev !tasks) in
+  let sizes = Array.map (fun (_, _, body, _) -> body_size body) task_arr in
+  let fns =
+    Array.map
+      (fun (prog, fd, body, _) () -> Wp.verify_body prog fd body)
+      task_arr
+  in
+  let results = run_pool ~jobs:cfg.jobs ~sizes fns in
+  (match cfg.cache_dir with
+  | Some dir ->
+      Array.iteri
+        (fun i (_, _, _, key) ->
+          match key with
+          | Some k when Wp.fn_ok results.(i) ->
+              let r = results.(i) in
+              Cache.store ~dir k
+                {
+                  Cache.e_kvars = 0;
+                  e_clauses = r.Wp.fr_vcs;
+                  e_time = r.Wp.fr_time;
+                }
+          | _ -> ())
+        task_arr
+  | None -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  List.map
+    (fun prog_slots ->
+      let fns =
+        List.map
+          (function
+            | Hit r -> { wo_report = r; wo_cached = true }
+            | Todo (i, _) -> { wo_report = results.(i); wo_cached = false })
+          prog_slots
+      in
+      let hits = List.length (List.filter (fun o -> o.wo_cached) fns) in
+      {
+        wr_fns = fns;
+        wr_hits = hits;
+        wr_misses = List.length fns - hits;
+        wr_time = elapsed;
+      })
+    slots
+
+let verify_program_ast (cfg : config) (prog : Ast.program) : wp_run =
+  match verify_programs cfg [ prog ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+let verify_source (cfg : config) (src : string) : wp_run =
+  let prog = Flux_syntax.Parser.parse_program src in
+  Flux_syntax.Typeck.check_program prog;
+  verify_program_ast cfg prog

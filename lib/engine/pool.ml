@@ -1,0 +1,65 @@
+(** A fixed-size pool of OCaml 5 domains draining an array of
+    independent tasks.
+
+    Tasks are claimed off a shared atomic counter in array order, so
+    callers control scheduling priority by ordering the array (the
+    engine submits largest-estimated tasks first, LPT-style). Results
+    come back positionally: [run tasks] returns an array where slot
+    [i] holds the result of [tasks.(i)] no matter which domain ran it
+    or when it finished. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'a outcome = Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+(** [run ~jobs tasks]: execute every task and return the results in
+    task order. [jobs <= 0] selects {!default_jobs}; [jobs <= 1] (or a
+    single task) runs inline on the calling domain, so sequential mode
+    has no domain overhead and shares the caller's domain-local state.
+    Requested jobs are clamped to the physical core count: verification
+    is CPU-bound and the minor GC is a stop-the-world barrier across
+    all domains, so domains beyond cores only add synchronization
+    stalls (measured ~1.4-2x slowdown when oversubscribed). [jobs < 0]
+    bypasses the clamp and forces exactly [-jobs] domains — only for
+    tests that must exercise true multi-domain runs on small machines.
+    If tasks raised, the first failure in {e task order} is re-raised
+    (identically for sequential and parallel runs). *)
+let run (type a) ~(jobs : int) (tasks : (unit -> a) array) : a array =
+  let n = Array.length tasks in
+  let results : a outcome option array = Array.make n None in
+  let exec i =
+    results.(i) <-
+      Some
+        (try Done (tasks.(i) ())
+         with e -> Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  let jobs =
+    if jobs < 0 then -jobs
+    else min (if jobs = 0 then default_jobs () else jobs) (default_jobs ())
+  in
+  (if jobs <= 1 || n <= 1 then
+     for i = 0 to n - 1 do
+       exec i
+     done
+   else begin
+     let next = Atomic.make 0 in
+     let worker () =
+       let rec loop () =
+         let i = Atomic.fetch_and_add next 1 in
+         if i < n then begin
+           exec i;
+           loop ()
+         end
+       in
+       loop ()
+     in
+     (* Workers catch everything, so [Domain.join] never re-raises;
+        failures are reported positionally below instead. *)
+     let doms = Array.init (min jobs n) (fun _ -> Domain.spawn worker) in
+     Array.iter Domain.join doms
+   end);
+  Array.init n (fun i ->
+      match results.(i) with
+      | Some (Done r) -> r
+      | Some (Failed (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false)

@@ -28,9 +28,16 @@ type stats = {
   mutable final_checks : int;
 }
 
-let stats = { iterations = 0; weaken_checks = 0; final_checks = 0 }
+(* Domain-local, like the solver's stats: each domain running parallel
+   per-function checks accumulates its own counters. *)
+let stats_dls : stats Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { iterations = 0; weaken_checks = 0; final_checks = 0 })
+
+let stats () = Domain.DLS.get stats_dls
 
 let reset_stats () =
+  let stats = stats () in
   stats.iterations <- 0;
   stats.weaken_checks <- 0;
   stats.final_checks <- 0
@@ -88,6 +95,7 @@ let sliced_lhs kenv sol (c : Horn.clause) (rhs : Term.t) : Term.t =
 let solve_clauses ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
     (clauses : Horn.clause list) : result =
   Profile.time "fixpoint.solve_s" @@ fun () ->
+  let stats = stats () in
   let kenv = Hashtbl.create 16 in
   List.iter (fun kv -> Hashtbl.replace kenv kv.Horn.kname kv) kvars;
   (* Initial solution: all qualifier instantiations. *)

@@ -28,7 +28,10 @@ type stats = {
   mutable final_checks : int;
 }
 
-val stats : stats
+val stats : unit -> stats
+(** The calling domain's fixpoint statistics (domain-local, like
+    {!Flux_smt.Solver.stats}). *)
+
 val reset_stats : unit -> unit
 
 val slice_enabled : bool ref

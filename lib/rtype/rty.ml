@@ -49,13 +49,21 @@ let terr fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 (* Fresh names                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let counter = ref 0
+(* Domain-local so parallel per-function checks draw from independent
+   streams; the checker additionally resets the counter at each
+   function entry, making generated names (and thus κ names, clauses
+   and reports) deterministic regardless of which domain runs the
+   check. Collisions between the binder names of different signatures
+   are harmless: existential binders are always renamed ([Sub.unpack])
+   or substituted away ([Sub.sub]) before they can meet a context. *)
+let counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset_fresh () = counter := 0
+let reset_fresh () = Domain.DLS.get counter := 0
 
 let fresh_name prefix =
-  incr counter;
-  Printf.sprintf "%s!%d" prefix !counter
+  let c = Domain.DLS.get counter in
+  incr c;
+  Printf.sprintf "%s!%d" prefix !c
 
 (* ------------------------------------------------------------------ *)
 (* Index sorts and invariants                                          *)

@@ -159,6 +159,12 @@ let default_sig (fd : Ast.fn_def) : fsig =
 (** Resolve a parsed [#[lr::sig(...)]] against the function's plain
     parameter list. *)
 let resolve_sig (senv : struct_env) (fd : Ast.fn_def) : fsig =
+  (* Start each signature's fresh-name stream at zero: resolved
+     signatures (and hence their fingerprints in the incremental
+     cache) depend only on the function's own spec text, not on how
+     many names earlier signatures consumed. Binder-name collisions
+     across signatures are harmless — see [Rty.fresh_name]. *)
+  reset_fresh ();
   match fd.Ast.fn_sig with
   | None -> default_sig fd
   | Some s ->
@@ -201,6 +207,8 @@ let resolve_sig (senv : struct_env) (fd : Ast.fn_def) : fsig =
 (** Resolve a struct definition. [senv] may already contain the other
     structs (struct types can mention each other in fields). *)
 let resolve_struct (senv : struct_env) (sd : Ast.struct_def) : struct_info =
+  (* Same per-declaration reset as [resolve_sig]. *)
+  reset_fresh ();
   let cx = make_cx senv in
   cx.params <- sd.Ast.st_refined_by;
   let fields =

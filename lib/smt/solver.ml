@@ -29,9 +29,29 @@ type stats = {
   mutable time : float;
 }
 
-let stats = { queries = 0; cache_hits = 0; theory_checks = 0; max_atoms = 0; time = 0.0 }
+(* Solver state — stats plus the query caches further below — is
+   domain-local so concurrent per-function checks neither race nor
+   contend. Each domain warms its own cache; the engine's profile
+   merge step aggregates the per-domain counters. *)
+type state = {
+  st_stats : stats;
+  st_cache_sat : bool Term.Tbl.t;
+  st_cache_valid : bool Term.Tbl.t;
+}
+
+let dls : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        st_stats =
+          { queries = 0; cache_hits = 0; theory_checks = 0; max_atoms = 0; time = 0.0 };
+        st_cache_sat = Term.Tbl.create 4096;
+        st_cache_valid = Term.Tbl.create 4096;
+      })
+
+let stats () = (Domain.DLS.get dls).st_stats
 
 let reset_stats () =
+  let stats = stats () in
   stats.queries <- 0;
   stats.cache_hits <- 0;
   stats.theory_checks <- 0;
@@ -437,6 +457,7 @@ let unit_literals (f : bform) : (int * bool) list =
 let dpll_sat (atom_arr : Term.t array) (f : bform) : bool =
   let n = Array.length atom_arr in
   let assign = Array.make n 0 in
+  let stats = stats () in
   let theory_consistent () =
     stats.theory_checks <- stats.theory_checks + 1;
     let lits = ref [] in
@@ -496,12 +517,12 @@ let dpll_sat (atom_arr : Term.t array) (f : bform) : bool =
 (* Public API                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let cache_sat : bool Term.Tbl.t = Term.Tbl.create 4096
-let cache_valid : bool Term.Tbl.t = Term.Tbl.create 4096
+let cache_sat () = (Domain.DLS.get dls).st_cache_sat
+let cache_valid () = (Domain.DLS.get dls).st_cache_valid
 
 let clear_cache () =
-  Term.Tbl.clear cache_sat;
-  Term.Tbl.clear cache_valid
+  Term.Tbl.clear (cache_sat ());
+  Term.Tbl.clear (cache_valid ())
 
 (** [sat t]: is [t] satisfiable over the integers? May over-approximate
     (answer [true] for an unsatisfiable [t]) but [false] is definite. *)
@@ -525,6 +546,7 @@ let sat_raw (t : Term.t) : bool =
       let atoms = { table = SmallTbl.create 64; list = []; n = 0 } in
       let f = to_bform atoms true full in
       let atom_arr = Array.of_list (List.rev atoms.list) in
+      let stats = stats () in
       if Array.length atom_arr > stats.max_atoms then
         stats.max_atoms <- Array.length atom_arr;
       let tc0 = stats.theory_checks in
@@ -535,8 +557,10 @@ let sat_raw (t : Term.t) : bool =
       r
 
 let sat (t : Term.t) : bool =
+  let stats = stats () in
   stats.queries <- stats.queries + 1;
   Profile.incr "solver.queries";
+  let cache_sat = cache_sat () in
   match Term.Tbl.find_opt cache_sat t with
   | Some r ->
       stats.cache_hits <- stats.cache_hits + 1;
@@ -555,6 +579,7 @@ let valid (t : Term.t) : bool =
   (* trivial [Bool] goals short-circuit below, but still count as
      queries: cache-hit rates must be computed against the true query
      volume *)
+  let stats = stats () in
   stats.queries <- stats.queries + 1;
   Profile.incr "solver.queries";
   match t with
@@ -562,6 +587,7 @@ let valid (t : Term.t) : bool =
       Profile.incr "solver.trivial";
       b
   | _ -> (
+      let cache_valid = cache_valid () in
       match Term.Tbl.find_opt cache_valid t with
       | Some r ->
           stats.cache_hits <- stats.cache_hits + 1;

@@ -25,11 +25,17 @@ type stats = {
   mutable time : float;  (** seconds spent solving (cache misses only) *)
 }
 
-val stats : stats
+val stats : unit -> stats
+(** The calling domain's solver statistics. All solver state (stats
+    and query caches) is domain-local, so parallel checks on separate
+    domains never interfere; aggregate across domains by merging the
+    per-domain profiles (see {!Profile.capture}/{!Profile.absorb}). *)
+
 val reset_stats : unit -> unit
 
 val clear_cache : unit -> unit
-(** Reset the query cache (useful for unbiased timing runs). *)
+(** Reset the calling domain's query cache (useful for unbiased timing
+    runs). *)
 
 val sat : Term.t -> bool
 (** [sat t]: is [t] satisfiable over the integers? [false] is definite;

@@ -102,9 +102,17 @@ module MetaTbl = Hashtbl.Make (struct
   let hash = Stdlib.Hashtbl.hash
 end)
 
-let meta_tbl : (t * meta) MetaTbl.t = MetaTbl.create (1 lsl 16)
-let meta_count = ref 0
-let find_meta t = MetaTbl.find_opt meta_tbl t
+(* The intern table is domain-local: each OCaml 5 domain hash-conses
+   into its own table, so parallel per-function checks never contend on
+   (or race) a shared table. Terms built on one domain and inspected on
+   another simply miss the local table and take the structural
+   fallbacks — correctness never depends on interning. *)
+type intern_state = { tbl : (t * meta) MetaTbl.t; mutable count : int }
+
+let intern_dls : intern_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { tbl = MetaTbl.create (1 lsl 16); count = 0 })
+
+let find_meta t = MetaTbl.find_opt (Domain.DLS.get intern_dls).tbl t
 
 let hash_combine h1 h2 = (h1 * 0x01000193) lxor h2
 
@@ -139,12 +147,13 @@ and hash_node t =
         ts
 
 let intern_meta (t : t) : t * meta =
-  match find_meta t with
+  let st = Domain.DLS.get intern_dls in
+  match MetaTbl.find_opt st.tbl t with
   | Some cm -> cm
   | None ->
-      let m = { id = !meta_count; hash = hash_node t; fvs = None } in
-      incr meta_count;
-      MetaTbl.add meta_tbl t (t, m);
+      let m = { id = st.count; hash = hash_node t; fvs = None } in
+      st.count <- st.count + 1;
+      MetaTbl.add st.tbl t (t, m);
       (t, m)
 
 (* Interning large terms is counterproductive: the bounded polymorphic
@@ -191,15 +200,16 @@ let hc (t : t) : t = if internable t then fst (intern_meta t) else t
     the lifetime of the intern table; useful as a cheap total order. *)
 let term_id (t : t) : int = (snd (intern_meta t)).id
 
-let interned_terms () = !meta_count
+let interned_terms () = (Domain.DLS.get intern_dls).count
 
 (** Drop all interning metadata. Existing terms stay valid ([hash] and
     [free_vars] recompute structurally); only sharing and memoization
     are lost. Exposed for long-running processes that want to bound the
     table. *)
 let reset_intern () =
-  MetaTbl.reset meta_tbl;
-  meta_count := 0
+  let st = Domain.DLS.get intern_dls in
+  MetaTbl.reset st.tbl;
+  st.count <- 0
 
 (** Hash tables keyed by terms, using the memoized structural hash and
     phys-first equality — the right key type for solver query caches

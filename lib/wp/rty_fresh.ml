@@ -1,3 +1,12 @@
-let counter = ref 0
-let fresh prefix = incr counter; Printf.sprintf "%s!w%d" prefix !counter
-let reset () = counter := 0
+(* Domain-local, and reset at each function entry by [Wp.verify_body]:
+   WP-generated names only need to be unique within one function's
+   VCs, and per-function determinism keeps parallel runs byte-identical
+   to sequential ones. *)
+let counter : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let fresh prefix =
+  let c = Domain.DLS.get counter in
+  incr c;
+  Printf.sprintf "%s!w%d" prefix !c
+
+let reset () = Domain.DLS.get counter := 0

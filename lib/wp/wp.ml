@@ -1024,6 +1024,10 @@ let verify_body (prog : Ast.program) (fd : Ast.fn_def) (body : Ir.body) :
   Profile.with_fn fd.Ast.fn_name @@ fun () ->
   Profile.time "wp.fn_s" @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  (* Per-function determinism, as in [Checker.check_body]: generated
+     names restart at zero so VCs are independent of check order and
+     of the domain running the check. *)
+  Rty_fresh.reset ();
   let preds = Ir.predecessors body in
   let dom = Ir.dominators body in
   let loop_blocks =

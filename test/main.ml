@@ -15,4 +15,5 @@ let () =
       Test_soundness.tests;
       Test_soundness.divmod_tests;
       Test_workloads.tests;
+      Test_engine.tests;
     ]
