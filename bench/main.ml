@@ -13,6 +13,10 @@
     [bench/main.exe micro] runs Bechamel micro-benchmarks of the
     substrate (one [Test.make] per measured series).
 
+    [bench/main.exe lint] lints the 7 workloads with every pass
+    enabled, cold then warm, asserting zero findings, a fully-hit warm
+    cache, and zero warm solver queries; writes [BENCH_lint.json].
+
     [table1] additionally writes [BENCH_table1.json]: the same rows in
     machine-readable form, each with the full {!Flux_smt.Profile} dump
     for that verification run, so the perf trajectory is diffable
@@ -390,6 +394,76 @@ let smoke ~jobs () =
   if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Lint smoke: the 7 workloads must lint clean, and a warm-cache lint  *)
+(* must answer entirely from the verdict cache (zero solver queries)   *)
+(* ------------------------------------------------------------------ *)
+
+module Lint = Flux_analysis.Lint
+module Passes = Flux_analysis.Passes
+
+let lint_bench ~jobs () =
+  let dir = ".flux-cache-lint" in
+  let cfg =
+    { Lint.jobs; cache_dir = Some dir; passes = Passes.all_passes }
+  in
+  let lint_all () =
+    List.map
+      (fun (b : Workloads.benchmark) ->
+        (b.Workloads.bm_name, Lint.lint_source cfg b.Workloads.bm_flux))
+      Workloads.all
+  in
+  wipe_cache dir;
+  fresh_caches ();
+  Flux_smt.Term.reset_intern ();
+  let t0 = Unix.gettimeofday () in
+  let cold = lint_all () in
+  let cold_t = Unix.gettimeofday () -. t0 in
+  fresh_caches ();
+  Flux_smt.Term.reset_intern ();
+  let t1 = Unix.gettimeofday () in
+  let warm = lint_all () in
+  let warm_t = Unix.gettimeofday () -. t1 in
+  let warm_queries = profile_count "solver.queries" in
+  let sum f rs = List.fold_left (fun a (_, r) -> a + f r) 0 rs in
+  let fns = sum (fun r -> List.length r.Lint.lr_fns) warm in
+  let cold_findings = sum (fun r -> List.length (Lint.run_diags r)) cold in
+  let warm_findings = sum (fun r -> List.length (Lint.run_diags r)) warm in
+  let warm_hits = sum (fun r -> r.Lint.lr_hits) warm in
+  let warm_misses = sum (fun r -> r.Lint.lr_misses) warm in
+  Printf.printf
+    "Lint smoke (7 workloads, every pass, --jobs %d):\n\
+    \  cold: %.2fs (%d function(s), %d finding(s))\n\
+    \  warm: %.2fs (%d/%d cache hits, %d finding(s), %d solver queries)\n"
+    jobs cold_t fns cold_findings warm_t warm_hits fns warm_findings
+    warm_queries;
+  List.iter
+    (fun (name, r) ->
+      List.iter
+        (fun d -> Printf.printf "  UNEXPECTED %s: %s\n" name
+            (Format.asprintf "%a" Lint.pp_diag d))
+        (Lint.run_diags r))
+    (cold @ warm);
+  let pass =
+    cold_findings = 0 && warm_findings = 0 && warm_misses = 0
+    && warm_hits = fns && warm_queries = 0
+  in
+  let oc = open_out "BENCH_lint.json" in
+  Printf.fprintf oc
+    "{\"jobs\": %d, \"functions\": %d, \"cold_time_s\": %.3f, \
+     \"cold_findings\": %d, \"warm_time_s\": %.3f, \"warm_cache_hits\": %d, \
+     \"warm_cache_misses\": %d, \"warm_findings\": %d, \
+     \"warm_solver_queries\": %d, \"ok\": %b}\n"
+    jobs fns cold_t cold_findings warm_t warm_hits warm_misses warm_findings
+    warm_queries pass;
+  close_out oc;
+  Printf.printf "Wrote BENCH_lint.json\n";
+  Printf.printf
+    "Lint assertions (workloads clean, warm all-hit, zero warm solver \
+     queries): %s\n"
+    (if pass then "PASS" else "FAIL");
+  if not pass then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -554,6 +628,7 @@ let () =
   match mode with
   | "table1" -> table1 ~jobs ()
   | "smoke" -> smoke ~jobs ()
+  | "lint" -> lint_bench ~jobs ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()
   | "all" ->
@@ -564,6 +639,7 @@ let () =
       micro ()
   | m ->
       Printf.eprintf
-        "unknown mode %s (expected table1 | smoke | ablations | micro | all)\n"
+        "unknown mode %s (expected table1 | smoke | lint | ablations | micro \
+         | all)\n"
         m;
       exit 2

@@ -3,19 +3,26 @@
     Usage: [flux check FILE.rs] type-checks a program in the Rust
     subset against its [#[lr::sig(...)]] refinement signatures, with
     optional dumps of the MIR, the generated Horn constraints and the
-    inferred κ solutions.
+    inferred κ solutions. [flux lint FILE.rs] runs the solver-backed
+    static-analysis passes (vacuous specs, unreachable code, trivial
+    inferred invariants, dead stores, overflow candidates) over the
+    same functions.
 
-    Checking goes through the engine ({!Flux_engine.Engine}): functions
-    are verified in parallel on [--jobs] domains and previously-proved
-    functions are replayed from the persistent on-disk cache
-    ([--cache-dir], disable with [--no-cache]). Output is byte-identical
-    for every [--jobs] value: reports are emitted in declaration order
-    and per-function wall-clock times are only shown on request
-    ([--times], inherently nondeterministic). *)
+    Both subcommands go through the engine ({!Flux_engine.Engine}):
+    functions are processed in parallel on [--jobs] domains and
+    previously-clean functions are replayed from the persistent on-disk
+    cache ([--cache-dir], disable with [--no-cache]). Output is
+    byte-identical for every [--jobs] value: reports are emitted in
+    declaration order and wall-clock times are only shown on request
+    ([--times], inherently nondeterministic). Printing and exit codes
+    are shared with [prusti] via {!Flux_engine.Diag}. *)
 
 open Cmdliner
 module Checker = Flux_check.Checker
 module Engine = Flux_engine.Engine
+module Diag = Flux_engine.Diag
+module Lint = Flux_analysis.Lint
+module Passes = Flux_analysis.Passes
 
 let read_file path =
   let ic = open_in_bin path in
@@ -24,81 +31,86 @@ let read_file path =
   close_in ic;
   s
 
+(* ------------------------------------------------------------------ *)
+(* flux check                                                          *)
+(* ------------------------------------------------------------------ *)
+
 let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times =
-  try
-    let src = read_file file in
-    let prog = Flux_syntax.Parser.parse_program src in
-    Flux_syntax.Typeck.check_program prog;
-    if dump_mir then
-      List.iter
-        (fun (_, body) -> Format.printf "%a@." Flux_mir.Ir.pp_body body)
-        (Flux_mir.Lower.lower_program prog);
-    let cfg =
-      {
-        Engine.jobs;
-        (* cached hits replay verdicts without re-solving, so they have
-           no κ solution to dump: [--dump-solution] implies a full
-           re-check *)
-        cache_dir = (if cache && not dump_solution then Some cache_dir else None);
-      }
-    in
-    let run = Engine.check_program_ast cfg prog in
+  Diag.with_frontend_errors ~tool:"flux" ~file @@ fun () ->
+  let src = read_file file in
+  let prog = Flux_syntax.Parser.parse_program src in
+  Flux_syntax.Typeck.check_program prog;
+  if dump_mir then
     List.iter
-      (fun (o : Engine.fn_outcome) ->
-        let fr = o.Engine.fo_report in
-        if not quiet then
-          if times then
-            Format.printf "%-24s %s  (%d κ, %d clauses, %.3fs%s)@." fr.fr_name
-              (if Checker.fn_ok fr then "OK" else "ERROR")
-              fr.fr_kvars fr.fr_clauses fr.fr_time
-              (if o.Engine.fo_cached then ", cached" else "")
-          else
-            Format.printf "%-24s %s  (%d κ, %d clauses)@." fr.fr_name
-              (if Checker.fn_ok fr then "OK" else "ERROR")
-              fr.fr_kvars fr.fr_clauses;
-        List.iter
-          (fun e -> Format.printf "  error: %a@." Checker.pp_error e)
-          fr.fr_errors;
-        if dump_solution then
-          match fr.fr_solution with
-          | Some sol ->
-              Format.printf "  inferred solution:@.%a"
-                Flux_fixpoint.Solve.pp_solution sol
-          | None -> ())
-      run.Engine.run_fns;
-    if Engine.run_ok run then begin
-      if not quiet then begin
-        let n = List.length run.Engine.run_fns in
-        let cached =
-          if run.Engine.run_hits > 0 then
-            Printf.sprintf " (%d from cache)" run.Engine.run_hits
-          else ""
-        in
-        if times then
-          Format.printf "flux: %d function(s) verified%s in %.3fs@." n cached
-            run.Engine.run_time
-        else Format.printf "flux: %d function(s) verified%s@." n cached
-      end;
-      0
-    end
-    else begin
-      Format.printf "flux: verification FAILED@.";
-      1
-    end
-  with
-  | Sys_error msg ->
-      Format.eprintf "flux: %s@." msg;
-      2
-  | Flux_syntax.Lexer.Error (msg, p) ->
-      Format.eprintf "flux: %s:%d:%d: lexical error: %s@." file p.line p.col msg;
-      2
-  | Flux_syntax.Parser.Error (msg, p) ->
-      Format.eprintf "flux: %s:%d:%d: parse error: %s@." file p.line p.col msg;
-      2
-  | Flux_syntax.Typeck.Error (msg, sp) ->
-      Format.eprintf "flux: %s:%a: type error: %s@." file Flux_syntax.Ast.pp_span
-        sp msg;
-      2
+      (fun (_, body) -> Format.printf "%a@." Flux_mir.Ir.pp_body body)
+      (Flux_mir.Lower.lower_program prog);
+  (* cached hits replay verdicts without re-solving, so they have no κ
+     solution to dump: [--dump-solution] implies a full re-check *)
+  if dump_solution && cache then
+    Format.eprintf
+      "flux: note: --dump-solution disables the verification cache (cached \
+       verdicts carry no solution)@.";
+  let cfg =
+    {
+      Engine.jobs;
+      cache_dir = (if cache && not dump_solution then Some cache_dir else None);
+    }
+  in
+  let run = Engine.check_program_ast cfg prog in
+  List.iter
+    (fun (o : Engine.fn_outcome) ->
+      let fr = o.Engine.fo_report in
+      Diag.print_row ~quiet ~times ~name:fr.fr_name ~ok:(Checker.fn_ok fr)
+        ~stats:(Printf.sprintf "%d κ, %d clauses" fr.fr_kvars fr.fr_clauses)
+        ~time:fr.fr_time ~cached:o.Engine.fo_cached;
+      Diag.print_errors Checker.pp_error fr.fr_errors;
+      if dump_solution then
+        match fr.fr_solution with
+        | Some sol ->
+            Format.printf "  inferred solution:@.%a"
+              Flux_fixpoint.Solve.pp_solution sol
+        | None -> ())
+    run.Engine.run_fns;
+  Diag.print_footer ~quiet ~times ~tool:"flux" ~ok:(Engine.run_ok run)
+    ~fns:(List.length run.Engine.run_fns)
+    ~hits:run.Engine.run_hits ~time:run.Engine.run_time
+
+(* ------------------------------------------------------------------ *)
+(* flux lint                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd_run file format quiet jobs cache cache_dir times pass_sel all =
+  Diag.with_frontend_errors ~tool:"flux" ~file @@ fun () ->
+  let passes =
+    if all then Passes.all_passes
+    else if pass_sel <> [] then pass_sel
+    else Passes.default_passes
+  in
+  (match
+     List.find_opt (fun p -> not (List.mem p Passes.all_passes)) passes
+   with
+  | Some p ->
+      Format.eprintf "flux: unknown lint pass `%s` (available: %s)@." p
+        (String.concat ", " Passes.all_passes);
+      exit Diag.exit_frontend
+  | None -> ());
+  let src = read_file file in
+  let cfg =
+    {
+      Lint.jobs;
+      cache_dir = (if cache then Some cache_dir else None);
+      passes;
+    }
+  in
+  let run = Lint.lint_source cfg src in
+  (match format with
+  | `Json -> print_string (Lint.json_of_run ~file run)
+  | `Text -> Lint.print_text ~quiet ~times run);
+  if Lint.run_clean run then Diag.exit_ok else Diag.exit_failed
+
+(* ------------------------------------------------------------------ *)
+(* Arguments                                                           *)
+(* ------------------------------------------------------------------ *)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Rust-subset source file")
@@ -139,6 +151,26 @@ let times_flag =
     & info [ "times" ]
         ~doc:"Show per-function and total wall-clock times (nondeterministic)")
 
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Report format: $(b,text) or $(b,json)")
+
+let pass_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "pass" ] ~docv:"PASS"
+        ~doc:
+          "Run only the given pass (repeatable). Available: vacuity, \
+           unreachable, trivial-refinement, dead-store, overflow")
+
+let all_passes_flag =
+  Arg.(
+    value & flag
+    & info [ "all" ]
+        ~doc:"Run every pass, including the allow-by-default ones (overflow)")
+
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a program with liquid refinement types")
@@ -146,10 +178,20 @@ let check_cmd =
       const check_cmd_run $ file_arg $ dump_mir_flag $ dump_solution_flag
       $ quiet_flag $ jobs_arg $ cache_flag $ cache_dir_arg $ times_flag)
 
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the solver-backed lint passes (vacuous specs, unreachable \
+          code, trivial inferred invariants, dead stores)")
+    Term.(
+      const lint_cmd_run $ file_arg $ format_arg $ quiet_flag $ jobs_arg
+      $ cache_flag $ cache_dir_arg $ times_flag $ pass_arg $ all_passes_flag)
+
 let main =
   Cmd.group
     (Cmd.info "flux" ~version:"0.1.0"
        ~doc:"Liquid types for a Rust subset (OCaml reproduction of Flux, PLDI 2023)")
-    [ check_cmd ]
+    [ check_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' main)

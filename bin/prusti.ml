@@ -12,6 +12,7 @@
 open Cmdliner
 module Wp = Flux_wp.Wp
 module Engine = Flux_engine.Engine
+module Diag = Flux_engine.Diag
 
 let read_file path =
   let ic = open_in_bin path in
@@ -21,60 +22,23 @@ let read_file path =
   s
 
 let check_cmd_run file quiet jobs cache cache_dir times =
-  try
-    let src = read_file file in
-    let cfg =
-      { Engine.jobs; cache_dir = (if cache then Some cache_dir else None) }
-    in
-    let run = Engine.verify_source cfg src in
-    List.iter
-      (fun (o : Engine.wp_outcome) ->
-        let fr = o.Engine.wo_report in
-        if not quiet then
-          if times then
-            Format.printf "%-24s %s  (%d VCs, %.3fs%s)@." fr.fr_name
-              (if Wp.fn_ok fr then "OK" else "ERROR")
-              fr.fr_vcs fr.fr_time
-              (if o.Engine.wo_cached then ", cached" else "")
-          else
-            Format.printf "%-24s %s  (%d VCs)@." fr.fr_name
-              (if Wp.fn_ok fr then "OK" else "ERROR")
-              fr.fr_vcs;
-        List.iter (fun e -> Format.printf "  error: %a@." Wp.pp_error e) fr.fr_errors)
-      run.Engine.wr_fns;
-    if Engine.wp_run_ok run then begin
-      if not quiet then begin
-        let n = List.length run.Engine.wr_fns in
-        let cached =
-          if run.Engine.wr_hits > 0 then
-            Printf.sprintf " (%d from cache)" run.Engine.wr_hits
-          else ""
-        in
-        if times then
-          Format.printf "prusti: %d function(s) verified%s in %.3fs@." n cached
-            run.Engine.wr_time
-        else Format.printf "prusti: %d function(s) verified%s@." n cached
-      end;
-      0
-    end
-    else begin
-      Format.printf "prusti: verification FAILED@.";
-      1
-    end
-  with
-  | Sys_error msg ->
-      Format.eprintf "prusti: %s@." msg;
-      2
-  | Flux_syntax.Lexer.Error (msg, p) ->
-      Format.eprintf "prusti: %s:%d:%d: lexical error: %s@." file p.line p.col msg;
-      2
-  | Flux_syntax.Parser.Error (msg, p) ->
-      Format.eprintf "prusti: %s:%d:%d: parse error: %s@." file p.line p.col msg;
-      2
-  | Flux_syntax.Typeck.Error (msg, sp) ->
-      Format.eprintf "prusti: %s:%a: type error: %s@." file
-        Flux_syntax.Ast.pp_span sp msg;
-      2
+  Diag.with_frontend_errors ~tool:"prusti" ~file @@ fun () ->
+  let src = read_file file in
+  let cfg =
+    { Engine.jobs; cache_dir = (if cache then Some cache_dir else None) }
+  in
+  let run = Engine.verify_source cfg src in
+  List.iter
+    (fun (o : Engine.wp_outcome) ->
+      let fr = o.Engine.wo_report in
+      Diag.print_row ~quiet ~times ~name:fr.fr_name ~ok:(Wp.fn_ok fr)
+        ~stats:(Printf.sprintf "%d VCs" fr.fr_vcs)
+        ~time:fr.fr_time ~cached:o.Engine.wo_cached;
+      Diag.print_errors Wp.pp_error fr.fr_errors)
+    run.Engine.wr_fns;
+  Diag.print_footer ~quiet ~times ~tool:"prusti" ~ok:(Engine.wp_run_ok run)
+    ~fns:(List.length run.Engine.wr_fns)
+    ~hits:run.Engine.wr_hits ~time:run.Engine.wr_time
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Annotated source file")

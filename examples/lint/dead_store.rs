@@ -1,0 +1,9 @@
+// Seeded defect: the initializer of `x` is overwritten before any
+// read — `flux lint` flags it with the `dead-store` pass.
+//   dune exec bin/flux.exe -- lint examples/lint/dead_store.rs
+#[lr::sig(fn(i32) -> i32)]
+fn wasted(n: i32) -> i32 {
+    let mut x = 0;
+    x = n;
+    return x;
+}

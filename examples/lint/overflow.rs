@@ -1,0 +1,14 @@
+// Seeded defect: `n + n` is only bounded below by the refinement, so
+// nothing keeps it inside the i32 range. The allow-by-default
+// `overflow` pass flags it (and accepts `safe_double`, whose
+// precondition does bound the sum):
+//   dune exec bin/flux.exe -- lint --all examples/lint/overflow.rs
+#[lr::sig(fn(i32{v: 0 <= v}) -> i32)]
+fn unbounded_double(n: i32) -> i32 {
+    return n + n;
+}
+
+#[lr::sig(fn(i32{v: 0 <= v && v < 1000}) -> i32)]
+fn safe_double(n: i32) -> i32 {
+    return n + n;
+}

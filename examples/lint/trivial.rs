@@ -1,0 +1,13 @@
+// Seeded defect: the halving update is outside the qualifier lattice,
+// so every κ inferred at the loop head collapses to `true` — the
+// "invariant" says nothing. `flux lint` flags it with the
+// `trivial-refinement` pass.
+//   dune exec bin/flux.exe -- lint examples/lint/trivial.rs
+#[lr::sig(fn(i32) -> i32)]
+fn collapse(n: i32) -> i32 {
+    let mut x = n;
+    while x != 0 {
+        x = x / 2;
+    }
+    return x;
+}

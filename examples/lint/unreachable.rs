@@ -1,0 +1,13 @@
+// Seeded defect: the inner branch contradicts the dominating test
+// (x < 0 and x > 10), so no input reaches `return 1` — `flux lint`
+// flags it with the `unreachable` pass.
+//   dune exec bin/flux.exe -- lint examples/lint/unreachable.rs
+#[lr::sig(fn(i32) -> i32)]
+fn shadowed(x: i32) -> i32 {
+    if x < 0 {
+        if x > 10 {
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,7 @@
+// Seeded defect: the precondition is unsatisfiable, so the function
+// verifies for free — `flux lint` flags it with the `vacuity` pass.
+//   dune exec bin/flux.exe -- lint examples/lint/vacuous.rs
+#[lr::sig(fn(i32{v: v < 0 && v > 10}) -> i32)]
+fn impossible(n: i32) -> i32 {
+    n
+}

@@ -64,6 +64,45 @@ type env = {
 let cx_of (env : env) : Sub.cx = { Sub.binders = env.binders; hyps = env.hyps }
 
 (* ------------------------------------------------------------------ *)
+(* Lint side channel                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Facts the checker can record for the lint passes as it walks a body
+    — the concrete entry hypotheses of every checked block, the blocks
+    it never reached, which κs each join template declared, and overflow
+    side conditions. Collecting them here (rather than re-walking the
+    MIR in [lib/analysis]) keeps the lint passes in exact agreement with
+    what the checker proved. The channel is off during plain
+    verification, and recording never adds clauses or tags, so a lint
+    run produces the same [fn_report] as a plain one. *)
+type lint_info = {
+  li_precond : Term.t list;
+      (** the function's assumed entry context: resolved preconditions
+          plus argument index invariants (unsat = vacuous spec) *)
+  li_blocks : (int * Term.t list) list;
+      (** per checked block: the concrete (κ-free) entry hypotheses —
+          an over-approximation of the block's path condition, so unsat
+          implies the block is unreachable *)
+  li_dead_blocks : int list;
+      (** blocks the checker never flowed into (structurally dead) *)
+  li_join_kvars : (int * string list) list;
+      (** per join block: κ names declared for its template *)
+  li_overflow : (Ast.span * string * Horn.clause) list;
+      (** machine-int range side conditions, to be evaluated against
+          the final solution with {!Solve.check_clause} *)
+  li_kvars : Horn.kvar list;
+      (** all κ declarations of the body (for clause evaluation) *)
+}
+
+type lint_acc = {
+  mutable la_precond : Term.t list;
+  mutable la_blocks : (int * Term.t list) list;
+  mutable la_dead : int list;
+  la_join_kvars : (int, string list) Hashtbl.t;
+  mutable la_overflow : (Ast.span * string * Horn.clause) list;
+}
+
+(* ------------------------------------------------------------------ *)
 (* Checker state                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -86,7 +125,14 @@ type ck = {
      the template local typing *)
   templates : (int, (string * Sort.t) list * rty IMap.t) Hashtbl.t;
   pending : (int, env) Hashtbl.t;  (** entry envs of single-pred blocks *)
+  lint : lint_acc option;  (** lint side channel ([None] when verifying) *)
 }
+
+(** The concrete (κ-free) hypotheses of an environment. *)
+let conc_hyps (env : env) : Term.t list =
+  List.filter_map
+    (function Horn.Conc t -> Some t | Horn.Kapp _ -> None)
+    env.hyps
 
 exception Check_error of string * Ast.span
 
@@ -330,8 +376,38 @@ let check_rvalue ck (env : env) span (dest : Ir.place) (rv : Ir.rvalue) :
               (env, TBase (BBool, Ex ([ (fresh_name "b", Sort.Bool) ], [])))
           | _ -> cerr span "invalid float operation")
       | TBase (BInt k, Ix [ r1 ]), TBase (BInt _, Ix [ r2 ]) -> (
+          (* Lint side condition: does the current context bound the
+             result within the i32 machine range? Recorded for
+             post-solve evaluation, never added to the verification
+             clauses. Only i32: the wider kinds' bounds exceed OCaml's
+             native int. *)
+          let overflow_candidate res =
+            match ck.lint with
+            | Some la when k = Ast.I32 ->
+                let head =
+                  Horn.Conc
+                    (Term.mk_and
+                       [
+                         Term.le (Term.int (-2147483648)) res;
+                         Term.le res (Term.int 2147483647);
+                       ])
+                in
+                let msg =
+                  Format.asprintf
+                    "i32 arithmetic `%a` is not provably within [-2^31, \
+                     2^31): possible overflow"
+                    Term.pp res
+                in
+                la.la_overflow <-
+                  (span, msg, Sub.clause (cx_of env) ~tag:0 head)
+                  :: la.la_overflow
+            | _ -> ()
+          in
           match bop with
-          | Ast.Add -> (env, TBase (BInt k, Ix [ Term.add r1 r2 ]))
+          | Ast.Add ->
+              let res = Term.add r1 r2 in
+              overflow_candidate res;
+              (env, TBase (BInt k, Ix [ res ]))
           | Ast.Sub ->
               if k = Ast.Usize && !check_underflow then begin
                 let tag =
@@ -343,8 +419,13 @@ let check_rvalue ck (env : env) span (dest : Ir.place) (rv : Ir.rvalue) :
                 add_clauses ck
                   [ Sub.clause (cx_of env) ~tag (Horn.Conc (Term.le r2 r1)) ]
               end;
-              (env, TBase (BInt k, Ix [ Term.sub r1 r2 ]))
-          | Ast.Mul -> (env, TBase (BInt k, Ix [ Term.mul r1 r2 ]))
+              let res = Term.sub r1 r2 in
+              overflow_candidate res;
+              (env, TBase (BInt k, Ix [ res ]))
+          | Ast.Mul ->
+              let res = Term.mul r1 r2 in
+              overflow_candidate res;
+              (env, TBase (BInt k, Ix [ res ]))
           | Ast.Div -> (env, TBase (BInt k, Ix [ Term.div r1 r2 ]))
           | Ast.Rem -> (env, TBase (BInt k, Ix [ Term.md r1 r2 ]))
           | Ast.Lt -> (env, TBase (BBool, Ix [ Term.lt r1 r2 ]))
@@ -890,8 +971,23 @@ let build_template ck (bb : int) : (string * Sort.t) list * rty IMap.t =
                   (* &strg parameters keep pointing at their shadow *)
                   TPtr (Mut, Ir.local_place shadow)
               | None ->
-                  Rty.template ck.genv.Genv.senv ~declare:(declare_kvar ck)
-                    ~scope ~top:own (local_shape ck l)
+                  (* record which κs belong to this join's template so
+                     the trivial-refinement lint can ask whether they
+                     all collapsed to [true] *)
+                  let declare kv =
+                    (match ck.lint with
+                    | Some la ->
+                        let prev =
+                          Option.value ~default:[]
+                            (Hashtbl.find_opt la.la_join_kvars bb)
+                        in
+                        Hashtbl.replace la.la_join_kvars bb
+                          (kv.Horn.kname :: prev)
+                    | None -> ());
+                    declare_kvar ck kv
+                  in
+                  Rty.template ck.genv.Genv.senv ~declare ~scope ~top:own
+                    (local_shape ck l)
             in
             IMap.add l t acc)
           IMap.empty tops
@@ -1123,7 +1219,8 @@ let initial_env ck : env =
     ck.body.Ir.mb_locals;
   !env
 
-let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
+let check_body_gen ~(lint : bool) (genv : Genv.t) (fd : Ast.fn_def)
+    (body : Ir.body) : fn_report * lint_info option =
   Profile.with_fn fd.Ast.fn_name @@ fun () ->
   Profile.time "check.fn_s" @@ fun () ->
   let t0 = Unix.gettimeofday () in
@@ -1155,23 +1252,55 @@ let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
       strg_args = Hashtbl.create 4;
       templates = Hashtbl.create 8;
       pending = Hashtbl.create 16;
+      lint =
+        (if lint then
+           Some
+             {
+               la_precond = [];
+               la_blocks = [];
+               la_dead = [];
+               la_join_kvars = Hashtbl.create 8;
+               la_overflow = [];
+             }
+         else None);
     }
+  in
+  let lint_result () =
+    Option.map
+      (fun la ->
+        {
+          li_precond = la.la_precond;
+          li_blocks = List.rev la.la_blocks;
+          li_dead_blocks = List.rev la.la_dead;
+          li_join_kvars =
+            Hashtbl.fold
+              (fun bb ks acc -> (bb, List.rev ks) :: acc)
+              la.la_join_kvars []
+            |> List.sort compare;
+          li_overflow = List.rev la.la_overflow;
+          li_kvars = ck.kvars;
+        })
+      ck.lint
   in
   let report errors solution =
     Profile.add "check.clauses" (List.length ck.clauses);
     Profile.add "check.kvars" (List.length ck.kvars);
-    {
-      fr_name = fd.Ast.fn_name;
-      fr_errors = errors;
-      fr_solution = solution;
-      fr_kvars = List.length ck.kvars;
-      fr_clauses = List.length ck.clauses;
-      fr_time = Unix.gettimeofday () -. t0;
-    }
+    ( {
+        fr_name = fd.Ast.fn_name;
+        fr_errors = errors;
+        fr_solution = solution;
+        fr_kvars = List.length ck.kvars;
+        fr_clauses = List.length ck.clauses;
+        fr_time = Unix.gettimeofday () -. t0;
+      },
+      lint_result () )
   in
   try
     let preds = Ir.predecessors body in
     let entry_env = initial_env ck in
+    Option.iter
+      (fun la -> la.la_precond <- conc_hyps entry_env)
+      ck.lint;
     let rpo = Ir.reverse_postorder body in
     List.iter
       (fun bb ->
@@ -1184,8 +1313,13 @@ let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
           else Hashtbl.find_opt ck.pending bb
         in
         match env_opt with
-        | None -> () (* unreachable block *)
+        | None ->
+            (* unreachable block *)
+            Option.iter (fun la -> la.la_dead <- bb :: la.la_dead) ck.lint
         | Some env ->
+            Option.iter
+              (fun la -> la.la_blocks <- (bb, conc_hyps env) :: la.la_blocks)
+              ck.lint;
             let blk = body.Ir.mb_blocks.(bb) in
             let env = List.fold_left (check_stmt ck) env blk.Ir.stmts in
             check_terminator ck preds env blk.Ir.term)
@@ -1214,6 +1348,15 @@ let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
       report
         [ { err_fn = fd.Ast.fn_name; err_span = fd.Ast.fn_span; err_msg = msg } ]
         None
+
+let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
+  fst (check_body_gen ~lint:false genv fd body)
+
+let check_body_lint (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) :
+    fn_report * lint_info =
+  match check_body_gen ~lint:true genv fd body with
+  | fr, Some li -> (fr, li)
+  | _, None -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Whole programs                                                      *)

@@ -51,6 +51,32 @@ val report_errors : report -> error list
 val check_body : Genv.t -> Ast.fn_def -> Flux_mir.Ir.body -> fn_report
 (** Check one lowered function against its resolved signature. *)
 
+(** Facts recorded for the lint passes as the checker walks a body (see
+    [lib/analysis]). Recording never adds clauses or tags, so the
+    [fn_report] of a lint run is identical to a plain run's. *)
+type lint_info = {
+  li_precond : Flux_smt.Term.t list;
+      (** the assumed entry context: resolved preconditions plus
+          argument index invariants (unsat = vacuous spec) *)
+  li_blocks : (int * Flux_smt.Term.t list) list;
+      (** per checked block: the concrete (κ-free) entry hypotheses —
+          unsat implies the block is unreachable *)
+  li_dead_blocks : int list;
+      (** blocks the checker never flowed into (structurally dead) *)
+  li_join_kvars : (int * string list) list;
+      (** per join block: κ names declared for its template *)
+  li_overflow :
+    (Ast.span * string * Flux_fixpoint.Horn.clause) list;
+      (** machine-int range side conditions, for
+          {!Flux_fixpoint.Solve.check_clause} under [fr_solution] *)
+  li_kvars : Flux_fixpoint.Horn.kvar list;
+      (** all κ declarations of the body (for clause evaluation) *)
+}
+
+val check_body_lint :
+  Genv.t -> Ast.fn_def -> Flux_mir.Ir.body -> fn_report * lint_info
+(** Like {!check_body}, with the lint side channel enabled. *)
+
 val check_program_ast : Ast.program -> report
 (** Check every non-trusted function of a parsed, typechecked program. *)
 

@@ -1,0 +1,72 @@
+(** Shared CLI diagnostics for the [flux] and [prusti] front ends: one
+    result-row formatter, one run footer, and one exit-code policy, so
+    the two binaries cannot drift apart.
+
+    Exit codes: 0 = verified / no findings; 1 = verification failed (or
+    lint findings); 2 = the frontend rejected the input (I/O, lexing,
+    parsing, or type errors). *)
+
+module Ast = Flux_syntax.Ast
+
+let exit_ok = 0
+let exit_failed = 1
+let exit_frontend = 2
+
+(** One per-function result row: name, OK/ERROR, tool-specific stats
+    (e.g. ["3 κ, 17 clauses"] or ["12 VCs"]), and — only with [times] —
+    the wall clock and cache provenance (both nondeterministic). *)
+let print_row ~quiet ~times ~name ~ok ~stats ~time ~cached =
+  if not quiet then
+    if times then
+      Format.printf "%-24s %s  (%s, %.3fs%s)@." name
+        (if ok then "OK" else "ERROR")
+        stats time
+        (if cached then ", cached" else "")
+    else
+      Format.printf "%-24s %s  (%s)@." name
+        (if ok then "OK" else "ERROR")
+        stats
+
+(** Indented error lines under a result row. *)
+let print_errors (pp : Format.formatter -> 'e -> unit) (errors : 'e list) :
+    unit =
+  List.iter (fun e -> Format.printf "  error: %a@." pp e) errors
+
+(** Run footer; returns the process exit code. *)
+let print_footer ~quiet ~times ~tool ~ok ~fns ~hits ~time =
+  if ok then begin
+    if not quiet then begin
+      let cached =
+        if hits > 0 then Printf.sprintf " (%d from cache)" hits else ""
+      in
+      if times then
+        Format.printf "%s: %d function(s) verified%s in %.3fs@." tool fns
+          cached time
+      else Format.printf "%s: %d function(s) verified%s@." tool fns cached
+    end;
+    exit_ok
+  end
+  else begin
+    Format.printf "%s: verification FAILED@." tool;
+    exit_failed
+  end
+
+(** Run [f], mapping the frontend's exceptions (file system, lexer,
+    parser, typechecker) to stderr messages and {!exit_frontend}. *)
+let with_frontend_errors ~(tool : string) ~(file : string) (f : unit -> int) :
+    int =
+  try f () with
+  | Sys_error msg ->
+      Format.eprintf "%s: %s@." tool msg;
+      exit_frontend
+  | Flux_syntax.Lexer.Error (msg, p) ->
+      Format.eprintf "%s: %s:%d:%d: lexical error: %s@." tool file p.Ast.line
+        p.Ast.col msg;
+      exit_frontend
+  | Flux_syntax.Parser.Error (msg, p) ->
+      Format.eprintf "%s: %s:%d:%d: parse error: %s@." tool file p.Ast.line
+        p.Ast.col msg;
+      exit_frontend
+  | Flux_syntax.Typeck.Error (msg, sp) ->
+      Format.eprintf "%s: %s:%a: type error: %s@." tool file Ast.pp_span sp msg;
+      exit_frontend

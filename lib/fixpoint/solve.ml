@@ -183,6 +183,19 @@ let solve ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
     (c : Horn.cstr) : result =
   solve_clauses ~qualifiers ~kvars (Horn.flatten c)
 
+(** Evaluate a single clause under a (final) solution, without touching
+    it: substitute the solution into hypotheses and head, slice, and ask
+    the solver whether the implication is valid. Used by lint passes to
+    test side conditions (e.g. overflow bounds) against the fixpoint
+    solution the checker already computed. *)
+let check_clause ~(kvars : Horn.kvar list) (sol : solution)
+    (cl : Horn.clause) : bool =
+  let kenv = Hashtbl.create 16 in
+  List.iter (fun kv -> Hashtbl.replace kenv kv.Horn.kname kv) kvars;
+  let rhs = apply_pred kenv sol cl.Horn.head in
+  let lhs = sliced_lhs kenv sol cl rhs in
+  Solver.valid (Term.mk_imp lhs rhs)
+
 (** Pretty-print a solution (for tests and [--dump-solution]). *)
 let pp_solution fmt (sol : solution) =
   let entries =

@@ -48,4 +48,10 @@ val solve :
   ?qualifiers:Qualifier.t list -> kvars:Horn.kvar list -> Horn.cstr -> result
 (** Solve a nested constraint (flattens first). *)
 
+val check_clause : kvars:Horn.kvar list -> solution -> Horn.clause -> bool
+(** Evaluate one clause under a (final) solution without altering it:
+    substitute the solution into hypotheses and head, slice, and report
+    whether the implication is valid. Lets lint passes test side
+    conditions against the solution the checker already computed. *)
+
 val pp_solution : Format.formatter -> solution -> unit

@@ -1,0 +1,163 @@
+(** A generic forward/backward dataflow framework over the MIR CFG.
+
+    An analysis supplies a join-semilattice of facts and per-statement /
+    per-terminator transfer functions; the framework runs the standard
+    worklist iteration to the least fixpoint and exposes both the
+    per-block entry/exit facts and a replay helper that recovers the
+    fact at every statement inside a block (so clients like dead-store
+    detection need not duplicate the transfer functions).
+
+    Facts are treated as immutable values by the framework: [join] and
+    the transfer functions must return fresh facts (or unshared copies)
+    rather than mutating their arguments in place. The CFGs here are
+    small (tens of blocks), so the simple list-based worklist seeded in
+    iteration order is plenty. *)
+
+module type DOMAIN = sig
+  type t
+  (** A dataflow fact. *)
+
+  val direction : [ `Forward | `Backward ]
+
+  val init : Ir.body -> t
+  (** Boundary fact: at the entry block for a forward analysis, at
+      every exit (block without successors) for a backward one. *)
+
+  val bottom : Ir.body -> t
+  (** Identity of [join]; the initial fact of every non-boundary
+      block. *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+
+  val transfer_stmt : Ir.body -> t -> Ir.stmt -> t
+  (** Fact after the statement (forward) / before it (backward). *)
+
+  val transfer_term : Ir.body -> t -> Ir.terminator -> t
+end
+
+module Make (D : DOMAIN) = struct
+  type result = {
+    body : Ir.body;
+    block_in : D.t array;  (** fact at block entry (execution order) *)
+    block_out : D.t array;  (** fact at block exit (execution order) *)
+  }
+
+  (* Apply a whole block. Forward: stmts then terminator; backward:
+     terminator then stmts in reverse. *)
+  let through_block (b : Ir.body) (blk : Ir.block) (fact : D.t) : D.t =
+    match D.direction with
+    | `Forward ->
+        let fact =
+          List.fold_left (fun f s -> D.transfer_stmt b f s) fact blk.Ir.stmts
+        in
+        D.transfer_term b fact blk.Ir.term
+    | `Backward ->
+        let fact = D.transfer_term b fact blk.Ir.term in
+        List.fold_left
+          (fun f s -> D.transfer_stmt b f s)
+          fact
+          (List.rev blk.Ir.stmts)
+
+  let run (b : Ir.body) : result =
+    let n = Array.length b.Ir.mb_blocks in
+    let preds = Ir.predecessors b in
+    (* Dependency edges: forward analyses propagate along successor
+       edges, backward ones against them. *)
+    let feeds i =
+      match D.direction with
+      | `Forward -> Ir.successors b.Ir.mb_blocks.(i).Ir.term
+      | `Backward -> preds.(i)
+    in
+    let sources i =
+      match D.direction with
+      | `Forward -> preds.(i)
+      | `Backward -> Ir.successors b.Ir.mb_blocks.(i).Ir.term
+    in
+    let is_boundary i =
+      match D.direction with
+      | `Forward -> i = 0
+      | `Backward -> Ir.successors b.Ir.mb_blocks.(i).Ir.term = []
+    in
+    (* entry.(i): fact flowing into the block in analysis order (block
+       entry for forward, block exit for backward). *)
+    let entry =
+      Array.init n (fun i -> if is_boundary i then D.init b else D.bottom b)
+    in
+    let exit = Array.make n None in
+    let on_list = Array.make n true in
+    let worklist = Queue.create () in
+    (* Seed in reverse postorder for forward analyses and its reverse
+       for backward ones: fewer iterations on reducible CFGs. *)
+    let rpo = Ir.reverse_postorder b in
+    List.iter (fun i -> Queue.add i worklist)
+      (match D.direction with `Forward -> rpo | `Backward -> List.rev rpo);
+    while not (Queue.is_empty worklist) do
+      let i = Queue.pop worklist in
+      on_list.(i) <- false;
+      let in_fact =
+        List.fold_left
+          (fun acc p ->
+            match exit.(p) with Some f -> D.join acc f | None -> acc)
+          (if is_boundary i then D.init b else D.bottom b)
+          (sources i)
+      in
+      entry.(i) <- in_fact;
+      let out_fact = through_block b b.Ir.mb_blocks.(i) in_fact in
+      let changed =
+        match exit.(i) with
+        | Some old -> not (D.equal old out_fact)
+        | None -> true
+      in
+      if changed then begin
+        exit.(i) <- Some out_fact;
+        List.iter
+          (fun s ->
+            if not on_list.(s) then begin
+              on_list.(s) <- true;
+              Queue.add s worklist
+            end)
+          (feeds i)
+      end
+    done;
+    let exit =
+      Array.mapi
+        (fun i -> function
+          | Some f -> f
+          | None -> through_block b b.Ir.mb_blocks.(i) entry.(i))
+        exit
+    in
+    match D.direction with
+    | `Forward -> { body = b; block_in = entry; block_out = exit }
+    | `Backward -> { body = b; block_in = exit; block_out = entry }
+
+  (** Replay the facts at every statement of [block]. Returns, in
+      statement order, [(stmt, before, after)] where [before]/[after]
+      are in {e execution} order (for a backward analysis [after] is
+      the fact the statement's transfer consumed). *)
+  let stmt_facts (r : result) ~(block : int) :
+      (Ir.stmt * D.t * D.t) list =
+    let blk = r.body.Ir.mb_blocks.(block) in
+    match D.direction with
+    | `Forward ->
+        let _, acc =
+          List.fold_left
+            (fun (fact, acc) s ->
+              let after = D.transfer_stmt r.body fact s in
+              (after, (s, fact, after) :: acc))
+            (r.block_in.(block), [])
+            blk.Ir.stmts
+        in
+        List.rev acc
+    | `Backward ->
+        let after_term = D.transfer_term r.body r.block_out.(block) blk.Ir.term in
+        let _, acc =
+          List.fold_left
+            (fun (fact, acc) s ->
+              let before = D.transfer_stmt r.body fact s in
+              (before, (s, before, fact) :: acc))
+            (after_term, [])
+            (List.rev blk.Ir.stmts)
+        in
+        acc
+end

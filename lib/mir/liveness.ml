@@ -6,17 +6,15 @@
     fail to join (a dead local may be initialized on one path and
     moved-out on another).
 
-    The analysis is a standard bit-vector fixpoint. A use of any
-    projection of a local counts as a use of the local; an assignment to
-    a bare local is a def, while an assignment through a projection
-    (deref/field) is both a use and a def (conservatively treated as a
-    use only). References keep their referent alive: `&x` uses `x`. *)
+    The analysis is an instance of the generic {!Dataflow} worklist
+    framework. A use of any projection of a local counts as a use of the
+    local; an assignment to a bare local is a def, while an assignment
+    through a projection (deref/field) is both a use and a def
+    (conservatively treated as a use only). References keep their
+    referent alive: `&x` uses `x`. The return local is live at every
+    [TReturn]. *)
 
 open Ir
-
-type t = {
-  live_in : bool array array;  (** block -> local -> live at entry *)
-}
 
 let use_place (uses : bool array) (p : place) = uses.(p.base) <- true
 
@@ -33,53 +31,62 @@ let use_rvalue uses = function
   | RRef (_, p) -> use_place uses p
   | RAggregate (_, fields) -> List.iter (fun (_, op) -> use_operand uses op) fields
 
-(** Transfer one statement backwards through the live set. *)
-let transfer_stmt (live : bool array) (s : stmt) =
-  match s with
-  | SAssign (dest, rv, _) ->
-      if dest.projs = [] then live.(dest.base) <- false
-      else use_place live dest;
-      use_rvalue live rv
-  | SInvariant _ | SNop -> ()
+module Domain = struct
+  type t = bool array
+  (** local -> live *)
 
-let transfer_term (live : bool array) (t : terminator) =
-  match t with
-  | TGoto _ | TReturn | TUnreachable -> ()
-  | TSwitch (op, _, _) -> use_operand live op
-  | TCall { tc_args; tc_dest; _ } ->
-      if tc_dest.projs = [] then live.(tc_dest.base) <- false
-      else use_place live tc_dest;
-      List.iter (use_operand live) tc_args
+  let direction = `Backward
+  let bottom (b : body) = Array.make (Array.length b.mb_locals) false
+  let init = bottom
 
-let compute (b : body) : t =
-  let nb = Array.length b.mb_blocks in
-  let nl = Array.length b.mb_locals in
-  let live_in = Array.init nb (fun _ -> Array.make nl false) in
-  let live_out = Array.init nb (fun _ -> Array.make nl false) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for i = nb - 1 downto 0 do
-      let blk = b.mb_blocks.(i) in
-      (* out = union of successors' in; the return local is live at
-         TReturn *)
-      let out = live_out.(i) in
-      Array.fill out 0 nl false;
-      (match blk.term with TReturn -> out.(0) <- true | _ -> ());
-      List.iter
-        (fun s ->
-          Array.iteri (fun l v -> if v then out.(l) <- true) live_in.(s))
-        (successors blk.term);
-      (* in = transfer backwards *)
-      let live = Array.copy out in
-      transfer_term live blk.term;
-      List.iter (transfer_stmt live) (List.rev blk.stmts);
-      if live <> live_in.(i) then begin
-        live_in.(i) <- live;
-        changed := true
-      end
-    done
-  done;
-  { live_in }
+  let join a b =
+    let r = Array.copy a in
+    Array.iteri (fun l v -> if v then r.(l) <- true) b;
+    r
 
-let live_at (t : t) ~(block : int) : bool array = t.live_in.(block)
+  let equal (a : t) (b : t) = a = b
+
+  let transfer_stmt _ (live : t) (s : stmt) =
+    match s with
+    | SAssign (dest, rv, _) ->
+        let live = Array.copy live in
+        if dest.projs = [] then live.(dest.base) <- false
+        else use_place live dest;
+        use_rvalue live rv;
+        live
+    | SInvariant _ | SNop -> live
+
+  let transfer_term _ (live : t) (t : terminator) =
+    match t with
+    | TGoto _ | TUnreachable -> live
+    | TReturn ->
+        let live = Array.copy live in
+        live.(0) <- true;
+        live
+    | TSwitch (op, _, _) ->
+        let live = Array.copy live in
+        use_operand live op;
+        live
+    | TCall { tc_args; tc_dest; _ } ->
+        let live = Array.copy live in
+        if tc_dest.projs = [] then live.(tc_dest.base) <- false
+        else use_place live tc_dest;
+        List.iter (use_operand live) tc_args;
+        live
+end
+
+module Flow = Dataflow.Make (Domain)
+
+type t = Flow.result
+
+let compute (b : body) : t = Flow.run b
+
+let live_at (t : t) ~(block : int) : bool array = t.Flow.block_in.(block)
+
+let live_out (t : t) ~(block : int) : bool array = t.Flow.block_out.(block)
+
+(** Per-statement liveness inside a block, in statement order:
+    [(stmt, live_before, live_after)]. *)
+let stmt_liveness (t : t) ~(block : int) : (stmt * bool array * bool array) list
+    =
+  Flow.stmt_facts t ~block

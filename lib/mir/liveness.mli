@@ -1,4 +1,4 @@
-(** Backward liveness analysis over MIR.
+(** Backward liveness analysis over MIR (a {!Dataflow} instance).
 
     Used by the refinement checker to keep join templates small and to
     exclude moved-out locals whose types would not join. A use of any
@@ -10,3 +10,15 @@ val compute : Ir.body -> t
 
 val live_at : t -> block:int -> bool array
 (** Per-local liveness at block entry. *)
+
+val live_out : t -> block:int -> bool array
+(** Per-local liveness at block exit (before the terminator). The
+    return local's liveness at [TReturn] is accounted inside the
+    terminator transfer, so it is visible in [live_at] of the block but
+    not here. *)
+
+val stmt_liveness : t -> block:int -> (Ir.stmt * bool array * bool array) list
+(** Per-statement liveness inside a block, in statement order:
+    [(stmt, live_before, live_after)]. [live_after] is the fact
+    immediately after the statement in execution order — the input the
+    backward transfer consumed. *)

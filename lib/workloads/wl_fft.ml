@@ -54,10 +54,11 @@ fn fft(px: &mut RVec<f32>, py: &mut RVec<f32>) {
         if i < j {
             if j <= n {
                 let tx = *px.get(i);
-                px.swap(i, j);
+                *px.get_mut(i) = *px.get(j);
+                *px.get_mut(j) = tx;
                 let ty = *py.get(i);
-                py.swap(i, j);
-                let u = tx + ty; // keep the reads alive
+                *py.get_mut(i) = *py.get(j);
+                *py.get_mut(j) = ty;
             }
         }
         let mut k = n / 2;
@@ -172,10 +173,11 @@ fn fft(px: &mut RVec<f32>, py: &mut RVec<f32>) {
         if i < j {
             if j <= n {
                 let tx = *px.get(i);
-                px.swap(i, j);
+                *px.get_mut(i) = *px.get(j);
+                *px.get_mut(j) = tx;
                 let ty = *py.get(i);
-                py.swap(i, j);
-                let u = tx + ty;
+                *py.get_mut(i) = *py.get(j);
+                *py.get_mut(j) = ty;
             }
         }
         let mut k = n / 2;

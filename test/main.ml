@@ -16,4 +16,5 @@ let () =
       Test_soundness.divmod_tests;
       Test_workloads.tests;
       Test_engine.tests;
+      Test_analysis.tests;
     ]
