@@ -394,6 +394,61 @@ let smoke ~jobs () =
   if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Fuzz smoke: a fixed-seed differential campaign over all three       *)
+(* oracles must find zero bugs and report measured throughput          *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_smoke ~jobs () =
+  let module Fuzz = Flux_fuzz.Fuzz in
+  let cfg =
+    {
+      Fuzz.seed = 42;
+      budget = 2.0;
+      oracles = Fuzz.all_oracles;
+      jobs;
+      corpus_dir = None;
+    }
+  in
+  let s = Fuzz.run cfg in
+  let bugs = List.length (Fuzz.summary_bugs s) in
+  Printf.printf "Fuzz smoke (seed %d, budget %.0fs, --jobs %d):\n" cfg.Fuzz.seed
+    cfg.Fuzz.budget jobs;
+  List.iter
+    (fun (o : Fuzz.oracle_summary) ->
+      Printf.printf "  %-10s %5d cases, %d ok, %d skipped, %d bugs\n"
+        o.Fuzz.o_name o.Fuzz.o_cases o.Fuzz.o_ok o.Fuzz.o_skipped
+        (List.length o.Fuzz.o_bugs))
+    s.Fuzz.s_oracles;
+  let total = List.fold_left (fun a o -> a + o.Fuzz.o_cases) 0 s.Fuzz.s_oracles in
+  Printf.printf "  total      %5d cases in %.1fs (%.0f cases/s)\n" total
+    s.Fuzz.s_elapsed
+    (float_of_int total /. Float.max 1e-6 s.Fuzz.s_elapsed);
+  let oc = open_out "BENCH_fuzz.json" in
+  Printf.fprintf oc
+    "{\"seed\": %d, \"budget\": %.1f, \"jobs\": %d, \"cases\": %d, \
+     \"elapsed\": %.3f, \"oracles\": [%s], \"bugs\": %d, \"truncated\": %b, \
+     \"ok\": %b}\n"
+    cfg.Fuzz.seed cfg.Fuzz.budget jobs total s.Fuzz.s_elapsed
+    (String.concat ", "
+       (List.map
+          (fun (o : Fuzz.oracle_summary) ->
+            Printf.sprintf
+              "{\"oracle\": \"%s\", \"cases\": %d, \"ok\": %d, \"skipped\": \
+               %d, \"frontend\": %d, \"bugs\": %d}"
+              o.Fuzz.o_name o.Fuzz.o_cases o.Fuzz.o_ok o.Fuzz.o_skipped
+              o.Fuzz.o_frontend
+              (List.length o.Fuzz.o_bugs))
+          s.Fuzz.s_oracles))
+    bugs s.Fuzz.s_truncated
+    (bugs = 0 && not s.Fuzz.s_truncated);
+  close_out oc;
+  Printf.printf "Wrote BENCH_fuzz.json\n";
+  let pass = bugs = 0 && not s.Fuzz.s_truncated in
+  Printf.printf "Fuzz assertions (zero bugs, no truncation): %s\n"
+    (if pass then "PASS" else "FAIL");
+  if not pass then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Lint smoke: the 7 workloads must lint clean, and a warm-cache lint  *)
 (* must answer entirely from the verdict cache (zero solver queries)   *)
 (* ------------------------------------------------------------------ *)
@@ -628,6 +683,7 @@ let () =
   match mode with
   | "table1" -> table1 ~jobs ()
   | "smoke" -> smoke ~jobs ()
+  | "fuzz" -> fuzz_smoke ~jobs ()
   | "lint" -> lint_bench ~jobs ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()
@@ -639,7 +695,7 @@ let () =
       micro ()
   | m ->
       Printf.eprintf
-        "unknown mode %s (expected table1 | smoke | lint | ablations | micro \
-         | all)\n"
+        "unknown mode %s (expected table1 | smoke | fuzz | lint | ablations \
+         | micro | all)\n"
         m;
       exit 2

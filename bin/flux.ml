@@ -23,6 +23,7 @@ module Engine = Flux_engine.Engine
 module Diag = Flux_engine.Diag
 module Lint = Flux_analysis.Lint
 module Passes = Flux_analysis.Passes
+module Fuzz = Flux_fuzz.Fuzz
 
 let read_file path =
   let ic = open_in_bin path in
@@ -109,6 +110,45 @@ let lint_cmd_run file format quiet jobs cache cache_dir times pass_sel all =
   if Lint.run_clean run then Diag.exit_ok else Diag.exit_failed
 
 (* ------------------------------------------------------------------ *)
+(* flux fuzz                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd_run seed budget oracle jobs corpus no_corpus quiet =
+  let oracles =
+    match Fuzz.oracle_of_string oracle with
+    | Some os -> os
+    | None ->
+        Format.eprintf
+          "flux: unknown oracle `%s` (expected soundness, solver, fixpoint or \
+           all)@."
+          oracle;
+        exit Diag.exit_frontend
+  in
+  let cfg =
+    {
+      Fuzz.seed;
+      budget;
+      oracles;
+      jobs;
+      corpus_dir = (if no_corpus then None else Some corpus);
+    }
+  in
+  if not quiet then
+    Format.printf "flux fuzz: seed=%d budget=%.0fs oracles=%s jobs=%d@." seed
+      budget
+      (String.concat "," (List.map Fuzz.oracle_name oracles))
+      jobs;
+  let summary = Fuzz.run cfg in
+  let bugs = Fuzz.summary_bugs summary in
+  (match cfg.Fuzz.corpus_dir with
+  | Some dir when bugs <> [] ->
+      let paths = Fuzz.write_corpus dir bugs in
+      List.iter (Format.printf "  wrote reproducer %s@.") paths
+  | _ -> ());
+  Format.printf "%a" Fuzz.pp_summary summary;
+  if bugs = [] then Diag.exit_ok else Diag.exit_failed
+
+(* ------------------------------------------------------------------ *)
 (* Arguments                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -188,10 +228,55 @@ let lint_cmd =
       const lint_cmd_run $ file_arg $ format_arg $ quiet_flag $ jobs_arg
       $ cache_flag $ cache_dir_arg $ times_flag $ pass_arg $ all_passes_flag)
 
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Campaign seed; every reported bug reprints it")
+
+let budget_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "budget" ] ~docv:"SECS"
+        ~doc:
+          "Time budget, mapped to a deterministic case count per oracle \
+           (identical runs examine identical cases regardless of machine \
+           speed)")
+
+let oracle_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "oracle" ] ~docv:"ORACLE"
+        ~doc:
+          "Which oracle to run: $(b,soundness), $(b,solver), $(b,fixpoint) \
+           or $(b,all)")
+
+let corpus_arg =
+  Arg.(
+    value & opt string "fuzz-corpus"
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"Directory for shrunk reproducers of found bugs")
+
+let no_corpus_flag =
+  Arg.(
+    value & flag
+    & info [ "no-corpus" ] ~doc:"Do not write reproducer files")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the verifier: generate random programs/terms/constraint \
+          systems and cross-check the checker, the SMT layer and the \
+          fixpoint solver against ground-truth oracles")
+    Term.(
+      const fuzz_cmd_run $ seed_arg $ budget_arg $ oracle_arg $ jobs_arg
+      $ corpus_arg $ no_corpus_flag $ quiet_flag)
+
 let main =
   Cmd.group
     (Cmd.info "flux" ~version:"0.1.0"
        ~doc:"Liquid types for a Rust subset (OCaml reproduction of Flux, PLDI 2023)")
-    [ check_cmd; lint_cmd ]
+    [ check_cmd; lint_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

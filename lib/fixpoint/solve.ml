@@ -196,6 +196,18 @@ let check_clause ~(kvars : Horn.kvar list) (sol : solution)
   let lhs = sliced_lhs kenv sol cl rhs in
   Solver.valid (Term.mk_imp lhs rhs)
 
+(** Re-check every clause of a system under a claimed solution,
+    returning the ones that fail. This is the fixpoint self-check the
+    fuzzer's third oracle runs: a [Sat] answer from {!solve_clauses}
+    promises that substituting the solution into each clause yields a
+    valid implication, and this function re-establishes that promise
+    clause by clause, independently of the weakening loop's bookkeeping
+    (in particular of its incremental "which-clause-needs-revisiting"
+    worklist). *)
+let validate_solution ~(kvars : Horn.kvar list) (sol : solution)
+    (clauses : Horn.clause list) : Horn.clause list =
+  List.filter (fun cl -> not (check_clause ~kvars sol cl)) clauses
+
 (** Pretty-print a solution (for tests and [--dump-solution]). *)
 let pp_solution fmt (sol : solution) =
   let entries =

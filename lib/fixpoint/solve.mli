@@ -54,4 +54,11 @@ val check_clause : kvars:Horn.kvar list -> solution -> Horn.clause -> bool
     whether the implication is valid. Lets lint passes test side
     conditions against the solution the checker already computed. *)
 
+val validate_solution :
+  kvars:Horn.kvar list -> solution -> Horn.clause list -> Horn.clause list
+(** Re-check every clause under a claimed solution and return the ones
+    that fail. For any solution returned inside [Sat] this must be
+    empty — the invariant the fuzzer's fixpoint self-check oracle
+    enforces. *)
+
 val pp_solution : Format.formatter -> solution -> unit

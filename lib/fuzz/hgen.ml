@@ -1,0 +1,128 @@
+(** Random Horn constraint systems for the fixpoint self-check oracle.
+
+    Each case is a small κ system shaped like the constraints the
+    checker emits for loops — a base clause seeding κ, inductive
+    clauses re-entering it under a guard, and concrete-head query
+    clauses — with randomized guards, steps, ghost scopes and an
+    optional second κ chained to the first. The oracle solves the
+    system and, when the solver answers [Sat], substitutes the solution
+    back into {e every} clause and re-checks it for validity
+    ({!Flux_fixpoint.Solve.validate_solution}): the fixpoint invariant
+    that a solution satisfies all its clauses, checked independently of
+    the weakening loop that produced it. *)
+
+open Flux_smt
+open Flux_fixpoint
+
+type case = { kvars : Horn.kvar list; clauses : Horn.clause list }
+
+(* Linear-ish predicates over a variable scope, kept inside the
+   solver's exact fragment (plus the occasional div/mod by a nonzero
+   constant to stress the truncated encoding). *)
+let atom (rng : Rng.t) (scope : string list) : Term.t =
+  let base () =
+    Rng.frequency rng
+      [
+        (3, lazy (Term.var (Rng.choose rng scope)));
+        (2, lazy (Term.int (Rng.range rng (-3) 4)));
+      ]
+    |> Lazy.force
+  in
+  let e () =
+    Rng.frequency rng
+      [
+        (3, lazy (base ()));
+        (2, lazy (Term.add (base ()) (base ())));
+        (2, lazy (Term.sub (base ()) (base ())));
+        ( 1,
+          lazy
+            (Term.mk_binop
+               (if Rng.bool rng then Term.Div else Term.Mod)
+               (base ())
+               (Term.int (Rng.choose rng [ -2; 2; 3 ]))) );
+      ]
+    |> Lazy.force
+  in
+  let op = Rng.choose rng [ Term.Lt; Term.Le; Term.Gt; Term.Ge ] in
+  Rng.frequency rng
+    [
+      (4, lazy (Term.mk_cmp op (e ()) (e ())));
+      (1, lazy (Term.mk_eq (e ()) (e ())));
+    ]
+  |> Lazy.force
+
+let guard rng scope : Term.t =
+  match Rng.int rng 3 with
+  | 0 -> atom rng scope
+  | 1 -> Term.mk_and [ atom rng scope; atom rng scope ]
+  | _ -> Term.mk_or [ atom rng scope; atom rng scope ]
+
+let gen (rng : Rng.t) : case =
+  let n_ghosts = Rng.range rng 0 2 in
+  let ghosts = List.init n_ghosts (fun i -> Printf.sprintf "g%d" i) in
+  let ghost_sorts = List.map (fun g -> (g, Sort.Int)) ghosts in
+  let ghost_args = List.map (fun g -> Term.var g) ghosts in
+  let k1 =
+    Horn.{ kname = "k1"; kparams = ("v", Sort.Int) :: ghost_sorts; kvalues = 1 }
+  in
+  let two_kvars = Rng.int rng 3 = 0 in
+  let k2 =
+    Horn.{ kname = "k2"; kparams = ("v", Sort.Int) :: ghost_sorts; kvalues = 1 }
+  in
+  let kvars = if two_kvars then [ k1; k2 ] else [ k1 ] in
+  let kapp name e = Horn.Kapp (name, e :: ghost_args) in
+  let tag = ref 0 in
+  let mk binders hyps head =
+    incr tag;
+    { Horn.binders; hyps; head; tag = !tag }
+  in
+  let scope = "v" :: ghosts in
+  (* base clause(s): seed k1 at a constant or a ghost-derived value *)
+  let init =
+    let e0 =
+      Rng.frequency rng
+        [
+          (3, Term.int (Rng.range rng 0 3));
+          (2, (match ghosts with [] -> Term.int 0 | g :: _ -> Term.var g));
+        ]
+    in
+    let hyps =
+      if Rng.bool rng then [ Horn.Conc (guard rng (match ghosts with [] -> [ "u" ] | _ -> ghosts)) ]
+      else []
+    in
+    mk (("u", Sort.Int) :: ghost_sorts) hyps (kapp "k1" e0)
+  in
+  (* inductive clauses: k1(j) ∧ guard ⇒ k1(j + step) *)
+  let inductive =
+    List.init (Rng.range rng 1 2) (fun _ ->
+        let step = Rng.choose rng [ 1; 2; -1 ] in
+        mk
+          (("j", Sort.Int) :: ghost_sorts)
+          [ Horn.Kapp ("k1", Term.var "j" :: ghost_args); Horn.Conc (guard rng ("j" :: ghosts)) ]
+          (kapp "k1" (Term.add (Term.var "j") (Term.int step))))
+  in
+  (* optional chain: k1(v) ⇒ k2(v + c) *)
+  let chain =
+    if two_kvars then
+      [
+        mk
+          (("v", Sort.Int) :: ghost_sorts)
+          [ Horn.Kapp ("k1", Term.var "v" :: ghost_args) ]
+          (kapp "k2" (Term.add (Term.var "v") (Term.int (Rng.range rng 0 2))));
+      ]
+    else []
+  in
+  (* queries: κ(v) [∧ guard] ⇒ concrete *)
+  let queries =
+    List.init (Rng.range rng 1 2) (fun _ ->
+        let target = if two_kvars && Rng.bool rng then "k2" else "k1" in
+        let hyps =
+          Horn.Kapp (target, Term.var "v" :: ghost_args)
+          :: (if Rng.bool rng then [ Horn.Conc (guard rng scope) ] else [])
+        in
+        mk (("v", Sort.Int) :: ghost_sorts) hyps (Horn.Conc (atom rng scope)))
+  in
+  { kvars; clauses = (init :: inductive) @ chain @ queries }
+
+let pp_case fmt (c : case) =
+  List.iter (fun cl -> Format.fprintf fmt "%a@." Horn.pp_clause cl) c.clauses

@@ -1,0 +1,344 @@
+(** The three differential oracles.
+
+    Each oracle examines one randomly generated case and returns a
+    {!verdict} — with any bug already shrunk to a minimal reproducer.
+    All three exploit verdicts with a {e definite} polarity, so a
+    mismatch is always a real bug, never solver incompleteness showing
+    through:
+
+    - {b soundness} — executable Theorem 3.2. If the checker verifies a
+      program, running it on any input satisfying its precondition must
+      not fault (no out-of-bounds access, no division by zero), and any
+      produced value must satisfy the declared return refinement.
+      Divergence (fuel exhaustion) is {e not} a violation: verification
+      is partial-correctness.
+    - {b solver differential} — [Solver.valid t = true] asserts truth
+      under {e every} integer/boolean assignment, so one falsifying
+      assignment in a finite box refutes it; dually a satisfying
+      assignment refutes [Solver.sat t = false]. (The converses prove
+      nothing — [valid = false] may be abstraction incompleteness — so
+      they are not checked.)
+    - {b fixpoint self-check} — a [Sat] answer from the fixpoint solver
+      claims the κ assignment satisfies every Horn clause; substitute
+      it back and re-verify each clause independently of the weakening
+      loop's worklist bookkeeping.
+
+    The checker/solver entry points are injectable so the test suite
+    can seed known-broken implementations (e.g. a Euclidean remainder
+    encoding) and assert the pipeline catches and shrinks them.
+
+    Every case derives its randomness from an {!Rng.t} the caller
+    obtained via {!Rng.split}, and no oracle ever {e advances} the
+    generator it is handed beyond its own case — results are a pure
+    function of (seed, case index). *)
+
+module Ast = Flux_syntax.Ast
+module Checker = Flux_check.Checker
+module Interp = Flux_interp.Interp
+open Flux_smt
+open Flux_fixpoint
+
+type bug = {
+  b_oracle : string;  (** "soundness" | "solver" | "fixpoint" *)
+  b_seed : int;  (** campaign seed (reprinted in every report) *)
+  b_case : int;  (** global case index within the campaign *)
+  b_descr : string;  (** one-line description of the violation *)
+  b_repro : string;  (** shrunk reproducer file contents *)
+  b_ext : string;  (** corpus file extension: "rs" / "term" / "horn" *)
+}
+
+(** Per-case outcome. [Skip] means the case tested nothing (checker
+    rejected the program, or no precondition-satisfying input was
+    found); [Frontend] means the generator emitted something the
+    parser/typechecker rejected — not a soundness bug, but counted
+    separately so generator/frontend drift is visible (the meta-tests
+    pin it to zero). *)
+type verdict = Ok | Skip | Frontend | Bug of bug
+
+let shrink_budget = 400
+
+(* ------------------------------------------------------------------ *)
+(* Soundness                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** A pure description of one argument tuple; fresh [Interp.value]s are
+    built per run because vector arguments are mutated in place. *)
+type ival = IInt of int | IBool of bool | IVec of int list
+
+let build_value = function
+  | IInt n -> Interp.VInt n
+  | IBool b -> Interp.VBool b
+  | IVec ns ->
+      Interp.VRefCell
+        (ref
+           (Interp.VVec
+              (Interp.vec_of_list (List.map (fun n -> Interp.VInt n) ns))))
+
+let ival_to_string = function
+  | IInt n -> string_of_int n
+  | IBool b -> string_of_bool b
+  | IVec ns ->
+      Printf.sprintf "vec![%s]" (String.concat ", " (List.map string_of_int ns))
+
+(** Sample one candidate argument for a parameter type; [None] when the
+    type is outside the sampled subset (structs, floats). *)
+let rec gen_ival (rng : Rng.t) (ty : Ast.ty) : ival option =
+  match ty with
+  | Ast.TInt Ast.Usize -> Some (IInt (Rng.range rng 0 5))
+  | Ast.TInt _ -> Some (IInt (Rng.range rng (-4) 4))
+  | Ast.TBool -> Some (IBool (Rng.bool rng))
+  | Ast.TVec (Ast.TInt _) ->
+      let len = Rng.range rng 0 4 in
+      Some (IVec (List.init len (fun _ -> Rng.range rng (-3) 3)))
+  | Ast.TRef (_, t) -> gen_ival rng t
+  | _ -> None
+
+let fuel = 200_000
+let input_attempts = 16
+let max_runs = 6
+
+(** Run the parsed program's [f] on precondition-satisfying inputs;
+    return a violation description if any run faults (or breaks its
+    return refinement). Only splits [rng], never advances it. *)
+let run_on_inputs (rng : Rng.t) (prog : Ast.program) : string option =
+  match Ast.find_fn prog "f" with
+  | None -> None
+  | Some fd ->
+      let tys = List.map snd fd.Ast.fn_params in
+      let rec attempt i runs =
+        if i >= input_attempts || runs >= max_runs then None
+        else
+          let case_rng = Rng.split rng i in
+          match
+            List.fold_left
+              (fun acc ty ->
+                match acc with
+                | None -> None
+                | Some xs -> (
+                    match gen_ival case_rng ty with
+                    | Some v -> Some (v :: xs)
+                    | None -> None))
+              (Some []) tys
+          with
+          | None -> None (* unsampleable parameter type: skip program *)
+          | Some rev_ivals -> (
+              let ivals = List.rev rev_ivals in
+              let args = List.map build_value ivals in
+              match Spec_eval.precond_holds fd args with
+              | Some true -> (
+                  let call =
+                    Printf.sprintf "f(%s)"
+                      (String.concat ", " (List.map ival_to_string ivals))
+                  in
+                  match Interp.run ~fuel prog "f" args with
+                  | Interp.OFault f ->
+                      Some
+                        (Format.asprintf "%s faulted: %a" call Interp.pp_fault
+                           f)
+                  | Interp.OValue v -> (
+                      match Spec_eval.postcond_holds fd args v with
+                      | Some false ->
+                          Some
+                            (Format.asprintf
+                               "%s returned %a, violating its return \
+                                refinement"
+                               call Interp.pp_value v)
+                      | _ -> attempt (i + 1) (runs + 1))
+                  | Interp.ODiverged -> attempt (i + 1) (runs + 1))
+              | _ -> attempt (i + 1) runs)
+      in
+      attempt 0 0
+
+let parse_and_typecheck (src : string) : Ast.program option =
+  match
+    let prog = Flux_syntax.Parser.parse_program src in
+    Flux_syntax.Typeck.check_program prog;
+    prog
+  with
+  | prog -> Some prog
+  | exception _ -> None
+
+(** The full pipeline on source text: parse, typecheck, verify with
+    [check], and if verified execute on sampled inputs. Used both for
+    fresh cases and (with the same [input_rng]) by the shrinker's
+    failure predicate. *)
+let soundness_violation ~(check : Ast.program -> bool) ~(input_rng : Rng.t)
+    (src : string) : string option =
+  match parse_and_typecheck src with
+  | None -> None
+  | Some prog -> (
+      match check prog with
+      | exception _ -> None
+      | false -> None
+      | true -> run_on_inputs input_rng prog)
+
+let default_check (prog : Ast.program) : bool =
+  Checker.report_ok (Checker.check_program_ast prog)
+
+let soundness_case ?(check = default_check) ~(seed : int) ~(case : int)
+    (rng : Rng.t) : verdict =
+  let gen_rng = Rng.split rng 0 in
+  let input_rng = Rng.split rng 1 in
+  let src = Pgen.gen gen_rng in
+  match parse_and_typecheck src with
+  | None -> Frontend
+  | Some prog -> (
+      match check prog with
+      | exception _ -> Skip
+      | false -> Skip
+      | true -> (
+          match run_on_inputs input_rng prog with
+          | None -> Ok
+          | Some descr ->
+              let fails s = soundness_violation ~check ~input_rng s <> None in
+              let repro =
+                Shrink.minimize_program ~budget:shrink_budget fails prog
+              in
+              Bug
+                {
+                  b_oracle = "soundness";
+                  b_seed = seed;
+                  b_case = case;
+                  b_descr = descr;
+                  b_repro = repro;
+                  b_ext = "rs";
+                }))
+
+(* ------------------------------------------------------------------ *)
+(* Solver differential                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** A definite-polarity mismatch for [t], if any: a falsifying
+    assignment refuting [valid t = true], or a satisfying assignment
+    refuting [sat t = false]. *)
+let solver_mismatch ~(valid : Term.t -> bool) ~(sat : Term.t -> bool)
+    (t : Term.t) : string option =
+  try
+    let vars = Term.free_vars_sorted t in
+    let render env =
+      String.concat ", "
+        (List.map
+           (fun (x, _) ->
+             Format.asprintf "%s = %a" x Eval.pp_value (env x))
+           vars)
+    in
+    let search want =
+      Eval.find_assignment ~ints:Tgen.int_box vars (fun env ->
+          match Eval.eval_bool env t with
+          | b when b = want -> Some (render env)
+          | _ -> None
+          | exception Division_by_zero -> None)
+    in
+    let refuted_valid =
+      if valid t then
+        match search false with
+        | Some a -> Some ("claimed valid, falsified by " ^ a)
+        | None -> None
+      else None
+    in
+    match refuted_valid with
+    | Some _ -> refuted_valid
+    | None ->
+        if sat t then None
+        else (
+          match search true with
+          | Some a -> Some ("claimed unsat, satisfied by " ^ a)
+          | None -> None)
+  with Eval.Unsupported _ -> None
+
+let solver_case ?(valid = Solver.valid) ?(sat = Solver.sat) ~(seed : int)
+    ~(case : int) (rng : Rng.t) : verdict =
+  let t = Tgen.gen rng in
+  match solver_mismatch ~valid ~sat t with
+  | None -> Ok
+  | Some _ ->
+      let fails t' =
+        match solver_mismatch ~valid ~sat t' with
+        | Some _ -> true
+        | None -> false
+        | exception _ -> false
+      in
+      let t' = Shrink.minimize_term ~budget:shrink_budget fails t in
+      let descr =
+        match solver_mismatch ~valid ~sat t' with
+        | Some d -> Format.asprintf "%a — %s" Term.pp t' d
+        | None | (exception _) -> Format.asprintf "%a" Term.pp t'
+      in
+      Bug
+        {
+          b_oracle = "solver";
+          b_seed = seed;
+          b_case = case;
+          b_descr = descr;
+          b_repro = Repro.term_to_string t';
+          b_ext = "term";
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint self-check                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let default_solve ~kvars clauses = Solve.solve_clauses ~kvars clauses
+
+(** A violated fixpoint invariant for this κ system, if any: a [Sat]
+    solution failing re-validation, or an [Unsat] failure list that
+    disagrees with re-checking its own clauses. *)
+let fixpoint_violation
+    ~(solve : kvars:Horn.kvar list -> Horn.clause list -> Solve.result)
+    (kvars : Horn.kvar list) (clauses : Horn.clause list) : string option =
+  match solve ~kvars clauses with
+  | exception _ -> None
+  | Solve.Sat sol -> (
+      match Solve.validate_solution ~kvars sol clauses with
+      | [] -> None
+      | failing ->
+          Some
+            (Format.asprintf
+               "Sat solution fails re-validation on clause(s) %s under@ %a"
+               (String.concat ", "
+                  (List.map (fun c -> string_of_int c.Horn.tag) failing))
+               Solve.pp_solution sol))
+  | Solve.Unsat (failures, sol) -> (
+      (* every reported failure must really fail under the solution *)
+      match
+        List.find_opt
+          (fun f -> Solve.check_clause ~kvars sol f.Solve.f_clause)
+          failures
+      with
+      | Some f ->
+          Some
+            (Printf.sprintf
+               "Unsat failure on clause %d passes re-checking (phantom \
+                failure)"
+               f.Solve.f_tag)
+      | None -> None)
+
+let fixpoint_case ?(solve = default_solve) ~(seed : int) ~(case : int)
+    (rng : Rng.t) : verdict =
+  let { Hgen.kvars; clauses } = Hgen.gen rng in
+  match fixpoint_violation ~solve kvars clauses with
+  | None -> Ok
+  | Some _ ->
+      let fails cls =
+        match fixpoint_violation ~solve kvars cls with
+        | Some _ -> true
+        | None -> false
+        | exception _ -> false
+      in
+      let clauses' =
+        Shrink.minimize_clauses ~budget:shrink_budget fails clauses
+      in
+      let descr =
+        match fixpoint_violation ~solve kvars clauses' with
+        | Some d -> d
+        | None | (exception _) -> "fixpoint invariant violated"
+      in
+      Bug
+        {
+          b_oracle = "fixpoint";
+          b_seed = seed;
+          b_case = case;
+          b_descr = descr;
+          b_repro = Repro.horn_to_string kvars clauses';
+          b_ext = "horn";
+        }

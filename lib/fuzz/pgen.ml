@@ -1,0 +1,357 @@
+(** Seeded generator of well-typed Rust-subset programs for the
+    soundness oracle.
+
+    Two families, weighted toward the constructs that stress refinement
+    inference:
+
+    - the {b vector} family: a function over [&mut RVec<i32>] and two
+      [usize] parameters, with arbitrary (possibly out-of-bounds) index
+      arithmetic, guarded and unguarded reads/writes, while loops over
+      the length, and optionally a refinement signature whose binders
+      relate the indices to the length;
+    - the {b integer} family: pure arithmetic over two [i32] parameters
+      (including [/] and [%] by nonzero constants — the encoding PR 1
+      fixed), with a refined return type drawn from a template pool and
+      optional [requires] clauses.
+
+    Programs are emitted as source text: the oracle parses them back,
+    so the frontend is fuzzed for free, and the shrinker can work on
+    the parsed AST through {!Flux_syntax.Ast.program_to_source}.
+
+    The generator deliberately produces a healthy mix of programs the
+    checker accepts and rejects; the meta-test in [test/test_fuzz.ml]
+    pins that mix so the soundness property can never become vacuous. *)
+
+(* ------------------------------------------------------------------ *)
+(* Shared expression/statement skeleton                                *)
+(* ------------------------------------------------------------------ *)
+
+type gexpr =
+  | GVar of string
+  | GInt of int
+  | GBin of string * gexpr * gexpr  (** rendered infix, parenthesized *)
+  | GLen  (** v.len() *)
+
+type gcond =
+  | GCmp of string * gexpr * gexpr
+  | GAnd of gcond * gcond
+  | GNot of gcond
+  | GBVar of string  (** a boolean local *)
+
+type gstmt =
+  | GLet of string * bool * gexpr  (** name, mutable?, init *)
+  | GLetB of string * gcond  (** boolean local *)
+  | GAssign of string * gexpr
+  | GRead of gexpr  (** acc = acc + *v.get(e); *)
+  | GWrite of gexpr  (** *v.get_mut(e) = acc; *)
+  | GIf of gcond * gstmt list * gstmt list
+  | GWhile of gcond * gstmt list
+
+let rec render_expr = function
+  | GVar x -> x
+  | GInt n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | GBin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (render_expr a) op (render_expr b)
+  | GLen -> "v.len()"
+
+let rec render_cond = function
+  | GCmp (op, a, b) -> Printf.sprintf "%s %s %s" (render_expr a) op (render_expr b)
+  | GAnd (a, b) -> Printf.sprintf "(%s) && (%s)" (render_cond a) (render_cond b)
+  | GNot c -> Printf.sprintf "!(%s)" (render_cond c)
+  | GBVar x -> x
+
+let rec render_stmt ind (s : gstmt) : string =
+  let pad = String.make ind ' ' in
+  let body ind ss = String.concat "\n" (List.map (render_stmt ind) ss) in
+  match s with
+  | GLet (x, m, e) ->
+      Printf.sprintf "%slet %s%s = %s;" pad (if m then "mut " else "") x
+        (render_expr e)
+  | GLetB (x, c) -> Printf.sprintf "%slet %s = %s;" pad x (render_cond c)
+  | GAssign (x, e) -> Printf.sprintf "%s%s = %s;" pad x (render_expr e)
+  | GRead e -> Printf.sprintf "%sacc = acc + *v.get(%s);" pad (render_expr e)
+  | GWrite e -> Printf.sprintf "%s*v.get_mut(%s) = acc;" pad (render_expr e)
+  | GIf (c, t, []) ->
+      Printf.sprintf "%sif %s {\n%s\n%s}" pad (render_cond c) (body (ind + 4) t)
+        pad
+  | GIf (c, t, e) ->
+      Printf.sprintf "%sif %s {\n%s\n%s} else {\n%s\n%s}" pad (render_cond c)
+        (body (ind + 4) t) pad (body (ind + 4) e) pad
+  | GWhile (c, b) ->
+      Printf.sprintf "%swhile %s {\n%s\n%s}" pad (render_cond c)
+        (body (ind + 4) b) pad
+
+(* ------------------------------------------------------------------ *)
+(* Vector family                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let vec_index_expr rng : gexpr =
+  let base () =
+    Rng.frequency rng
+      [
+        (4, GVar "i");
+        (2, GVar "a");
+        (1, GVar "b");
+        (2, GInt (Rng.range rng 0 3));
+        (2, GLen);
+      ]
+  in
+  Rng.frequency rng
+    [
+      (4, base ());
+      (2, GBin ("+", base (), base ()));
+      (2, GBin ("-", base (), base ()));
+      (1, GBin ("/", base (), GInt (Rng.range rng 2 4)));
+      (1, GBin ("%", base (), GInt (Rng.range rng 2 4)));
+      (1, GBin ("-", GLen, GInt 1));
+    ]
+
+let vec_cond rng : gcond =
+  let e () = vec_index_expr rng in
+  Rng.frequency rng
+    [
+      (4, GCmp ("<", e (), GLen));
+      (2, GCmp ("<", e (), e ()));
+      (1, GCmp ("<=", e (), e ()));
+      (1, GAnd (GCmp ("<=", GInt 0, e ()), GCmp ("<", e (), GLen)));
+    ]
+
+(** Subtraction-free index expressions: non-negative by construction
+    (all variables are [usize]), so a [e < v.len()] guard is exactly
+    the proof obligation the checker must discharge. *)
+let vec_safe_idx rng : gexpr =
+  let base () =
+    Rng.frequency rng
+      [
+        (4, GVar "i");
+        (2, GVar "a");
+        (1, GVar "b");
+        (2, GInt (Rng.range rng 0 3));
+      ]
+  in
+  Rng.frequency rng
+    [
+      (4, base ());
+      (2, GBin ("+", base (), base ()));
+      (1, GBin ("/", base (), GInt (Rng.range rng 2 4)));
+      (1, GBin ("%", base (), GInt (Rng.range rng 2 4)));
+    ]
+
+(** A bounds-guarded access: verifiable iff the checker relates the
+    guard to the access (branch path conditions + [usize]
+    non-negativity) — the accepted side of the mix. *)
+let guarded_access rng : gstmt =
+  let e = vec_safe_idx rng in
+  let access = if Rng.int rng 3 < 2 then GRead e else GWrite e in
+  GIf (GCmp ("<", e, GLen), [ access ], [])
+
+(** The classic verifiable traversal (needs loop-invariant inference
+    for [i]). *)
+let canonical_loop rng : gstmt =
+  GWhile
+    ( GCmp ("<", GVar "i", GLen),
+      [
+        (if Rng.bool rng then GRead (GVar "i") else GWrite (GVar "i"));
+        GAssign ("i", GBin ("+", GVar "i", GInt 1));
+      ] )
+
+let rec vec_stmt rng depth : gstmt =
+  let leaf () =
+    Rng.frequency rng
+      [
+        (2, GRead (vec_index_expr rng));
+        (2, GWrite (vec_index_expr rng));
+        (3, guarded_access rng);
+        (2, GAssign ("i", GBin ("+", GVar "i", GInt (Rng.range rng 1 2))));
+        (1, GAssign ("i", vec_index_expr rng));
+      ]
+  in
+  if depth <= 0 then leaf ()
+  else
+    Rng.frequency rng
+      [
+        (4, leaf ());
+        (2, canonical_loop rng);
+        ( 2,
+          GIf
+            ( vec_cond rng,
+              [ vec_stmt rng (depth - 1) ],
+              if Rng.bool rng then [ vec_stmt rng (depth - 1) ] else [] ) );
+        ( 2,
+          GWhile
+            ( GCmp ("<", GVar "i", GLen),
+              [
+                vec_stmt rng (depth - 1);
+                GAssign ("i", GBin ("+", GVar "i", GInt (Rng.range rng 1 2)));
+              ] ) );
+      ]
+
+let vec_sig rng : string option =
+  if Rng.int rng 2 = 0 then None
+  else
+    let a_rty =
+      Rng.frequency rng
+        [
+          (3, "usize{k: k < n}");
+          (2, "usize");
+          (1, "usize{k: k + k < n + n}");
+        ]
+    in
+    let req =
+      Rng.frequency rng [ (2, ""); (2, " requires 0 < n"); (1, " requires 1 < n") ]
+    in
+    Some
+      (Printf.sprintf "#[lr::sig(fn(&mut RVec<i32, @n>, %s, usize) -> i32%s)]"
+         a_rty req)
+
+let vec_program rng : string =
+  let n = Rng.range rng 1 5 in
+  let stmts = List.init n (fun _ -> vec_stmt rng (Rng.range rng 0 2)) in
+  let sig_line = match vec_sig rng with Some s -> s ^ "\n" | None -> "" in
+  Printf.sprintf
+    "%sfn f(v: &mut RVec<i32>, a: usize, b: usize) -> i32 {\n\
+    \    let mut acc = 0;\n\
+    \    let mut i = 0;\n\
+     %s\n\
+    \    acc\n\
+     }"
+    sig_line
+    (String.concat "\n" (List.map (render_stmt 4) stmts))
+
+(* ------------------------------------------------------------------ *)
+(* Integer family                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let int_expr rng ~(vars : (int * gexpr) list) depth : gexpr =
+  let base () = Rng.frequency rng ((2, GInt (Rng.range rng (-3) 4)) :: vars) in
+  let rec go depth =
+    if depth <= 0 then base ()
+    else
+      Rng.frequency rng
+        [
+          (3, base ());
+          (3, GBin (Rng.choose rng [ "+"; "-" ], go (depth - 1), go (depth - 1)));
+          (1, GBin ("*", go (depth - 1), GInt (Rng.range rng (-2) 3)));
+          ( 2,
+            GBin
+              ( Rng.choose rng [ "/"; "%" ],
+                go (depth - 1),
+                GInt (Rng.choose rng [ -3; -2; 2; 3; 4 ]) ) );
+        ]
+  in
+  go depth
+
+(** Variable pools: the initializer of [x] may only mention the
+    parameters; statements may also mention [x]. *)
+let param_vars = [ (3, GVar "a"); (3, GVar "b") ]
+let body_vars = (2, GVar "x") :: param_vars
+
+let int_cond rng : gcond =
+  let e () = int_expr rng ~vars:body_vars 1 in
+  Rng.frequency rng
+    [
+      (3, GCmp (Rng.choose rng [ "<"; "<="; "=="; "!=" ], e (), e ()));
+      (2, GCmp ("<=", GInt 0, e ()));
+      (1, GNot (GCmp ("<", e (), e ())));
+    ]
+
+let rec int_stmt rng depth : gstmt =
+  let leaf () =
+    Rng.frequency rng
+      [
+        (4, GAssign ("x", int_expr rng ~vars:body_vars 2));
+        (2, GAssign ("x", GBin ("+", GVar "x", int_expr rng ~vars:body_vars 1)));
+      ]
+  in
+  if depth <= 0 then leaf ()
+  else
+    Rng.frequency rng
+      [
+        (4, leaf ());
+        ( 3,
+          GIf
+            ( int_cond rng,
+              [ int_stmt rng (depth - 1) ],
+              if Rng.bool rng then [ int_stmt rng (depth - 1) ] else [] ) );
+        ( 1,
+          (* a bounded counting loop: terminates on every input *)
+          GWhile
+            ( GCmp ("<", GVar "t", GInt (Rng.range rng 1 4)),
+              [ int_stmt rng (depth - 1); GAssign ("t", GBin ("+", GVar "t", GInt 1)) ]
+            ) );
+      ]
+
+(** Postcondition templates over the binders [a], [b] and the value
+    [v]. The first pool is valid for {e any} body (tautologies the
+    checker must still discharge); the second is body-dependent and
+    mostly rejected — together they give the acceptance mix both
+    sides. *)
+let int_post rng : string =
+  Rng.frequency rng
+    [
+      ( 2,
+        Rng.choose rng
+          [ "v <= v + 1"; "0 <= v - v"; "v == v"; "a + v <= v + a + 1" ] );
+      ( 3,
+        Rng.choose rng
+          [
+            "0 <= v";
+            "v < 10";
+            "a <= v";
+            "v <= a + b";
+            "v + v <= a + b + b + 9";
+            "v == a";
+            "a - 1 <= v + v";
+            "0 <= v + v";
+            "v <= 100";
+            "b <= v + 20";
+          ] );
+    ]
+
+let int_requires rng : string =
+  Rng.frequency rng
+    [
+      (3, "");
+      (2, " requires 0 <= a");
+      (1, " requires 0 <= a && 0 <= b");
+      (1, " requires a < b");
+      (1, " requires 0 < a && a <= 8");
+    ]
+
+let int_program rng : string =
+  let n = Rng.range rng 1 4 in
+  let stmts = List.init n (fun _ -> int_stmt rng (Rng.range rng 0 2)) in
+  (* the abs-shaped variant is verifiable and stresses branch joins *)
+  let abs_shaped = Rng.int rng 4 = 0 in
+  let post = if abs_shaped then "0 <= v" else int_post rng in
+  let tail =
+    if abs_shaped then "if x < 0 { 0 - x } else { x }"
+    else
+      Rng.frequency rng
+        [
+          (3, "x");
+          (2, render_expr (int_expr rng ~vars:body_vars 1));
+          (1, "x + 1");
+        ]
+  in
+  Printf.sprintf
+    "#[lr::sig(fn(i32<@a>, i32<@b>) -> i32{v: %s}%s)]\n\
+     fn f(a: i32, b: i32) -> i32 {\n\
+    \    let mut x = %s;\n\
+    \    let mut t = 0;\n\
+     %s\n\
+    \    %s\n\
+     }"
+    post (int_requires rng)
+    (render_expr (int_expr rng ~vars:param_vars 1))
+    (String.concat "\n" (List.map (render_stmt 4) stmts))
+    tail
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Generate one program (source text; the single function is named
+    [f]). *)
+let gen (rng : Rng.t) : string =
+  if Rng.int rng 5 < 3 then vec_program rng else int_program rng

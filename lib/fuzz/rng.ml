@@ -1,0 +1,56 @@
+(** A small, fully deterministic PRNG for the fuzzing subsystem
+    (splitmix64).
+
+    Every randomized path in the fuzzer threads one of these explicitly
+    — there is no [Random.self_init] (or global [Random] state) anywhere
+    in the tree — so any failure reproduces exactly from the seed
+    printed in its report, independent of the stdlib's generator
+    version, the platform, or how many domains ran the campaign.
+
+    [split] derives an independent child stream from a parent and a
+    stream index; the campaign driver gives every case its own child,
+    so case [i] generates identical input no matter which worker domain
+    (or how many cases before it) ran. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make (seed : int) : t = { state = Int64.of_int seed }
+
+let next (t : t) : int64 =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+(** Derive an independent generator for stream [i] of [t]'s seed,
+    without advancing [t]. *)
+let split (t : t) (i : int) : t =
+  { state = mix (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) 0xD1342543DE82EF95L)) }
+
+(** Uniform in [0, bound); [bound] must be positive. *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+(** Uniform in [lo, hi] inclusive. *)
+let range (t : t) (lo : int) (hi : int) : int = lo + int t (hi - lo + 1)
+
+let bool (t : t) : bool = int t 2 = 0
+
+(** Pick uniformly from a non-empty list. *)
+let choose (t : t) (xs : 'a list) : 'a = List.nth xs (int t (List.length xs))
+
+(** Weighted choice: [(w1, x1); ...] with positive weights. *)
+let frequency (t : t) (xs : (int * 'a) list) : 'a =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 xs in
+  let n = int t total in
+  let rec go n = function
+    | [] -> invalid_arg "Rng.frequency: empty"
+    | (w, x) :: rest -> if n < w then x else go (n - w) rest
+  in
+  go n xs

@@ -1,0 +1,231 @@
+(** Concrete evaluation of refinement specifications on runtime values.
+
+    The soundness oracle may only run a verified function on inputs
+    that satisfy its precondition, and must check the result against
+    its declared return refinement. Both sides are decided here, on the
+    {e parsed} specification — not on generator-side metadata — so they
+    keep working as the shrinker rewrites the program.
+
+    Everything is three-valued: [Some true] / [Some false] when the
+    specification fragment is in the evaluable subset (integer/boolean
+    arithmetic, binders, vector lengths), [None] when it is not
+    (floats, [old], quantifiers, struct measures). The oracle treats
+    [None] conservatively — it skips the input or the check — so an
+    unsupported construct can never manufacture a false positive. *)
+
+module Ast = Flux_syntax.Ast
+module Interp = Flux_interp.Interp
+
+type env = (string * Interp.value) list
+
+let rec strip_ref (v : Interp.value) : Interp.value =
+  match v with
+  | Interp.VRefCell c -> strip_ref !c
+  | Interp.VRefElem (vec, i) ->
+      if i < 0 || i >= vec.Interp.len then v else strip_ref vec.Interp.items.(i)
+  | v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr (env : env) (e : Ast.expr) : Interp.value option =
+  let open Interp in
+  let int2 a b f =
+    match (eval_expr env a, eval_expr env b) with
+    | Some (VInt x), Some (VInt y) -> f x y
+    | _ -> None
+  in
+  let bool2 a b f =
+    match (eval_expr env a, eval_expr env b) with
+    | Some (VBool x), Some (VBool y) -> Some (VBool (f x y))
+    | _ -> None
+  in
+  match e.Ast.e with
+  | Ast.EInt n -> Some (VInt n)
+  | Ast.EBool b -> Some (VBool b)
+  | Ast.EUnit -> Some VUnit
+  | Ast.EFloat _ -> None
+  | Ast.EVar x -> Option.map strip_ref (List.assoc_opt x env)
+  | Ast.EUn (Ast.NegOp, a) -> (
+      match eval_expr env a with
+      | Some (VInt x) -> Some (VInt (-x))
+      | _ -> None)
+  | Ast.EUn (Ast.Not, a) -> (
+      match eval_expr env a with
+      | Some (VBool b) -> Some (VBool (not b))
+      | _ -> None)
+  | Ast.EBin (op, a, b) -> (
+      match op with
+      | Ast.Add -> int2 a b (fun x y -> Some (VInt (x + y)))
+      | Ast.Sub -> int2 a b (fun x y -> Some (VInt (x - y)))
+      | Ast.Mul -> int2 a b (fun x y -> Some (VInt (x * y)))
+      | Ast.Div -> int2 a b (fun x y -> if y = 0 then None else Some (VInt (x / y)))
+      | Ast.Rem ->
+          int2 a b (fun x y -> if y = 0 then None else Some (VInt (x mod y)))
+      | Ast.Lt -> int2 a b (fun x y -> Some (VBool (x < y)))
+      | Ast.Le -> int2 a b (fun x y -> Some (VBool (x <= y)))
+      | Ast.Gt -> int2 a b (fun x y -> Some (VBool (x > y)))
+      | Ast.Ge -> int2 a b (fun x y -> Some (VBool (x >= y)))
+      | Ast.EqOp -> (
+          match (eval_expr env a, eval_expr env b) with
+          | Some (VInt x), Some (VInt y) -> Some (VBool (x = y))
+          | Some (VBool x), Some (VBool y) -> Some (VBool (x = y))
+          | _ -> None)
+      | Ast.NeOp -> (
+          match (eval_expr env a, eval_expr env b) with
+          | Some (VInt x), Some (VInt y) -> Some (VBool (x <> y))
+          | Some (VBool x), Some (VBool y) -> Some (VBool (x <> y))
+          | _ -> None)
+      | Ast.AndOp -> bool2 a b ( && )
+      | Ast.OrOp -> bool2 a b ( || )
+      | Ast.ImpOp -> bool2 a b (fun x y -> (not x) || y))
+  | Ast.EMethod (recv, "len", []) -> (
+      match Option.map strip_ref (eval_expr env recv) with
+      | Some (VVec v) -> Some (VInt v.Interp.len)
+      | _ -> None)
+  | Ast.EDeref a -> Option.map strip_ref (eval_expr env a)
+  | Ast.EIf (c, t, f) -> (
+      match eval_expr env c with
+      | Some (VBool true) -> eval_block env t
+      | Some (VBool false) -> Option.bind f (eval_block env)
+      | _ -> None)
+  | Ast.EBlock b -> eval_block env b
+  | _ -> None (* calls, structs, forall, old, result: not evaluable here *)
+
+and eval_block env (b : Ast.block) =
+  match (b.Ast.stmts, b.Ast.tail) with
+  | [], Some e -> eval_expr env e
+  | _ -> None
+
+let eval_pred env (e : Ast.expr) : bool option =
+  match eval_expr env e with Some (Interp.VBool b) -> Some b | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Binding signature binders against argument values                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Walking one argument type against its runtime value produces new
+    binder bindings plus deferred constraints (index equations and
+    existential predicates), evaluated once every binder is bound. *)
+type walk = {
+  mutable binds : env;
+  mutable constraints : (env -> bool option) list;
+  mutable unknown : bool;
+}
+
+let rec walk_rty (w : walk) (t : Ast.rty) (v : Interp.value) : unit =
+  match t with
+  | Ast.RRef (_, t') -> walk_rty w t' (strip_ref v)
+  | Ast.RBase (base, idxs) -> walk_base w base idxs v
+  | Ast.RExists (x, base, p) ->
+      (match index_value base v with
+      | Some iv ->
+          w.constraints <-
+            (fun env -> eval_pred ((x, iv) :: env) p) :: w.constraints
+      | None -> w.unknown <- true);
+      (* the element type of an existential RVec must still be scanned *)
+      walk_elt w base
+  | Ast.RFn _ -> w.unknown <- true
+
+(** The index a base type is refined by: the value itself for
+    integers/booleans, the length for vectors. *)
+and index_value (base : Ast.rbase) (v : Interp.value) : Interp.value option =
+  match (base, strip_ref v) with
+  | Ast.RBInt _, Interp.VInt n -> Some (Interp.VInt n)
+  | Ast.RBBool, Interp.VBool b -> Some (Interp.VBool b)
+  | Ast.RBVec _, Interp.VVec vec -> Some (Interp.VInt vec.Interp.len)
+  | _ -> None
+
+and walk_elt (w : walk) (base : Ast.rbase) : unit =
+  match base with
+  | Ast.RBVec (Ast.RBase (_, [])) -> ()
+  | Ast.RBVec _ -> w.unknown <- true (* refined elements: not sampled *)
+  | _ -> ()
+
+and walk_base (w : walk) (base : Ast.rbase) (idxs : Ast.index list)
+    (v : Interp.value) : unit =
+  walk_elt w base;
+  match idxs with
+  | [] -> ()
+  | [ idx ] -> (
+      match index_value base v with
+      | None -> w.unknown <- true
+      | Some iv -> (
+          match idx with
+          | Ast.IxBinder n -> w.binds <- (n, iv) :: w.binds
+          | Ast.IxExpr e ->
+              w.constraints <-
+                (fun env ->
+                  match (eval_expr env e, iv) with
+                  | Some (Interp.VInt x), Interp.VInt y -> Some (x = y)
+                  | Some (Interp.VBool x), Interp.VBool y -> Some (x = y)
+                  | _ -> None)
+                :: w.constraints))
+  | _ -> w.unknown <- true (* multi-index structs: not sampled *)
+
+(** All-of over three-valued conjuncts: [Some false] dominates [None]
+    (a definitely-violated precondition is decisive even if another
+    conjunct is unsupported). *)
+let conj3 (xs : bool option list) : bool option =
+  if List.exists (fun x -> x = Some false) xs then Some false
+  else if List.exists (fun x -> x = None) xs then None
+  else Some true
+
+(** Does [fd]'s precondition (signature binders/refinements, [requires]
+    clauses of both spec styles) hold on [args]? *)
+let precond_holds (fd : Ast.fn_def) (args : Interp.value list) : bool option =
+  let w = { binds = []; constraints = []; unknown = false } in
+  (match fd.Ast.fn_sig with
+  | Some fs when List.length fs.Ast.fs_args = List.length args ->
+      List.iter2 (walk_rty w) fs.Ast.fs_args args
+  | Some _ -> w.unknown <- true
+  | None -> ());
+  let param_env =
+    try List.map2 (fun (x, _) v -> (x, v)) fd.Ast.fn_params args
+    with Invalid_argument _ -> []
+  in
+  let env = w.binds @ param_env in
+  let sig_reqs =
+    match fd.Ast.fn_sig with
+    | Some fs -> List.map (eval_pred env) fs.Ast.fs_requires
+    | None -> []
+  in
+  let contract_reqs =
+    List.map (eval_pred env) fd.Ast.fn_contract.Ast.c_requires
+  in
+  let constraints = List.map (fun f -> f env) w.constraints in
+  let verdicts = constraints @ sig_reqs @ contract_reqs in
+  if w.unknown then
+    if List.exists (fun x -> x = Some false) verdicts then Some false else None
+  else conj3 verdicts
+
+(** Does the declared return refinement hold of [result]? ([None] when
+    the return type carries no evaluable refinement — including always
+    for contract [ensures], which may mention [old].) *)
+let postcond_holds (fd : Ast.fn_def) (args : Interp.value list)
+    (result : Interp.value) : bool option =
+  match fd.Ast.fn_sig with
+  | None -> None
+  | Some fs -> (
+      let w = { binds = []; constraints = []; unknown = false } in
+      if List.length fs.Ast.fs_args = List.length args then
+        List.iter2 (walk_rty w) fs.Ast.fs_args args
+      else w.unknown <- true;
+      let env = w.binds in
+      match fs.Ast.fs_ret with
+      | Ast.RBase (_, []) -> None
+      | Ast.RBase (base, [ Ast.IxExpr e ]) -> (
+          if w.unknown then None
+          else
+            match (eval_expr env e, index_value base result) with
+            | Some (Interp.VInt x), Some (Interp.VInt y) -> Some (x = y)
+            | Some (Interp.VBool x), Some (Interp.VBool y) -> Some (x = y)
+            | _ -> None)
+      | Ast.RExists (x, base, p) -> (
+          if w.unknown then None
+          else
+            match index_value base result with
+            | Some iv -> eval_pred ((x, iv) :: env) p
+            | None -> None)
+      | _ -> None)

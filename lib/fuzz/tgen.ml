@@ -1,0 +1,106 @@
+(** Random QF-LIA + bool terms for the differential solver oracle.
+
+    Terms are built from a small fixed variable set (three integers,
+    two booleans) with constants in a narrow band, so brute-force
+    enumeration over [-4, 4]³ × 𝔹² is cheap. Division and modulo only
+    ever appear with a {e nonzero constant} divisor — the fragment the
+    solver linearizes (and the one Rust programs produce after the
+    checker has proved the divisor nonzero) — so concrete evaluation
+    never faults. [Real] and uninterpreted [App] terms are never
+    generated: the solver treats them opaquely, and opaque abstractions
+    have no ground truth to differ against. *)
+
+open Flux_smt
+
+let int_vars = [ "x"; "y"; "z" ]
+let bool_vars = [ "p"; "q" ]
+
+let vars : (string * Sort.t) list =
+  List.map (fun x -> (x, Sort.Int)) int_vars
+  @ List.map (fun x -> (x, Sort.Bool)) bool_vars
+
+(** The enumeration box for the brute-force oracle. Any falsifying
+    assignment inside the box refutes [valid]; any satisfying one
+    refutes a [sat = false] verdict — both verdict polarities are
+    definite, so a mismatch is always a real bug. *)
+let int_box = [ -4; -3; -2; -1; 0; 1; 2; 3; 4 ]
+
+let divisors = [ -3; -2; 2; 3; 4 ]
+
+let rec int_term (rng : Rng.t) (depth : int) : Term.t =
+  if depth <= 0 then
+    Rng.frequency rng
+      [
+        (3, lazy (Term.var (Rng.choose rng int_vars)));
+        (2, lazy (Term.int (Rng.range rng (-4) 4)));
+      ]
+    |> Lazy.force
+  else
+    Rng.frequency rng
+      [
+        (3, lazy (int_term rng 0));
+        ( 4,
+          lazy
+            (let op = Rng.choose rng [ Term.Add; Term.Sub; Term.Mul ] in
+             let a = int_term rng (depth - 1) in
+             let b =
+               (* keep one side linear often enough that the solver's
+                  exact fragment is exercised, not just the opaque
+                  nonlinear abstraction *)
+               if op = Term.Mul && Rng.int rng 3 > 0 then
+                 Term.int (Rng.range rng (-3) 3)
+               else int_term rng (depth - 1)
+             in
+             Term.mk_binop op a b) );
+        ( 2,
+          lazy
+            (let op = if Rng.bool rng then Term.Div else Term.Mod in
+             Term.mk_binop op
+               (int_term rng (depth - 1))
+               (Term.int (Rng.choose rng divisors))) );
+        (1, lazy (Term.neg (int_term rng (depth - 1))));
+        ( 1,
+          lazy
+            (Term.ite (pred rng (depth - 1))
+               (int_term rng (depth - 1))
+               (int_term rng (depth - 1))) );
+      ]
+    |> Lazy.force
+
+and pred (rng : Rng.t) (depth : int) : Term.t =
+  if depth <= 0 then
+    Rng.frequency rng
+      [
+        (2, lazy (Term.bvar (Rng.choose rng bool_vars)));
+        (1, lazy (Term.bool (Rng.bool rng)));
+        ( 4,
+          lazy
+            (let op = Rng.choose rng [ Term.Lt; Term.Le; Term.Gt; Term.Ge ] in
+             Term.mk_cmp op (int_term rng 1) (int_term rng 1)) );
+      ]
+    |> Lazy.force
+  else
+    Rng.frequency rng
+      [
+        (3, lazy (pred rng 0));
+        ( 3,
+          lazy
+            (let op = Rng.choose rng [ Term.Lt; Term.Le; Term.Gt; Term.Ge ] in
+             Term.mk_cmp op (int_term rng depth) (int_term rng depth)) );
+        ( 2,
+          lazy
+            (let a = int_term rng (depth - 1) and b = int_term rng (depth - 1) in
+             if Rng.bool rng then Term.mk_eq a b else Term.mk_ne a b) );
+        ( 3,
+          lazy
+            (let n = Rng.range rng 2 3 in
+             let ts = List.init n (fun _ -> pred rng (depth - 1)) in
+             if Rng.bool rng then Term.mk_and ts else Term.mk_or ts) );
+        (2, lazy (Term.mk_not (pred rng (depth - 1))));
+        (2, lazy (Term.mk_imp (pred rng (depth - 1)) (pred rng (depth - 1))));
+        (1, lazy (Term.mk_iff (pred rng (depth - 1)) (pred rng (depth - 1))));
+      ]
+    |> Lazy.force
+
+(** A random boolean-sorted term (the oracle's query). *)
+let gen (rng : Rng.t) : Term.t = pred rng (Rng.range rng 2 4)

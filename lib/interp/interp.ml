@@ -329,3 +329,30 @@ let run_source ?fuel (src : string) (fname : string) (args : value list) :
   let prog = Flux_syntax.Parser.parse_program src in
   Flux_syntax.Typeck.check_program prog;
   run_fn ?fuel prog fname args
+
+(* ------------------------------------------------------------------ *)
+(* Typed outcomes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type fault =
+  | FPanic of string  (** dynamic check failed: bounds, div-by-zero, assert *)
+  | FStuck of string  (** type confusion — unreachable after typeck *)
+
+type outcome = OValue of value | OFault of fault | ODiverged
+
+let pp_fault fmt = function
+  | FPanic msg -> Format.fprintf fmt "panic: %s" msg
+  | FStuck msg -> Format.fprintf fmt "stuck: %s" msg
+
+let pp_outcome fmt = function
+  | OValue v -> Format.fprintf fmt "value %a" pp_value v
+  | OFault f -> pp_fault fmt f
+  | ODiverged -> Format.pp_print_string fmt "diverged (fuel exhausted)"
+
+let run ?fuel (prog : Ast.program) (fname : string) (args : value list) :
+    outcome =
+  match run_fn ?fuel prog fname args with
+  | v -> OValue v
+  | exception Panic msg -> OFault (FPanic msg)
+  | exception Stuck msg -> OFault (FStuck msg)
+  | exception Out_of_fuel -> ODiverged

@@ -52,3 +52,24 @@ val run_fn : ?fuel:int -> Ast.program -> string -> value list -> value
 
 val run_source : ?fuel:int -> string -> string -> value list -> value
 (** Parse, typecheck and run [fname] from a source string. *)
+
+(** {2 Typed outcomes}
+
+    The exception-free entry point used by the soundness oracle, which
+    must treat a genuine fault (a failed dynamic check — the event
+    refinement checking rules out) differently from running out of
+    fuel (the program may simply diverge, which verification does not
+    preclude). *)
+
+type fault =
+  | FPanic of string  (** dynamic check failed: bounds, div-by-zero, assert *)
+  | FStuck of string  (** type confusion — unreachable after typeck *)
+
+type outcome = OValue of value | OFault of fault | ODiverged
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run : ?fuel:int -> Ast.program -> string -> value list -> outcome
+(** Like {!run_fn}, but classifying the result instead of raising.
+    [ODiverged] means the fuel budget was exhausted — {e not} a fault. *)

@@ -291,16 +291,25 @@ let mk_iff a b =
   | b, Bool false -> mk_not b
   | _ -> hc (Iff (a, b))
 
-let mk_binop op a b =
+let rec mk_binop op a b =
   match (op, a, b) with
   | Add, Int x, Int y -> int (x + y)
   | Sub, Int x, Int y -> int (x - y)
   | Mul, Int x, Int y -> int (x * y)
+  (* ground / and % fold with truncated (Rust/OCaml) semantics; a zero
+     divisor stays symbolic *)
+  | Div, Int x, Int y when y <> 0 -> int (x / y)
+  | Mod, Int x, Int y when y <> 0 -> int (x mod y)
   | Add, t, Int 0 | Add, Int 0, t -> t
   | Sub, t, Int 0 -> t
   | Mul, t, Int 1 | Mul, Int 1, t -> t
   | Mul, _, Int 0 | Mul, Int 0, _ -> int 0
   | Div, t, Int 1 -> t
+  (* negative constant divisors normalize to positive ones — exact for
+     truncation: a / (-c) = -(a / c) and a % (-c) = a % c — so the LIA
+     linearization (positive divisors only) covers them too *)
+  | Div, t, Int c when c < 0 -> hc (Neg (mk_binop Div t (int (-c))))
+  | Mod, t, Int c when c < 0 -> mk_binop Mod t (int (-c))
   | _ -> hc (Binop (op, a, b))
 
 let add a b = mk_binop Add a b

@@ -350,3 +350,381 @@ and pp_rbase fmt = function
 and pp_index fmt = function
   | IxExpr e -> pp_expr fmt e
   | IxBinder x -> Format.fprintf fmt "@%s" x
+
+(* ------------------------------------------------------------------ *)
+(* Source rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A re-parseable concrete-syntax printer, used by the fuzzer's
+   shrinker to turn a reduced AST back into a candidate input. Unlike
+   the diagnostic printers above it must survive a round trip through
+   the lexer and parser, which drives its few idiosyncrasies:
+
+   - every binary/unary application is parenthesized, so index
+     expressions inside [<...>] never expose a top-level [>]/[>=] (the
+     lexer treats [>] as the closing bracket there; parentheses restore
+     the full grammar);
+   - negative numeric literals print as [(-n)] so the round trip is
+     idempotent (the parser reads them back as negations, which print
+     the same way);
+   - float literals always carry a ['.'], otherwise they would re-lex
+     as integers;
+   - mangled method names ([T::m]) are regrouped into [impl T] blocks.
+
+   Round-tripping normalizes spans and sugar ([x += e] becomes
+   [x = x + e] only in print form, never in the AST — compound
+   assignment is preserved); it is source-stable: print ∘ parse ∘ print
+   = print. *)
+
+let src_float (f : float) : string =
+  let s = Printf.sprintf "%.12g" f in
+  if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let rec src_expr buf (e : expr) : unit =
+  let pf fmt = Printf.bprintf buf fmt in
+  match e.e with
+  | EInt n -> if n < 0 then pf "(-%s)" (string_of_int (-n)) else pf "%d" n
+  | EFloat f ->
+      if f < 0.0 then pf "(-%s)" (src_float (-.f)) else pf "%s" (src_float f)
+  | EBool b -> pf "%b" b
+  | EUnit -> pf "()"
+  | EVar x -> pf "%s" x
+  | EBin (op, a, b) ->
+      pf "(";
+      src_expr buf a;
+      pf " %s " (binop_str op);
+      src_expr buf b;
+      pf ")"
+  | EUn (Not, a) ->
+      pf "(!";
+      src_expr buf a;
+      pf ")"
+  | EUn (NegOp, a) ->
+      pf "(-";
+      src_expr buf a;
+      pf ")"
+  | ECall (f, args) ->
+      pf "%s(" f;
+      src_args buf args;
+      pf ")"
+  | EMethod (r, m, args) ->
+      src_expr buf r;
+      pf ".%s(" m;
+      src_args buf args;
+      pf ")"
+  | EField (r, f) ->
+      src_expr buf r;
+      pf ".%s" f
+  | EStruct (s, fields) ->
+      pf "%s { " s;
+      List.iteri
+        (fun i (f, e) ->
+          if i > 0 then pf ", ";
+          pf "%s: " f;
+          src_expr buf e)
+        fields;
+      pf " }"
+  | ERef (Imm, e) ->
+      pf "&";
+      src_expr buf e
+  | ERef (Mut, e) ->
+      pf "&mut ";
+      src_expr buf e
+  | EDeref e ->
+      pf "(*";
+      src_expr buf e;
+      pf ")"
+  | EIf (c, t, f) -> (
+      pf "if ";
+      src_expr buf c;
+      pf " ";
+      src_block buf 0 t;
+      match f with
+      | None -> ()
+      | Some f ->
+          pf " else ";
+          src_block buf 0 f)
+  | EBlock b -> src_block buf 0 b
+  | EForall (params, body) ->
+      pf "forall(|";
+      List.iteri
+        (fun i (x, t) ->
+          if i > 0 then pf ", ";
+          pf "%s: %s" x (Format.asprintf "%a" pp_ty t))
+        params;
+      pf "| ";
+      src_expr buf body;
+      pf ")"
+  | EOld e ->
+      pf "old(";
+      src_expr buf e;
+      pf ")"
+  | EResult -> pf "result"
+
+and src_args buf args =
+  List.iteri
+    (fun i a ->
+      if i > 0 then Printf.bprintf buf ", ";
+      src_expr buf a)
+    args
+
+and src_block buf ind (b : block) : unit =
+  let pf fmt = Printf.bprintf buf fmt in
+  let pad = String.make (ind + 4) ' ' in
+  pf "{\n";
+  List.iter
+    (fun s ->
+      pf "%s" pad;
+      src_stmt buf (ind + 4) s;
+      pf "\n")
+    b.stmts;
+  (match b.tail with
+  | None -> ()
+  | Some e ->
+      pf "%s" pad;
+      src_expr buf e;
+      pf "\n");
+  pf "%s}" (String.make ind ' ')
+
+and src_stmt buf ind (s : stmt) : unit =
+  let pf fmt = Printf.bprintf buf fmt in
+  match s with
+  | SLet { lname; lmut; lty; linit; _ } ->
+      pf "let %s%s" (if lmut then "mut " else "") lname;
+      (match lty with
+      | None -> ()
+      | Some t -> pf ": %s" (Format.asprintf "%a" pp_ty t));
+      pf " = ";
+      src_expr buf linit;
+      pf ";"
+  | SAssign (p, op, e, _) ->
+      src_expr buf p;
+      (match op with
+      | None -> pf " = "
+      | Some op -> pf " %s= " (binop_str op));
+      src_expr buf e;
+      pf ";"
+  | SExpr ({ e = EIf _ | EBlock _; _ } as e) -> src_expr buf e
+  | SExpr e ->
+      src_expr buf e;
+      pf ";"
+  | SWhile (c, b, _) ->
+      pf "while ";
+      src_expr buf c;
+      pf " ";
+      src_block buf ind b
+  | SInvariant (e, _) ->
+      pf "body_invariant!(";
+      src_expr buf e;
+      pf ");"
+  | SReturn (None, _) -> pf "return;"
+  | SReturn (Some e, _) ->
+      pf "return ";
+      src_expr buf e;
+      pf ";"
+  | SBreak _ -> pf "break;"
+
+let rec src_rty buf (t : rty) : unit =
+  let pf fmt = Printf.bprintf buf fmt in
+  let src_ix ix =
+    match ix with
+    | IxBinder x -> pf "@%s" x
+    | IxExpr e -> src_expr buf e
+  in
+  match t with
+  | RBase (b, []) -> src_rbase buf b
+  | RBase (RBVec elt, ixs) ->
+      (* indices share the element's angle brackets: RVec<i32, @n> *)
+      pf "RVec<";
+      src_rty buf elt;
+      List.iter
+        (fun ix ->
+          pf ", ";
+          src_ix ix)
+        ixs;
+      pf ">"
+  | RBase (b, ixs) ->
+      src_rbase buf b;
+      pf "<";
+      List.iteri
+        (fun i ix ->
+          if i > 0 then pf ", ";
+          src_ix ix)
+        ixs;
+      pf ">"
+  | RExists (v, b, p) ->
+      src_rbase buf b;
+      pf "{%s: " v;
+      src_expr buf p;
+      pf "}"
+  | RRef (RShr, t) ->
+      pf "&";
+      src_rty buf t
+  | RRef (RMut, t) ->
+      pf "&mut ";
+      src_rty buf t
+  | RRef (RStrg, t) ->
+      pf "&strg ";
+      src_rty buf t
+  | RFn _ -> pf "<fn>"
+
+and src_rbase buf (b : rbase) : unit =
+  let pf fmt = Printf.bprintf buf fmt in
+  match b with
+  | RBInt k -> pf "%s" (int_kind_str k)
+  | RBFloat -> pf "f32"
+  | RBBool -> pf "bool"
+  | RBUnit -> pf "()"
+  | RBVec t ->
+      pf "RVec<";
+      src_rty buf t;
+      pf ">"
+  | RBStruct s -> pf "%s" s
+  | RBParam x -> pf "%s" x
+
+let src_fn_sig buf (fs : fn_spec) : unit =
+  let pf fmt = Printf.bprintf buf fmt in
+  pf "#[lr::sig(fn(";
+  List.iteri
+    (fun i t ->
+      if i > 0 then pf ", ";
+      src_rty buf t)
+    fs.fs_args;
+  pf ") -> ";
+  src_rty buf fs.fs_ret;
+  List.iter
+    (fun e ->
+      pf " requires ";
+      src_expr buf e)
+    fs.fs_requires;
+  List.iter
+    (fun (x, t) ->
+      pf " ensures %s: " x;
+      src_rty buf t)
+    fs.fs_ensures;
+  pf ")]\n"
+
+let src_fn buf ~(impl_self : string option) (fd : fn_def) : unit =
+  let pf fmt = Printf.bprintf buf fmt in
+  let ind = if impl_self = None then 0 else 4 in
+  let pad = String.make ind ' ' in
+  let local_name =
+    match impl_self with
+    | None -> fd.fn_name
+    | Some prefix ->
+        let plen = String.length prefix + 2 in
+        String.sub fd.fn_name plen (String.length fd.fn_name - plen)
+  in
+  if fd.fn_trusted then pf "%s#[lr::trusted]\n" pad;
+  (match fd.fn_sig with
+  | None -> ()
+  | Some fs ->
+      pf "%s" pad;
+      src_fn_sig buf fs);
+  List.iter
+    (fun e ->
+      pf "%s#[requires(" pad;
+      src_expr buf e;
+      pf ")]\n")
+    fd.fn_contract.c_requires;
+  List.iter
+    (fun e ->
+      pf "%s#[ensures(" pad;
+      src_expr buf e;
+      pf ")]\n")
+    fd.fn_contract.c_ensures;
+  pf "%sfn %s(" pad local_name;
+  List.iteri
+    (fun i (x, t) ->
+      if i > 0 then pf ", ";
+      match (x, t) with
+      | "self", TRef (Imm, TStruct _) -> pf "&self"
+      | "self", TRef (Mut, TStruct _) -> pf "&mut self"
+      | "self", TStruct _ -> pf "self"
+      | _ -> pf "%s: %s" x (Format.asprintf "%a" pp_ty t))
+    fd.fn_params;
+  pf ")";
+  (match fd.fn_ret with
+  | TUnit -> ()
+  | t -> pf " -> %s" (Format.asprintf "%a" pp_ty t));
+  match fd.fn_body with
+  | None -> pf ";\n"
+  | Some b ->
+      pf " ";
+      src_block buf ind b;
+      pf "\n"
+
+let src_struct buf (sd : struct_def) : unit =
+  let pf fmt = Printf.bprintf buf fmt in
+  (match sd.st_refined_by with
+  | [] -> ()
+  | binds ->
+      pf "#[lr::refined_by(";
+      List.iteri
+        (fun i (x, s) ->
+          if i > 0 then pf ", ";
+          pf "%s: %s" x (Flux_smt.Sort.to_string s))
+        binds;
+      pf ")]\n");
+  (match sd.st_invariant with
+  | None -> ()
+  | Some e ->
+      pf "#[lr::invariant(";
+      src_expr buf e;
+      pf ")]\n");
+  pf "struct %s {\n" sd.st_name;
+  List.iter
+    (fun f ->
+      (match f.fd_rty with
+      | None -> ()
+      | Some t ->
+          pf "    #[lr::field(";
+          src_rty buf t;
+          pf ")]\n");
+      pf "    %s: %s,\n" f.fd_name (Format.asprintf "%a" pp_ty f.fd_ty))
+    sd.st_fields;
+  pf "}\n"
+
+(** Method prefix of a mangled function name: [Some "T"] for ["T::m"]. *)
+let fn_impl_prefix (fd : fn_def) : string option =
+  match String.index_opt fd.fn_name ':' with
+  | Some i when i + 1 < String.length fd.fn_name && fd.fn_name.[i + 1] = ':' ->
+      Some (String.sub fd.fn_name 0 i)
+  | _ -> None
+
+let program_to_source (p : program) : string =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.bprintf buf fmt in
+  let rec go = function
+    | [] -> ()
+    | IStruct sd :: rest ->
+        src_struct buf sd;
+        pf "\n";
+        go rest
+    | IFn fd :: rest -> (
+        match fn_impl_prefix fd with
+        | None ->
+            src_fn buf ~impl_self:None fd;
+            pf "\n";
+            go rest
+        | Some prefix ->
+            (* group the run of consecutive methods of the same target *)
+            let rec split acc = function
+              | IFn fd' :: rest when fn_impl_prefix fd' = Some prefix ->
+                  split (fd' :: acc) rest
+              | rest -> (List.rev acc, rest)
+            in
+            let methods, rest = split [ fd ] rest in
+            pf "impl %s {\n" prefix;
+            List.iter (fun m -> src_fn buf ~impl_self:(Some prefix) m) methods;
+            pf "}\n\n";
+            go rest)
+  in
+  go p;
+  Buffer.contents buf
+
+(** Render one expression to concrete syntax (used in oracle reports). *)
+let expr_to_source (e : expr) : string =
+  let buf = Buffer.create 64 in
+  src_expr buf e;
+  Buffer.contents buf

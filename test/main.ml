@@ -17,4 +17,5 @@ let () =
       Test_workloads.tests;
       Test_engine.tests;
       Test_analysis.tests;
+      Test_fuzz.tests;
     ]

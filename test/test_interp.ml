@@ -206,7 +206,77 @@ let stuck_freedom =
         no_panic (fun () -> run "fft" b.Workloads.bm_flux "fft_test" [ vint n ]));
   ]
 
+(* ---------------- typed outcomes and exhaustive div/mod ------------- *)
+
+(** [Interp.run] classifies every termination mode without exceptions:
+    values, faults (panic/stuck) and fuel exhaustion are distinct —
+    the soundness fuzz oracle depends on divergence never being
+    reported as a fault. *)
+let parse_checked src =
+  let p = Flux_syntax.Parser.parse_program src in
+  Flux_syntax.Typeck.check_program p;
+  p
+
+let divmod_prog =
+  parse_checked
+    "fn d(a: i32, b: i32) -> i32 { a / b }\n\
+     fn m(a: i32, b: i32) -> i32 { a % b }"
+
+let outcome_tests =
+  [
+    Alcotest.test_case "run returns OValue" `Quick (fun () ->
+        match Interp.run divmod_prog "d" [ vint 7; vint 2 ] with
+        | Interp.OValue v ->
+            Alcotest.(check bool) "3" true (Interp.value_eq v (vint 3))
+        | o -> Alcotest.failf "expected a value, got %a" Interp.pp_outcome o);
+    Alcotest.test_case "division by zero is OFault, not an exception" `Quick
+      (fun () ->
+        match Interp.run divmod_prog "d" [ vint 1; vint 0 ] with
+        | Interp.OFault _ -> ()
+        | o -> Alcotest.failf "expected a fault, got %a" Interp.pp_outcome o);
+    Alcotest.test_case "out-of-bounds access is OFault" `Quick (fun () ->
+        let p = parse_checked "fn f(v: &RVec<i32>) -> i32 { *v.get(5) }" in
+        match Interp.run p "f" [ vref (ivec [ 1 ]) ] with
+        | Interp.OFault _ -> ()
+        | o -> Alcotest.failf "expected a fault, got %a" Interp.pp_outcome o);
+    Alcotest.test_case "fuel exhaustion is ODiverged, not a fault" `Quick
+      (fun () ->
+        let p = parse_checked "fn f() { while true { } }" in
+        match Interp.run ~fuel:1000 p "f" [] with
+        | Interp.ODiverged -> ()
+        | o -> Alcotest.failf "expected divergence, got %a" Interp.pp_outcome o);
+    (* Exhaustive differential check of the interpreter's / and %
+       against OCaml's truncated-toward-zero semantics (Rust's), over
+       the full box [-8,8] x [-8,8] \ {b = 0}. Guards the Euclidean
+       regression at the executable layer. *)
+    Alcotest.test_case "div/mod truncate like Rust on [-8,8]^2" `Quick
+      (fun () ->
+        for a = -8 to 8 do
+          for b = -8 to 8 do
+            if b <> 0 then begin
+              (match Interp.run divmod_prog "d" [ vint a; vint b ] with
+              | Interp.OValue v when Interp.value_eq v (vint (a / b)) -> ()
+              | o ->
+                  Alcotest.failf "%d / %d: expected %d, got %a" a b (a / b)
+                    Interp.pp_outcome o);
+              match Interp.run divmod_prog "m" [ vint a; vint b ] with
+              | Interp.OValue v when Interp.value_eq v (vint (a mod b)) -> ()
+              | o ->
+                  Alcotest.failf "%d %% %d: expected %d, got %a" a b (a mod b)
+                    Interp.pp_outcome o
+            end
+          done
+        done);
+  ]
+
+(** Fixed seed for the randomized stuck-freedom suite: reproduce a
+    failure with [QCheck_alcotest.to_alcotest ~rand] below. *)
+let qcheck_seed = 0x5eed1
+
 let tests =
   ( "interp",
-    unit_tests @ bench_tests @ List.map QCheck_alcotest.to_alcotest stuck_freedom
-  )
+    unit_tests @ outcome_tests @ bench_tests
+    @ List.map
+        (QCheck_alcotest.to_alcotest
+           ~rand:(Random.State.make [| qcheck_seed |]))
+        stuck_freedom )

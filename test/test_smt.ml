@@ -238,9 +238,47 @@ let prop_subst_ground =
       | Term.Bool b -> b = eval_pred env t
       | t' -> Solver.valid t' = eval_pred env t)
 
+(* Exhaustive differential check of the solver's ground / and %
+   against OCaml's truncated-toward-zero semantics (Rust's), over the
+   full box [-8,8] x [-8,8] \ {b = 0}: both the claimed quotient and
+   every wrong candidate in the box get a definite verdict. Guards the
+   Euclidean-encoding regression at the solver layer. *)
+let divmod_exhaustive () =
+  for a = -8 to 8 do
+    for b = -8 to 8 do
+      if b <> 0 then begin
+        let ta = Term.int a and tb = Term.int b in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d / %d = %d is valid" a b (a / b))
+          true
+          (Solver.valid (Term.eq (Term.div ta tb) (Term.int (a / b))));
+        Alcotest.(check bool)
+          (Printf.sprintf "%d mod %d = %d is valid" a b (a mod b))
+          true
+          (Solver.valid (Term.eq (Term.md ta tb) (Term.int (a mod b))));
+        (* and the Euclidean (always non-negative) remainder, where it
+           differs, is definitely refuted *)
+        let eucl = ((a mod b) + abs b) mod abs b in
+        if eucl <> a mod b then
+          Alcotest.(check bool)
+            (Printf.sprintf "%d mod %d is not the Euclidean %d" a b eucl)
+            false
+            (Solver.sat (Term.eq (Term.md ta tb) (Term.int eucl)))
+      end
+    done
+  done
+
+(** Fixed seed for the randomized properties: reproduce a failure by
+    re-running with the same constant. *)
+let qcheck_seed = 0x5eed2
+
 let tests =
   ( "smt",
     unit_tests
-    @ List.map QCheck_alcotest.to_alcotest
+    @ [ Alcotest.test_case "exhaustive div/mod vs truncated semantics" `Quick
+          divmod_exhaustive ]
+    @ List.map
+        (QCheck_alcotest.to_alcotest
+           ~rand:(Random.State.make [| qcheck_seed |]))
         [ prop_validity_sound; prop_unsat_sound; prop_negation; prop_subst_ground ]
   )

@@ -302,11 +302,18 @@ let divmod_test (c : divmod_case) =
              (fun n -> not (c.dc_spec n (run_f c.dc_src n)))
              divmod_inputs))
 
+(** Fixed seed for the randomized property: a failure reprints the
+    offending program, and re-running with this constant replays the
+    identical case sequence. *)
+let qcheck_seed = 0x5eed0
+
 let tests =
   ( "soundness-fuzz",
     [
       Alcotest.test_case "generator produces a mix" `Slow generator_mix;
-      QCheck_alcotest.to_alcotest soundness_prop;
+      QCheck_alcotest.to_alcotest
+        ~rand:(Random.State.make [| qcheck_seed |])
+        soundness_prop;
     ] )
 
 let divmod_tests = ("soundness-divmod", List.map divmod_test divmod_cases)
