@@ -17,6 +17,12 @@
     enabled, cold then warm, asserting zero findings, a fully-hit warm
     cache, and zero warm solver queries; writes [BENCH_lint.json].
 
+    [bench/main.exe daemon] measures the [fluxd] daemon: cold CLI
+    end-to-end time (process start + parse + verify, fresh cache) vs.
+    warm daemon request latency (socket round trip answered from the
+    in-memory verdict cache) per Table-1 workload, p50/p95 for both,
+    spliced into [BENCH_table1.json] under a ["daemon"] key.
+
     [table1] additionally writes [BENCH_table1.json]: the same rows in
     machine-readable form, each with the full {!Flux_smt.Profile} dump
     for that verification run, so the perf trajectory is diffable
@@ -603,6 +609,258 @@ let ablations () =
   Wp.inst_rounds := 2
 
 (* ------------------------------------------------------------------ *)
+(* Daemon latency: cold CLI end-to-end vs. warm daemon requests        *)
+(* ------------------------------------------------------------------ *)
+
+module Sjson = Flux_server.Json
+module Client = Flux_server.Client
+module Daemon = Flux_server.Daemon
+module Sproto = Flux_server.Protocol
+module Exec = Flux_server.Exec
+
+(** Nearest-rank percentile (same rule as {!Flux_server.Metrics}). *)
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+(** The [flux] binary built next to this bench executable
+    ([_build/default/bin/flux.exe]). *)
+let flux_bin () =
+  let bench_dir = Filename.dirname Sys.executable_name in
+  Filename.concat
+    (Filename.concat (Filename.dirname bench_dir) "bin")
+    "flux.exe"
+
+(** Spawn [flux daemon start --socket socket] with stdio on /dev/null;
+    [daemon start] only exits 0 once the socket answers. *)
+let start_daemon ~bin ~socket =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process bin
+      [| "flux"; "daemon"; "start"; "--socket"; socket |]
+      null null null
+  in
+  let rec wait () =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> true
+    | _, _ -> false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  let ok = wait () in
+  Unix.close null;
+  ok
+
+let stop_daemon ~socket =
+  ignore (Client.roundtrip ~socket Sproto.Shutdown);
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec drain () =
+    if not (Sys.file_exists socket) then ()
+    else if Unix.gettimeofday () > deadline then begin
+      (* drain overran: force-kill so the bench never leaks a daemon *)
+      (match Daemon.read_pid socket with
+      | Some pid -> ( try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | None -> ());
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ socket; socket ^ ".pid" ]
+    end
+    else begin
+      Unix.sleepf 0.05;
+      drain ()
+    end
+  in
+  drain ()
+
+type daemon_row = {
+  dr_name : string;
+  dr_cold : float list;  (** cold CLI end-to-end seconds *)
+  dr_warm : float list;  (** warm daemon request seconds *)
+}
+
+let daemon_bench ~jobs () =
+  let bin = flux_bin () in
+  if not (Sys.file_exists bin) then begin
+    Printf.eprintf "bench daemon: %s not built\n" bin;
+    exit 2
+  end;
+  let tmp = Filename.get_temp_dir_name () in
+  let tag = Printf.sprintf "flux-bench-%d" (Unix.getpid ()) in
+  let socket = Filename.concat tmp (tag ^ ".sock") in
+  let warm_cache = Filename.concat tmp (tag ^ "-warm-cache") in
+  let cold_reps = 3 and warm_reps = 20 in
+  let files =
+    List.map
+      (fun (b : Workloads.benchmark) ->
+        let f =
+          Filename.concat tmp
+            (Printf.sprintf "%s-%s.rs" tag b.Workloads.bm_name)
+        in
+        let oc = open_out f in
+        output_string oc b.Workloads.bm_flux;
+        close_out oc;
+        (b.Workloads.bm_name, f))
+      Workloads.all
+  in
+  let rm_dir dir =
+    wipe_cache dir;
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  let cleanup () =
+    stop_daemon ~socket;
+    List.iter (fun (_, f) -> try Sys.remove f with Sys_error _ -> ()) files;
+    List.iter
+      (fun (name, _) -> rm_dir (Filename.concat warm_cache name))
+      files;
+    rm_dir warm_cache
+  in
+  if not (start_daemon ~bin ~socket) then begin
+    Printf.eprintf "bench daemon: could not start fluxd on %s\n" socket;
+    exit 1
+  end;
+  Fun.protect ~finally:cleanup (fun () ->
+      Printf.printf
+        "Daemon latency (%d workloads; cold CLI ×%d vs. warm daemon ×%d, \
+         --jobs %d):\n"
+        (List.length files) cold_reps warm_reps jobs;
+      let opts name =
+        {
+          (Exec.default_opts Exec.Flux_check) with
+          Exec.quiet = true;
+          jobs;
+          cache_dir = Filename.concat warm_cache name;
+        }
+      in
+      let rows =
+        List.map
+          (fun (name, file) ->
+            (* cold: a fresh process against a fresh cache, end-to-end *)
+            let cold =
+              List.init cold_reps (fun i ->
+                  let dir =
+                    Filename.concat tmp
+                      (Printf.sprintf "%s-cold-%s-%d" tag name i)
+                  in
+                  let cmd =
+                    Printf.sprintf "%s check -q --cache-dir %s %s > /dev/null 2>&1"
+                      (Filename.quote bin) (Filename.quote dir)
+                      (Filename.quote file)
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  let rc = Sys.command cmd in
+                  let t = Unix.gettimeofday () -. t0 in
+                  rm_dir dir;
+                  if rc <> 0 then begin
+                    Printf.eprintf "bench daemon: cold `flux check %s` exited %d\n"
+                      name rc;
+                    exit 1
+                  end;
+                  t)
+            in
+            (* prime the daemon's caches, then measure warm requests *)
+            let request () =
+              let t0 = Unix.gettimeofday () in
+              match
+                Client.run ~spawn:Client.Never ~socket (opts name) ~file
+              with
+              | Some o when o.Exec.code = 0 -> Unix.gettimeofday () -. t0
+              | Some o ->
+                  Printf.eprintf "bench daemon: warm %s exited %d\n%s" name
+                    o.Exec.code o.Exec.err;
+                  exit 1
+              | None ->
+                  Printf.eprintf "bench daemon: warm %s: daemon unreachable\n"
+                    name;
+                  exit 1
+            in
+            ignore (request ());
+            let warm = List.init warm_reps (fun _ -> request ()) in
+            { dr_name = name; dr_cold = cold; dr_warm = warm })
+          files
+      in
+      let ms l = 1000. *. l in
+      Printf.printf "  %-10s %10s %10s %10s %10s %12s\n" "benchmark"
+        "cold p50" "cold p95" "warm p50" "warm p95" "speedup(p50)";
+      let row_json =
+        List.map
+          (fun r ->
+            let cp50 = percentile 50. r.dr_cold
+            and cp95 = percentile 95. r.dr_cold
+            and wp50 = percentile 50. r.dr_warm
+            and wp95 = percentile 95. r.dr_warm in
+            Printf.printf "  %-10s %8.1fms %8.1fms %8.2fms %8.2fms %11.1fx\n"
+              r.dr_name (ms cp50) (ms cp95) (ms wp50) (ms wp95)
+              (cp50 /. Float.max 1e-9 wp50);
+            ( r,
+              Sjson.Obj
+                [
+                  ("name", Sjson.String r.dr_name);
+                  ("cold_p50_ms", Sjson.Float (ms cp50));
+                  ("cold_p95_ms", Sjson.Float (ms cp95));
+                  ("warm_p50_ms", Sjson.Float (ms wp50));
+                  ("warm_p95_ms", Sjson.Float (ms wp95));
+                  ("speedup_p50", Sjson.Float (cp50 /. Float.max 1e-9 wp50));
+                ] ))
+          rows
+      in
+      let all_cold = List.concat_map (fun r -> r.dr_cold) rows in
+      let all_warm = List.concat_map (fun r -> r.dr_warm) rows in
+      let cp50 = percentile 50. all_cold and wp50 = percentile 50. all_warm in
+      let wp95 = percentile 95. all_warm in
+      Printf.printf "  %-10s %8.1fms %8.1fms %8.2fms %8.2fms %11.1fx\n"
+        "aggregate" (ms cp50)
+        (ms (percentile 95. all_cold))
+        (ms wp50) (ms wp95)
+        (cp50 /. Float.max 1e-9 wp50);
+      let pass =
+        List.for_all
+          (fun r -> percentile 50. r.dr_warm < percentile 50. r.dr_cold)
+          rows
+      in
+      let daemon_json =
+        Sjson.Obj
+          [
+            ("jobs", Sjson.Int jobs);
+            ("cold_reps", Sjson.Int cold_reps);
+            ("warm_reps", Sjson.Int warm_reps);
+            ("rows", Sjson.List (List.map snd row_json));
+            ("cold_p50_ms", Sjson.Float (ms cp50));
+            ("warm_p50_ms", Sjson.Float (ms wp50));
+            ("warm_p95_ms", Sjson.Float (ms wp95));
+            ("ok", Sjson.Bool pass);
+          ]
+      in
+      (* splice under "daemon" in BENCH_table1.json, preserving the
+         table1 rows already there *)
+      let table_file = "BENCH_table1.json" in
+      let table =
+        if Sys.file_exists table_file then
+          match Sjson.parse (Flux_engine.Diag.read_file table_file) with
+          | Ok (Sjson.Obj kvs) ->
+              Sjson.Obj (List.remove_assoc "daemon" kvs @ [ ("daemon", daemon_json) ])
+          | Ok _ | Error _ ->
+              Printf.printf
+                "  (existing %s is not a JSON object; rewriting with the \
+                 daemon section only)\n"
+                table_file;
+              Sjson.Obj [ ("daemon", daemon_json) ]
+        else Sjson.Obj [ ("daemon", daemon_json) ]
+      in
+      let oc = open_out table_file in
+      output_string oc (Sjson.to_string ~pretty:true table);
+      close_out oc;
+      Printf.printf "Wrote %s (daemon section)\n" table_file;
+      Printf.printf
+        "Daemon assertions (warm p50 beats cold CLI p50 on every workload): \
+         %s\n"
+        (if pass then "PASS" else "FAIL");
+      if not pass then exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -685,6 +943,7 @@ let () =
   | "smoke" -> smoke ~jobs ()
   | "fuzz" -> fuzz_smoke ~jobs ()
   | "lint" -> lint_bench ~jobs ()
+  | "daemon" -> daemon_bench ~jobs ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()
   | "all" ->
@@ -695,7 +954,7 @@ let () =
       micro ()
   | m ->
       Printf.eprintf
-        "unknown mode %s (expected table1 | smoke | fuzz | lint | ablations \
-         | micro | all)\n"
+        "unknown mode %s (expected table1 | smoke | fuzz | lint | daemon | \
+         ablations | micro | all)\n"
         m;
       exit 2

@@ -14,100 +14,94 @@
     cache ([--cache-dir], disable with [--no-cache]). Output is
     byte-identical for every [--jobs] value: reports are emitted in
     declaration order and wall-clock times are only shown on request
-    ([--times], inherently nondeterministic). Printing and exit codes
-    are shared with [prusti] via {!Flux_engine.Diag}. *)
+    ([--times], inherently nondeterministic).
+
+    With [--daemon] the request is routed through a persistent [fluxd]
+    process ({!Flux_server.Daemon}) over a Unix socket — auto-started
+    on first use, managed explicitly with [flux daemon
+    start|stop|status|metrics]. The daemon keeps verdicts in memory, so
+    warm re-checks answer without any SMT queries; its output is
+    byte-identical to the in-process path (both render through
+    {!Flux_server.Exec}), and any daemon failure falls back to checking
+    in-process. *)
 
 open Cmdliner
-module Checker = Flux_check.Checker
 module Engine = Flux_engine.Engine
 module Diag = Flux_engine.Diag
-module Lint = Flux_analysis.Lint
 module Passes = Flux_analysis.Passes
 module Fuzz = Flux_fuzz.Fuzz
+module Exec = Flux_server.Exec
+module Daemon = Flux_server.Daemon
+module Client = Flux_server.Client
+module Protocol = Flux_server.Protocol
+module Json = Flux_server.Json
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+(** Run one tool invocation — through the daemon when asked (and
+    possible), in-process otherwise — then replay its rendered streams
+    and return its exit code. *)
+let run_tool ~daemon ~socket ~deadline (opts : Exec.opts) ~file =
+  let local () =
+    Exec.run ?deadline_ms:deadline opts ~file ~read:(fun () ->
+        Diag.read_file file)
+  in
+  let outcome =
+    if daemon then
+      match Client.run ~socket ?deadline_ms:deadline opts ~file with
+      | Some o -> o
+      | None -> local ()
+    else local ()
+  in
+  print_string outcome.Exec.out;
+  prerr_string outcome.Exec.err;
+  flush stdout;
+  flush stderr;
+  outcome.Exec.code
 
 (* ------------------------------------------------------------------ *)
 (* flux check                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times =
-  Diag.with_frontend_errors ~tool:"flux" ~file @@ fun () ->
-  let src = read_file file in
-  let prog = Flux_syntax.Parser.parse_program src in
-  Flux_syntax.Typeck.check_program prog;
-  if dump_mir then
-    List.iter
-      (fun (_, body) -> Format.printf "%a@." Flux_mir.Ir.pp_body body)
-      (Flux_mir.Lower.lower_program prog);
-  (* cached hits replay verdicts without re-solving, so they have no κ
-     solution to dump: [--dump-solution] implies a full re-check *)
-  if dump_solution && cache then
-    Format.eprintf
-      "flux: note: --dump-solution disables the verification cache (cached \
-       verdicts carry no solution)@.";
-  let cfg =
+let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times
+    daemon socket deadline =
+  let opts =
     {
-      Engine.jobs;
-      cache_dir = (if cache && not dump_solution then Some cache_dir else None);
+      Exec.tool = Exec.Flux_check;
+      quiet;
+      times;
+      jobs;
+      cache;
+      cache_dir;
+      dump_mir;
+      dump_solution;
+      format_json = false;
+      passes = [];
+      all_passes = false;
     }
   in
-  let run = Engine.check_program_ast cfg prog in
-  List.iter
-    (fun (o : Engine.fn_outcome) ->
-      let fr = o.Engine.fo_report in
-      Diag.print_row ~quiet ~times ~name:fr.fr_name ~ok:(Checker.fn_ok fr)
-        ~stats:(Printf.sprintf "%d κ, %d clauses" fr.fr_kvars fr.fr_clauses)
-        ~time:fr.fr_time ~cached:o.Engine.fo_cached;
-      Diag.print_errors Checker.pp_error fr.fr_errors;
-      if dump_solution then
-        match fr.fr_solution with
-        | Some sol ->
-            Format.printf "  inferred solution:@.%a"
-              Flux_fixpoint.Solve.pp_solution sol
-        | None -> ())
-    run.Engine.run_fns;
-  Diag.print_footer ~quiet ~times ~tool:"flux" ~ok:(Engine.run_ok run)
-    ~fns:(List.length run.Engine.run_fns)
-    ~hits:run.Engine.run_hits ~time:run.Engine.run_time
+  run_tool ~daemon ~socket ~deadline opts ~file
 
 (* ------------------------------------------------------------------ *)
 (* flux lint                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let lint_cmd_run file format quiet jobs cache cache_dir times pass_sel all =
-  Diag.with_frontend_errors ~tool:"flux" ~file @@ fun () ->
-  let passes =
-    if all then Passes.all_passes
-    else if pass_sel <> [] then pass_sel
-    else Passes.default_passes
-  in
-  (match
-     List.find_opt (fun p -> not (List.mem p Passes.all_passes)) passes
-   with
-  | Some p ->
-      Format.eprintf "flux: unknown lint pass `%s` (available: %s)@." p
-        (String.concat ", " Passes.all_passes);
-      exit Diag.exit_frontend
-  | None -> ());
-  let src = read_file file in
-  let cfg =
+let lint_cmd_run file format quiet jobs cache cache_dir times pass_sel all
+    daemon socket deadline =
+  let opts =
     {
-      Lint.jobs;
-      cache_dir = (if cache then Some cache_dir else None);
-      passes;
+      Exec.tool = Exec.Flux_lint;
+      quiet;
+      times;
+      jobs;
+      cache;
+      cache_dir;
+      dump_mir = false;
+      dump_solution = false;
+      format_json = (format = `Json);
+      passes = pass_sel;
+      all_passes = all;
     }
   in
-  let run = Lint.lint_source cfg src in
-  (match format with
-  | `Json -> print_string (Lint.json_of_run ~file run)
-  | `Text -> Lint.print_text ~quiet ~times run);
-  if Lint.run_clean run then Diag.exit_ok else Diag.exit_failed
+  run_tool ~daemon ~socket ~deadline opts ~file
 
 (* ------------------------------------------------------------------ *)
 (* flux fuzz                                                           *)
@@ -147,6 +141,53 @@ let fuzz_cmd_run seed budget oracle jobs corpus no_corpus quiet =
   | _ -> ());
   Format.printf "%a" Fuzz.pp_summary summary;
   if bugs = [] then Diag.exit_ok else Diag.exit_failed
+
+(* ------------------------------------------------------------------ *)
+(* flux daemon                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_start_run socket foreground =
+  let cfg = { Daemon.socket } in
+  if foreground then
+    match Daemon.serve cfg with
+    | Ok () -> 0
+    | Error msg ->
+        Format.eprintf "%s@." msg;
+        1
+  else
+    match Daemon.daemonize cfg with
+    | Ok (Daemon.Started pid) ->
+        Format.printf "fluxd: started (pid %d, socket %s)@." pid socket;
+        0
+    | Ok Daemon.Already_running ->
+        Format.printf "fluxd: already running (socket %s)@." socket;
+        0
+    | Error msg ->
+        Format.eprintf "%s@." msg;
+        1
+
+let daemon_stop_run socket =
+  match Client.roundtrip ~socket Protocol.Shutdown with
+  | Ok _ ->
+      (* wait for the drain to complete so "stop && start" is reliable *)
+      let t0 = Unix.gettimeofday () in
+      while Sys.file_exists socket && Unix.gettimeofday () -. t0 < 10. do
+        ignore (Unix.select [] [] [] 0.05)
+      done;
+      Format.printf "fluxd: stopped@.";
+      0
+  | Error _ ->
+      Format.eprintf "fluxd: not running (socket %s)@." socket;
+      1
+
+let daemon_info_run req socket =
+  match Client.roundtrip ~socket req with
+  | Ok (Protocol.Info j) ->
+      print_string (Json.to_string ~pretty:true j);
+      0
+  | Ok _ | Error _ ->
+      Format.eprintf "fluxd: not running (socket %s)@." socket;
+      1
 
 (* ------------------------------------------------------------------ *)
 (* Arguments                                                           *)
@@ -211,12 +252,44 @@ let all_passes_flag =
     & info [ "all" ]
         ~doc:"Run every pass, including the allow-by-default ones (overflow)")
 
+let daemon_flag =
+  Arg.(
+    value & flag
+    & info [ "daemon" ]
+        ~doc:
+          "Route the request through a persistent $(b,fluxd) daemon \
+           (auto-started on first use); falls back to in-process checking \
+           if the daemon is unreachable. Output is byte-identical to the \
+           non-daemon path")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Client.default_socket ())
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix-domain socket path")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline" ] ~docv:"MS"
+        ~doc:
+          "Abandon the request after $(docv) milliseconds (checked at \
+           function boundaries); exit code 3 on expiry")
+
+let foreground_flag =
+  Arg.(
+    value & flag
+    & info [ "foreground" ]
+        ~doc:"Run the daemon in the foreground instead of detaching")
+
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a program with liquid refinement types")
     Term.(
       const check_cmd_run $ file_arg $ dump_mir_flag $ dump_solution_flag
-      $ quiet_flag $ jobs_arg $ cache_flag $ cache_dir_arg $ times_flag)
+      $ quiet_flag $ jobs_arg $ cache_flag $ cache_dir_arg $ times_flag
+      $ daemon_flag $ socket_arg $ deadline_arg)
 
 let lint_cmd =
   Cmd.v
@@ -226,7 +299,8 @@ let lint_cmd =
           code, trivial inferred invariants, dead stores)")
     Term.(
       const lint_cmd_run $ file_arg $ format_arg $ quiet_flag $ jobs_arg
-      $ cache_flag $ cache_dir_arg $ times_flag $ pass_arg $ all_passes_flag)
+      $ cache_flag $ cache_dir_arg $ times_flag $ pass_arg $ all_passes_flag
+      $ daemon_flag $ socket_arg $ deadline_arg)
 
 let seed_arg =
   Arg.(
@@ -273,10 +347,35 @@ let fuzz_cmd =
       const fuzz_cmd_run $ seed_arg $ budget_arg $ oracle_arg $ jobs_arg
       $ corpus_arg $ no_corpus_flag $ quiet_flag)
 
+let daemon_cmd =
+  Cmd.group
+    (Cmd.info "daemon"
+       ~doc:
+         "Manage the persistent verification daemon ($(b,fluxd)): an \
+          always-on process that keeps verdicts in memory so warm \
+          re-checks answer without SMT queries")
+    [
+      Cmd.v
+        (Cmd.info "start" ~doc:"Start the daemon (no-op if already running)")
+        Term.(const daemon_start_run $ socket_arg $ foreground_flag);
+      Cmd.v
+        (Cmd.info "stop" ~doc:"Stop the daemon (drains in-flight requests)")
+        Term.(const daemon_stop_run $ socket_arg);
+      Cmd.v
+        (Cmd.info "status" ~doc:"Print daemon status as JSON")
+        Term.(const (daemon_info_run Protocol.Status) $ socket_arg);
+      Cmd.v
+        (Cmd.info "metrics"
+           ~doc:
+             "Print aggregate daemon metrics as JSON (requests, cache-tier \
+              hits, SMT queries, latency percentiles)")
+        Term.(const (daemon_info_run Protocol.Metrics) $ socket_arg);
+    ]
+
 let main =
   Cmd.group
     (Cmd.info "flux" ~version:"0.1.0"
        ~doc:"Liquid types for a Rust subset (OCaml reproduction of Flux, PLDI 2023)")
-    [ check_cmd; lint_cmd; fuzz_cmd ]
+    [ check_cmd; lint_cmd; fuzz_cmd; daemon_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -7,38 +7,49 @@
     Like [flux check], verification goes through the engine: [--jobs]
     domains in parallel, persistent verdict cache keyed on bodies and
     contracts ([--no-cache] to disable), declaration-order output with
-    times gated behind [--times]. *)
+    times gated behind [--times]. [--daemon] routes through the same
+    [fluxd] daemon as [flux check] (one daemon serves both tools — the
+    cache keys are disjoint by construction), auto-starting it via the
+    [flux] binary found next to this one. *)
 
 open Cmdliner
-module Wp = Flux_wp.Wp
 module Engine = Flux_engine.Engine
 module Diag = Flux_engine.Diag
+module Exec = Flux_server.Exec
+module Client = Flux_server.Client
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
-let check_cmd_run file quiet jobs cache cache_dir times =
-  Diag.with_frontend_errors ~tool:"prusti" ~file @@ fun () ->
-  let src = read_file file in
-  let cfg =
-    { Engine.jobs; cache_dir = (if cache then Some cache_dir else None) }
+let check_cmd_run file quiet jobs cache cache_dir times daemon socket deadline =
+  let opts =
+    {
+      Exec.tool = Exec.Prusti_check;
+      quiet;
+      times;
+      jobs;
+      cache;
+      cache_dir;
+      dump_mir = false;
+      dump_solution = false;
+      format_json = false;
+      passes = [];
+      all_passes = false;
+    }
   in
-  let run = Engine.verify_source cfg src in
-  List.iter
-    (fun (o : Engine.wp_outcome) ->
-      let fr = o.Engine.wo_report in
-      Diag.print_row ~quiet ~times ~name:fr.fr_name ~ok:(Wp.fn_ok fr)
-        ~stats:(Printf.sprintf "%d VCs" fr.fr_vcs)
-        ~time:fr.fr_time ~cached:o.Engine.wo_cached;
-      Diag.print_errors Wp.pp_error fr.fr_errors)
-    run.Engine.wr_fns;
-  Diag.print_footer ~quiet ~times ~tool:"prusti" ~ok:(Engine.wp_run_ok run)
-    ~fns:(List.length run.Engine.wr_fns)
-    ~hits:run.Engine.wr_hits ~time:run.Engine.wr_time
+  let local () =
+    Exec.run ?deadline_ms:deadline opts ~file ~read:(fun () ->
+        Diag.read_file file)
+  in
+  let outcome =
+    if daemon then
+      match Client.run ~socket ?deadline_ms:deadline opts ~file with
+      | Some o -> o
+      | None -> local ()
+    else local ()
+  in
+  print_string outcome.Exec.out;
+  prerr_string outcome.Exec.err;
+  flush stdout;
+  flush stderr;
+  outcome.Exec.code
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Annotated source file")
@@ -72,12 +83,36 @@ let times_flag =
     & info [ "times" ]
         ~doc:"Show per-function and total wall-clock times (nondeterministic)")
 
+let daemon_flag =
+  Arg.(
+    value & flag
+    & info [ "daemon" ]
+        ~doc:
+          "Route the request through the persistent $(b,fluxd) daemon \
+           (auto-started on first use); falls back to in-process checking \
+           if the daemon is unreachable")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Client.default_socket ())
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix-domain socket path")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline" ] ~docv:"MS"
+        ~doc:
+          "Abandon the request after $(docv) milliseconds (checked at \
+           function boundaries); exit code 3 on expiry")
+
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a program with the program-logic baseline")
     Term.(
       const check_cmd_run $ file_arg $ quiet_flag $ jobs_arg $ cache_flag
-      $ cache_dir_arg $ times_flag)
+      $ cache_dir_arg $ times_flag $ daemon_flag $ socket_arg $ deadline_arg)
 
 let main =
   Cmd.group

@@ -64,7 +64,8 @@ let run_clean (r : run) = run_diags r = []
 
 (** Lint several programs through one shared pool schedule (mirrors
     {!Flux_engine.Engine.check_programs}). *)
-let lint_programs (cfg : config) (progs : Ast.program list) : run list =
+let lint_programs ?cancel (cfg : config) (progs : Ast.program list) :
+    run list =
   let t0 = Unix.gettimeofday () in
   let config = lint_config_string cfg.passes in
   let quals_fp = Cache.qualifiers_fingerprint Qualifier.default in
@@ -128,7 +129,7 @@ let lint_programs (cfg : config) (progs : Ast.program list) : run list =
         Passes.run_function ~passes:cfg.passes genv fd body)
       task_arr
   in
-  let results = Engine.run_pool ~jobs:cfg.jobs ~sizes fns in
+  let results = Engine.run_pool ?cancel ~jobs:cfg.jobs ~sizes fns in
   (* Store clean results only: a hit must imply "nothing to report". *)
   (match cfg.cache_dir with
   | Some dir ->
@@ -172,13 +173,15 @@ let lint_programs (cfg : config) (progs : Ast.program list) : run list =
       })
     slots
 
-let lint_program_ast (cfg : config) (prog : Ast.program) : run =
-  match lint_programs cfg [ prog ] with [ r ] -> r | _ -> assert false
+let lint_program_ast ?cancel (cfg : config) (prog : Ast.program) : run =
+  match lint_programs ?cancel cfg [ prog ] with
+  | [ r ] -> r
+  | _ -> assert false
 
-let lint_source (cfg : config) (src : string) : run =
+let lint_source ?cancel (cfg : config) (src : string) : run =
   let prog = Flux_syntax.Parser.parse_program src in
   Flux_syntax.Typeck.check_program prog;
-  lint_program_ast cfg prog
+  lint_program_ast ?cancel cfg prog
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -191,9 +194,10 @@ let pp_diag fmt (d : Passes.diag) =
     d.Passes.d_msg
 
 (** Human-readable report. [quiet] prints findings only, no footer. *)
-let print_text ~(quiet : bool) ~(times : bool) (r : run) : unit =
+let print_text fmt ~(quiet : bool) ~(times : bool) (r : run) : unit =
   List.iter
-    (fun o -> List.iter (fun d -> Format.printf "%a@." pp_diag d) o.lo_diags)
+    (fun o ->
+      List.iter (fun d -> Format.fprintf fmt "%a@." pp_diag d) o.lo_diags)
     r.lr_fns;
   if not quiet then begin
     let n = List.length r.lr_fns in
@@ -203,9 +207,11 @@ let print_text ~(quiet : bool) ~(times : bool) (r : run) : unit =
       else ""
     in
     if times then
-      Format.printf "flux lint: %d function(s), %d finding(s)%s in %.3fs@." n
-        d cached r.lr_time
-    else Format.printf "flux lint: %d function(s), %d finding(s)%s@." n d cached
+      Format.fprintf fmt "flux lint: %d function(s), %d finding(s)%s in %.3fs@."
+        n d cached r.lr_time
+    else
+      Format.fprintf fmt "flux lint: %d function(s), %d finding(s)%s@." n d
+        cached
   end
 
 let json_escape (s : string) : string =

@@ -44,6 +44,28 @@ type entry = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* The in-memory tier                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type tier = {
+  t_load : string -> entry option;
+  t_store : string -> entry -> unit;
+}
+(** A second cache tier consulted before the disk store. Keys are the
+    same content-addressed MD5s, so an entry is valid independently of
+    which directory it was first written under. The daemon installs a
+    mutex-protected hashtable here ({!Flux_server.Memcache}) so warm
+    requests skip even the disk probe; CLI processes leave it unset.
+
+    The tier is installed once at process/daemon start, before any
+    requests run, and is then only read — so plain [ref] access is safe
+    across the request and worker domains (the tier's own callbacks
+    must be domain-safe). *)
+
+let memory_tier : tier option ref = ref None
+let set_memory_tier t = memory_tier := t
+
+(* ------------------------------------------------------------------ *)
 (* Fingerprints                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -164,7 +186,50 @@ let wp_key ~(config : string) ~(lookup : string -> Ast.fn_def option)
 
 let path dir key = Filename.concat dir (key ^ ".entry")
 
-let load ~(dir : string) (key : string) : entry option =
+(** [mkdir_p dir]: create [dir] and any missing parents. Re-raises the
+    first {!Unix.Unix_error} other than [EEXIST] (surfaced by
+    {!ensure_dir} as a readable diagnostic). *)
+let rec mkdir_p (dir : string) : unit =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(** [ensure_dir dir]: create the cache directory (with parents) and
+    probe that it is writable, returning a human-readable reason on
+    failure. The CLI and daemon call this once per run and degrade to
+    uncached verification with a clear warning instead of the silent
+    no-op (or raw [Sys_error]) a bad [--cache-dir] used to produce —
+    e.g. a daemon started under a read-only home. *)
+let ensure_dir (dir : string) : (unit, string) result =
+  match mkdir_p dir with
+  | exception Unix.Unix_error (e, _, at) ->
+      Error
+        (Printf.sprintf "cannot create cache directory `%s' (%s: %s)" dir at
+           (Unix.error_message e))
+  | () ->
+      if not (try Sys.is_directory dir with Sys_error _ -> false) then
+        Error
+          (Printf.sprintf
+             "cache directory `%s' is not a directory" dir)
+      else begin
+        let probe =
+          Filename.concat dir (Printf.sprintf ".probe.%d" (Unix.getpid ()))
+        in
+        match open_out_bin probe with
+        | exception Sys_error msg ->
+            Error
+              (Printf.sprintf "cache directory `%s' is not writable (%s)" dir
+                 msg)
+        | oc ->
+            close_out_noerr oc;
+            (try Sys.remove probe with Sys_error _ -> ());
+            Ok ()
+      end
+
+let disk_load ~(dir : string) (key : string) : entry option =
   match open_in_bin (path dir key) with
   | exception Sys_error _ -> None
   | ic ->
@@ -175,8 +240,34 @@ let load ~(dir : string) (key : string) : entry option =
           | e -> Some e
           | exception _ -> None)
 
+(** Tiered lookup: memory first (when installed), then disk; a disk hit
+    is promoted into the memory tier. Per-tier hits are counted in the
+    profile ([cache.mem_hits] / [cache.disk_hits]) for the daemon's
+    metrics. *)
+let load ~(dir : string) (key : string) : entry option =
+  match !memory_tier with
+  | None -> (
+      match disk_load ~dir key with
+      | Some e ->
+          Profile.incr "cache.disk_hits";
+          Some e
+      | None -> None)
+  | Some m -> (
+      match m.t_load key with
+      | Some e ->
+          Profile.incr "cache.mem_hits";
+          Some e
+      | None -> (
+          match disk_load ~dir key with
+          | Some e ->
+              Profile.incr "cache.disk_hits";
+              m.t_store key e;
+              Some e
+          | None -> None))
+
 let store ~(dir : string) (key : string) (e : entry) : unit =
-  (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  (match !memory_tier with Some m -> m.t_store key e | None -> ());
+  (try mkdir_p dir with Unix.Unix_error _ -> ());
   let p = path dir key in
   let tmp = Printf.sprintf "%s.tmp.%d" p (Unix.getpid ()) in
   match open_out_bin tmp with

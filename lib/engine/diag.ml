@@ -2,71 +2,90 @@
     result-row formatter, one run footer, and one exit-code policy, so
     the two binaries cannot drift apart.
 
+    Every renderer writes to an explicit formatter rather than
+    [Format.std_formatter]: the CLI renders into a buffer and prints
+    it, and the daemon renders into a buffer and ships it over the
+    socket — one code path, so daemon output is byte-identical to the
+    CLI by construction (see {!Flux_server.Exec}).
+
     Exit codes: 0 = verified / no findings; 1 = verification failed (or
     lint findings); 2 = the frontend rejected the input (I/O, lexing,
-    parsing, or type errors). *)
+    parsing, or type errors); 3 = a per-request deadline expired before
+    the check completed. *)
 
 module Ast = Flux_syntax.Ast
 
 let exit_ok = 0
 let exit_failed = 1
 let exit_frontend = 2
+let exit_deadline = 3
+
+(** Read a whole file (binary-exact). Shared by both CLIs, the daemon
+    client, and the daemon's path-request handler; raises [Sys_error]
+    like [open_in_bin] on failure. *)
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (** One per-function result row: name, OK/ERROR, tool-specific stats
     (e.g. ["3 κ, 17 clauses"] or ["12 VCs"]), and — only with [times] —
     the wall clock and cache provenance (both nondeterministic). *)
-let print_row ~quiet ~times ~name ~ok ~stats ~time ~cached =
+let print_row fmt ~quiet ~times ~name ~ok ~stats ~time ~cached =
   if not quiet then
     if times then
-      Format.printf "%-24s %s  (%s, %.3fs%s)@." name
+      Format.fprintf fmt "%-24s %s  (%s, %.3fs%s)@." name
         (if ok then "OK" else "ERROR")
         stats time
         (if cached then ", cached" else "")
     else
-      Format.printf "%-24s %s  (%s)@." name
+      Format.fprintf fmt "%-24s %s  (%s)@." name
         (if ok then "OK" else "ERROR")
         stats
 
 (** Indented error lines under a result row. *)
-let print_errors (pp : Format.formatter -> 'e -> unit) (errors : 'e list) :
-    unit =
-  List.iter (fun e -> Format.printf "  error: %a@." pp e) errors
+let print_errors fmt (pp : Format.formatter -> 'e -> unit)
+    (errors : 'e list) : unit =
+  List.iter (fun e -> Format.fprintf fmt "  error: %a@." pp e) errors
 
 (** Run footer; returns the process exit code. *)
-let print_footer ~quiet ~times ~tool ~ok ~fns ~hits ~time =
+let print_footer fmt ~quiet ~times ~tool ~ok ~fns ~hits ~time =
   if ok then begin
     if not quiet then begin
       let cached =
         if hits > 0 then Printf.sprintf " (%d from cache)" hits else ""
       in
       if times then
-        Format.printf "%s: %d function(s) verified%s in %.3fs@." tool fns
+        Format.fprintf fmt "%s: %d function(s) verified%s in %.3fs@." tool fns
           cached time
-      else Format.printf "%s: %d function(s) verified%s@." tool fns cached
+      else Format.fprintf fmt "%s: %d function(s) verified%s@." tool fns cached
     end;
     exit_ok
   end
   else begin
-    Format.printf "%s: verification FAILED@." tool;
+    Format.fprintf fmt "%s: verification FAILED@." tool;
     exit_failed
   end
 
-(** Run [f], mapping the frontend's exceptions (file system, lexer,
-    parser, typechecker) to stderr messages and {!exit_frontend}. *)
-let with_frontend_errors ~(tool : string) ~(file : string) (f : unit -> int) :
-    int =
-  try f () with
-  | Sys_error msg ->
-      Format.eprintf "%s: %s@." tool msg;
-      exit_frontend
+(** Render a frontend exception (file system, lexer, parser,
+    typechecker) as the stderr message the CLI has always printed, or
+    [None] for exceptions that are not frontend errors (re-raise
+    those). *)
+let render_frontend_error ~(tool : string) ~(file : string) (e : exn) :
+    string option =
+  match e with
+  | Sys_error msg -> Some (Format.asprintf "%s: %s@." tool msg)
   | Flux_syntax.Lexer.Error (msg, p) ->
-      Format.eprintf "%s: %s:%d:%d: lexical error: %s@." tool file p.Ast.line
-        p.Ast.col msg;
-      exit_frontend
+      Some
+        (Format.asprintf "%s: %s:%d:%d: lexical error: %s@." tool file
+           p.Ast.line p.Ast.col msg)
   | Flux_syntax.Parser.Error (msg, p) ->
-      Format.eprintf "%s: %s:%d:%d: parse error: %s@." tool file p.Ast.line
-        p.Ast.col msg;
-      exit_frontend
+      Some
+        (Format.asprintf "%s: %s:%d:%d: parse error: %s@." tool file
+           p.Ast.line p.Ast.col msg)
   | Flux_syntax.Typeck.Error (msg, sp) ->
-      Format.eprintf "%s: %s:%a: type error: %s@." tool file Ast.pp_span sp msg;
-      exit_frontend
+      Some
+        (Format.asprintf "%s: %s:%a: type error: %s@." tool file Ast.pp_span
+           sp msg)
+  | _ -> None

@@ -66,9 +66,14 @@ let body_size (b : Ir.body) : int =
     returning results in input order. Each task runs with a clean
     per-domain profile; the captured profiles are merged back into the
     calling domain in input order, so the aggregated profile is
-    deterministic and scheduling-independent. *)
-let run_pool ~(jobs : int) ~(sizes : int array) (fns : (unit -> 'a) array) :
-    'a array =
+    deterministic and scheduling-independent.
+
+    [cancel] is polled at task (i.e. function) boundaries; when it
+    reports [true], {!Pool.Cancelled} escapes after the in-flight
+    checks finish (the daemon uses this for per-request deadlines and
+    client-disconnect cancellation). *)
+let run_pool ?cancel ~(jobs : int) ~(sizes : int array)
+    (fns : (unit -> 'a) array) : 'a array =
   let n = Array.length fns in
   if n = 0 then [||]
   else begin
@@ -83,9 +88,18 @@ let run_pool ~(jobs : int) ~(sizes : int array) (fns : (unit -> 'a) array) :
         order
     in
     (* The per-task resets also clear the calling domain's profile when
-       running inline (jobs <= 1); save it and merge it back. *)
+       running inline (jobs <= 1); save it and merge it back — also on
+       the cancellation path, so an abandoned request does not wipe the
+       session's accumulated profile. *)
     let outer = Profile.capture () in
-    let outcomes = Pool.run ~jobs tasks in
+    let outcomes =
+      match Pool.run ?cancel ~jobs tasks with
+      | o -> o
+      | exception e ->
+          Profile.reset ();
+          Profile.absorb outer;
+          raise e
+    in
     Profile.reset ();
     Profile.absorb outer;
     let results = Array.make n None in
@@ -131,7 +145,8 @@ type 'r slot = Hit of 'r | Todo of int * string option
 (** Check several programs through one shared schedule. Genvs are built
     sequentially on the calling domain and are read-only afterwards, so
     worker domains may read them concurrently. *)
-let check_programs (cfg : config) (progs : Ast.program list) : run list =
+let check_programs ?cancel (cfg : config) (progs : Ast.program list) :
+    run list =
   let t0 = Unix.gettimeofday () in
   let config = flux_config_string () in
   let quals_fp = Cache.qualifiers_fingerprint Qualifier.default in
@@ -195,7 +210,7 @@ let check_programs (cfg : config) (progs : Ast.program list) : run list =
       (fun (genv, fd, body, _) () -> Checker.check_body genv fd body)
       task_arr
   in
-  let results = run_pool ~jobs:cfg.jobs ~sizes fns in
+  let results = run_pool ?cancel ~jobs:cfg.jobs ~sizes fns in
   (match cfg.cache_dir with
   | Some dir ->
       Array.iteri
@@ -233,15 +248,15 @@ let check_programs (cfg : config) (progs : Ast.program list) : run list =
       })
     slots
 
-let check_program_ast (cfg : config) (prog : Ast.program) : run =
-  match check_programs cfg [ prog ] with
+let check_program_ast ?cancel (cfg : config) (prog : Ast.program) : run =
+  match check_programs ?cancel cfg [ prog ] with
   | [ r ] -> r
   | _ -> assert false
 
-let check_source (cfg : config) (src : string) : run =
+let check_source ?cancel (cfg : config) (src : string) : run =
   let prog = Flux_syntax.Parser.parse_program src in
   Flux_syntax.Typeck.check_program prog;
-  check_program_ast cfg prog
+  check_program_ast ?cancel cfg prog
 
 (* ------------------------------------------------------------------ *)
 (* WP (Prusti baseline)                                                *)
@@ -264,7 +279,8 @@ let wp_report_of_run (r : wp_run) : Wp.report =
 
 let wp_run_ok (r : wp_run) = List.for_all (fun o -> Wp.fn_ok o.wo_report) r.wr_fns
 
-let verify_programs (cfg : config) (progs : Ast.program list) : wp_run list =
+let verify_programs ?cancel (cfg : config) (progs : Ast.program list) :
+    wp_run list =
   let t0 = Unix.gettimeofday () in
   let config = wp_config_string () in
   let tasks = ref [] in
@@ -320,7 +336,7 @@ let verify_programs (cfg : config) (progs : Ast.program list) : wp_run list =
       (fun (prog, fd, body, _) () -> Wp.verify_body prog fd body)
       task_arr
   in
-  let results = run_pool ~jobs:cfg.jobs ~sizes fns in
+  let results = run_pool ?cancel ~jobs:cfg.jobs ~sizes fns in
   (match cfg.cache_dir with
   | Some dir ->
       Array.iteri
@@ -356,12 +372,12 @@ let verify_programs (cfg : config) (progs : Ast.program list) : wp_run list =
       })
     slots
 
-let verify_program_ast (cfg : config) (prog : Ast.program) : wp_run =
-  match verify_programs cfg [ prog ] with
+let verify_program_ast ?cancel (cfg : config) (prog : Ast.program) : wp_run =
+  match verify_programs ?cancel cfg [ prog ] with
   | [ r ] -> r
   | _ -> assert false
 
-let verify_source (cfg : config) (src : string) : wp_run =
+let verify_source ?cancel (cfg : config) (src : string) : wp_run =
   let prog = Flux_syntax.Parser.parse_program src in
   Flux_syntax.Typeck.check_program prog;
-  verify_program_ast cfg prog
+  verify_program_ast ?cancel cfg prog

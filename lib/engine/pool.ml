@@ -10,6 +10,13 @@
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+exception Cancelled
+(** Raised by {!run} when its [cancel] callback reports [true]: the
+    remaining tasks are abandoned at the next task boundary (an
+    in-flight task always runs to completion — cancellation is
+    task-granular, never mid-task) and the partial results are
+    discarded. *)
+
 type 'a outcome = Done of 'a | Failed of exn * Printexc.raw_backtrace
 
 (** [run ~jobs tasks]: execute every task and return the results in
@@ -23,8 +30,15 @@ type 'a outcome = Done of 'a | Failed of exn * Printexc.raw_backtrace
     bypasses the clamp and forces exactly [-jobs] domains — only for
     tests that must exercise true multi-domain runs on small machines.
     If tasks raised, the first failure in {e task order} is re-raised
-    (identically for sequential and parallel runs). *)
-let run (type a) ~(jobs : int) (tasks : (unit -> a) array) : a array =
+    (identically for sequential and parallel runs).
+
+    [cancel] is polled before every task claim — on the calling domain
+    when sequential, on each worker domain when parallel, so it must be
+    safe to call concurrently (the daemon's deadline/disconnect checks
+    are plain syscalls). Once it reports [true], {!Cancelled} is raised
+    after the in-flight tasks finish. *)
+let run (type a) ?(cancel = fun () -> false) ~(jobs : int)
+    (tasks : (unit -> a) array) : a array =
   let n = Array.length tasks in
   let results : a outcome option array = Array.make n None in
   let exec i =
@@ -39,16 +53,22 @@ let run (type a) ~(jobs : int) (tasks : (unit -> a) array) : a array =
   in
   (if jobs <= 1 || n <= 1 then
      for i = 0 to n - 1 do
+       if cancel () then raise Cancelled;
        exec i
      done
    else begin
      let next = Atomic.make 0 in
+     let stop = Atomic.make false in
      let worker () =
        let rec loop () =
-         let i = Atomic.fetch_and_add next 1 in
-         if i < n then begin
-           exec i;
-           loop ()
+         if Atomic.get stop then ()
+         else if cancel () then Atomic.set stop true
+         else begin
+           let i = Atomic.fetch_and_add next 1 in
+           if i < n then begin
+             exec i;
+             loop ()
+           end
          end
        in
        loop ()
@@ -56,7 +76,8 @@ let run (type a) ~(jobs : int) (tasks : (unit -> a) array) : a array =
      (* Workers catch everything, so [Domain.join] never re-raises;
         failures are reported positionally below instead. *)
      let doms = Array.init (min jobs n) (fun _ -> Domain.spawn worker) in
-     Array.iter Domain.join doms
+     Array.iter Domain.join doms;
+     if Atomic.get stop then raise Cancelled
    end);
   Array.init n (fun i ->
       match results.(i) with

@@ -1,0 +1,125 @@
+(** The daemon client behind [--daemon] and the [flux daemon *]
+    subcommands.
+
+    Transparency contract: [flux check --daemon F] must be
+    indistinguishable from [flux check F] except for latency. Three
+    design points enforce it:
+
+    - the client reads [F] itself and ships an overlay (contents +
+      display path), so the daemon's working directory and filesystem
+      view are irrelevant and diagnostics print the path the user
+      typed; relative [--cache-dir] is absolutized against the
+      client's cwd for the same reason;
+    - the rendered response is the daemon's {!Exec} output — the same
+      renderer the in-process path uses;
+    - {e any} failure (no daemon and spawn failed, protocol error,
+      connection dropped) makes {!run} return [None] and the caller
+      falls back to in-process checking, so [--daemon] can never fail a
+      build that would have succeeded without it.
+
+    Auto-spawn shells out to [flux daemon start] (stdio on /dev/null so
+    a transparent spawn never pollutes the byte-identical streams);
+    [prusti --daemon] finds the [flux] binary next to its own. *)
+
+module Diag = Flux_engine.Diag
+
+type spawn = Never | If_needed
+
+let default_socket () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "fluxd-%d.sock" (Unix.getuid ()))
+
+let absolutize p =
+  if Filename.is_relative p then Filename.concat (Unix.getcwd ()) p else p
+
+(** One request/response round trip on a fresh connection. *)
+let roundtrip ~(socket : string) (req : Protocol.request) :
+    (Protocol.response, string) result =
+  match Daemon.try_connect socket with
+  | None -> Error (Printf.sprintf "cannot connect to %s" socket)
+  | Some fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Protocol.write_frame fd (Protocol.encode_request req) with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Unix.error_message e)
+          | () -> (
+              match Protocol.read_frame fd with
+              | Protocol.Frame payload -> Protocol.decode_response payload
+              | Protocol.Eof -> Error "connection closed before response"
+              | Protocol.Bad msg -> Error ("bad response frame: " ^ msg)
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error (Unix.error_message e)))
+
+(** Locate the [flux] binary for auto-spawn: ourselves if we are flux,
+    else a sibling of the running executable, else [$PATH]. *)
+let flux_binary () =
+  let self = Sys.executable_name in
+  let base = Filename.basename self in
+  if String.length base >= 4 && String.sub base 0 4 = "flux" then self
+  else
+    let dir = Filename.dirname self in
+    let candidates =
+      [ Filename.concat dir "flux.exe"; Filename.concat dir "flux" ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> "flux"
+
+let spawn_daemon ~(socket : string) : bool =
+  match Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 with
+  | exception Unix.Unix_error (_, _, _) -> false
+  | null -> (
+      let cleanup () = try Unix.close null with Unix.Unix_error _ -> () in
+      match
+        Unix.create_process (flux_binary ())
+          [| "flux"; "daemon"; "start"; "--socket"; socket |]
+          null null null
+      with
+      | exception Unix.Unix_error (_, _, _) ->
+          cleanup ();
+          false
+      | pid -> (
+          let rec wait () =
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> true
+            | _, _ -> false
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+            | exception Unix.Unix_error (_, _, _) -> false
+          in
+          let ok = wait () in
+          cleanup ();
+          (* [daemon start] returns once the socket answers, but give a
+             raced winner a moment too *)
+          ok || Daemon.wait_for_socket socket ~timeout_s:2.))
+
+(** Run a check/lint through the daemon. [None] means "do it locally"
+    — for whatever reason (unreachable and [spawn = Never] or spawn
+    failed, version skew, mid-request drop, unreadable input file). *)
+let run ?(spawn = If_needed) ~(socket : string) ?deadline_ms
+    (opts : Exec.opts) ~(file : string) : Exec.outcome option =
+  match Diag.read_file file with
+  | exception Sys_error _ -> None (* local path reports the error *)
+  | source ->
+      let socket = absolutize socket in
+      let opts =
+        { opts with Exec.cache_dir = absolutize opts.Exec.cache_dir }
+      in
+      let req =
+        Protocol.Check { opts; file; source = Some source; deadline_ms }
+      in
+      let resp =
+        match roundtrip ~socket req with
+        | Ok r -> Some r
+        | Error _ when spawn = If_needed ->
+            if spawn_daemon ~socket then
+              match roundtrip ~socket req with Ok r -> Some r | Error _ -> None
+            else None
+        | Error _ -> None
+      in
+      (match resp with
+      | Some (Protocol.Result { code; out; err }) ->
+          Some { Exec.out; err; code }
+      | Some (Protocol.Info _) | Some (Protocol.Error _) | None -> None)

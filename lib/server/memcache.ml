@@ -1,0 +1,39 @@
+(** The daemon's in-memory verdict-cache tier.
+
+    A mutex-protected hashtable over the engine's content-addressed MD5
+    keys, installed into {!Flux_engine.Cache.memory_tier} at daemon
+    start. The keys are the same as the disk tier's, so the layering is
+    trivially sound: memory is probed first, a disk hit is promoted
+    into memory, and a fresh verdict is written to both. A warm request
+    therefore replays entirely out of this table — zero SMT queries and
+    zero disk I/O per function.
+
+    Sessions run on separate domains, so every access takes the mutex;
+    entries are small immutable records and the table only grows (no
+    eviction — a verdict entry is ~tens of bytes and a daemon serving
+    even millions of functions stays modest; restart the daemon to
+    drop it). *)
+
+module Cache = Flux_engine.Cache
+
+type t = { mu : Mutex.t; tbl : (string, Cache.entry) Hashtbl.t }
+
+let create () : t = { mu = Mutex.create (); tbl = Hashtbl.create 1024 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let tier (t : t) : Cache.tier =
+  {
+    Cache.t_load = (fun k -> locked t (fun () -> Hashtbl.find_opt t.tbl k));
+    t_store = (fun k e -> locked t (fun () -> Hashtbl.replace t.tbl k e));
+  }
+
+(** Install this table as the process-wide memory tier. Call once,
+    before serving requests (the tier ref is written once and then only
+    read — see {!Flux_engine.Cache.memory_tier}). *)
+let install (t : t) : unit = Cache.set_memory_tier (Some (tier t))
+
+let size (t : t) : int = locked t (fun () -> Hashtbl.length t.tbl)
+let clear (t : t) : unit = locked t (fun () -> Hashtbl.reset t.tbl)

@@ -18,4 +18,5 @@ let () =
       Test_engine.tests;
       Test_analysis.tests;
       Test_fuzz.tests;
+      Test_server.tests;
     ]
