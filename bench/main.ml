@@ -158,6 +158,121 @@ let json_engine (e : engine_meas) ~seq_time =
     e.eg_warm_t e.eg_warm_hits e.eg_warm_misses e.eg_warm_queries
 
 (* ------------------------------------------------------------------ *)
+(* Incremental fixpoint: SCC-scheduled weakening vs. the naive sweep,  *)
+(* and slice-cache replay after a spec edit                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_schedule inc f =
+  let saved = !Flux_fixpoint.Solve.incremental_enabled in
+  Flux_fixpoint.Solve.incremental_enabled := inc;
+  Fun.protect
+    ~finally:(fun () -> Flux_fixpoint.Solve.incremental_enabled := saved)
+    f
+
+(* Two sequential loops whose join κs land in distinct SCC slices; the
+   return postcondition only reaches the later slice, so editing it
+   must replay the first loop's slice from the cache. *)
+let two_phase_src ret =
+  Printf.sprintf
+    {|
+#[lr::sig(fn(usize<@n>) -> usize{v: %s})]
+fn two_phase(n: usize) -> usize {
+    let mut i = 0;
+    let mut s = 0;
+    while i < n {
+        i += 1;
+        s += 1;
+    }
+    let mut j = 0;
+    while j < s {
+        j += 1;
+    }
+    j
+}
+|}
+    ret
+
+type inc_meas = {
+  im_naive_t : float;
+  im_naive_wc : int;  (** weaken checks, reference sweep *)
+  im_inc_t : float;
+  im_inc_wc : int;  (** weaken checks, SCC worklist *)
+  im_skipped : int;  (** fixpoint.reweaken_skipped *)
+  im_sccs : int;  (** fixpoint.scc_count *)
+  im_agree : bool;  (** both schedules return the same verdict *)
+  im_edit_scratch_wc : int;  (** weaken checks re-solving the edit cold *)
+  im_edit_warm_wc : int;  (** weaken checks with the slice cache warm *)
+  im_edit_slice_hits : int;
+  im_edit_ok : bool;
+}
+
+let incremental_bench () =
+  let measure inc src =
+    with_schedule inc (fun () ->
+        fresh_caches ();
+        let t0 = Unix.gettimeofday () in
+        let ok = Checker.report_ok (Checker.check_source src) in
+        ( Unix.gettimeofday () -. t0,
+          ok,
+          profile_count "fixpoint.weaken_checks",
+          profile_count "fixpoint.reweaken_skipped",
+          profile_count "fixpoint.scc_count" ))
+  in
+  let nt, nok, nwc, _, _ = measure false Workloads.rmat_flux in
+  let it, iok, iwc, iskip, isccs = measure true Workloads.rmat_flux in
+  (* spec edit: warm the slice cache on v1, then check v2 whose only
+     change is the return postcondition; the unaffected SCC must replay *)
+  let v1 = two_phase_src "0 <= v" and v2 = two_phase_src "v <= n" in
+  fresh_caches ();
+  let scratch_ok =
+    Engine.run_ok
+      (Engine.check_source { Engine.jobs = 1; cache_dir = None } v2)
+  in
+  let scratch_wc = profile_count "fixpoint.weaken_checks" in
+  let dir = ".flux-cache-incbench" in
+  wipe_cache dir;
+  let cfg = { Engine.jobs = 1; cache_dir = Some dir } in
+  let _ = Engine.check_source cfg v1 in
+  fresh_caches ();
+  let warm_ok = Engine.run_ok (Engine.check_source cfg v2) in
+  let warm_wc = profile_count "fixpoint.weaken_checks" in
+  let slice_hits = profile_count "cache.slice_hits" in
+  wipe_cache dir;
+  {
+    im_naive_t = nt;
+    im_naive_wc = nwc;
+    im_inc_t = it;
+    im_inc_wc = iwc;
+    im_skipped = iskip;
+    im_sccs = isccs;
+    im_agree = nok = iok && nok;
+    im_edit_scratch_wc = scratch_wc;
+    im_edit_warm_wc = warm_wc;
+    im_edit_slice_hits = slice_hits;
+    im_edit_ok = scratch_ok && warm_ok;
+  }
+
+let inc_reduction (m : inc_meas) =
+  float_of_int m.im_naive_wc /. float_of_int (max 1 m.im_inc_wc)
+
+let inc_ok (m : inc_meas) =
+  m.im_agree && m.im_edit_ok
+  && m.im_inc_wc < m.im_naive_wc
+  && m.im_edit_warm_wc < m.im_edit_scratch_wc
+  && m.im_edit_slice_hits > 0
+
+let json_incremental (m : inc_meas) =
+  Printf.sprintf
+    "{\"rmat\": {\"weaken_checks_naive\": %d, \"weaken_checks_incremental\": \
+     %d, \"reduction_x\": %.2f, \"reweaken_skipped\": %d, \"sccs\": %d, \
+     \"naive_time_s\": %.3f, \"incremental_time_s\": %.3f, \
+     \"verdicts_agree\": %b}, \"spec_edit\": {\"weaken_checks_scratch\": %d, \
+     \"weaken_checks_warm\": %d, \"slice_hits\": %d, \"ok\": %b}, \"ok\": %b}"
+    m.im_naive_wc m.im_inc_wc (inc_reduction m) m.im_skipped m.im_sccs
+    m.im_naive_t m.im_inc_t m.im_agree m.im_edit_scratch_wc m.im_edit_warm_wc
+    m.im_edit_slice_hits m.im_edit_ok (inc_ok m)
+
+(* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -207,7 +322,8 @@ let json_row ~cache_rows (r : row) =
     (json_side ~annot:(Some r.r_prusti.Loc.annot) r.r_prusti r.r_prusti_time
        r.r_prusti_ok r.r_prusti_profile)
 
-let write_table1_json ~(rows : row list) ~totals ~claims ~cache_rows ~engine =
+let write_table1_json ~(rows : row list) ~totals ~claims ~cache_rows ~engine
+    ~incremental =
   let fl, fs, ft, pl, ps, pa, pt = totals in
   let time_ratio, spec_ratio, annot_pct = claims in
   let oc = open_out "BENCH_table1.json" in
@@ -220,6 +336,9 @@ let write_table1_json ~(rows : row list) ~totals ~claims ~cache_rows ~engine =
     fl fs ft pl ps pa pt;
   (match engine with
   | Some e -> Printf.fprintf oc "  \"engine\": %s,\n" e
+  | None -> ());
+  (match incremental with
+  | Some i -> Printf.fprintf oc "  \"incremental\": %s,\n" i
   | None -> ());
   Printf.fprintf oc
     "  \"claims\": {\"time_ratio_prusti_over_flux\": %.2f, \
@@ -342,11 +461,30 @@ let table1 ~jobs () =
     "  flux suite warm cache     : %6.2fs  (%d/%d hits, %d solver queries%s)\n"
     eng.eg_warm_t eng.eg_warm_hits eng.eg_fns eng.eg_warm_queries
     (if eng.eg_warm_ok then "" else "; FAIL");
+  (* Incremental fixpoint: SCC-scheduled weakening vs. the reference
+     sweep on the largest constraint system (RMat), plus slice-cache
+     replay after a single-spec edit. *)
+  let inc = incremental_bench () in
+  Printf.printf "\nIncremental fixpoint (RMat, %d SCCs):\n" inc.im_sccs;
+  Printf.printf
+    "  weaken checks naive       : %6d  (%.1fs)\n"
+    inc.im_naive_wc inc.im_naive_t;
+  Printf.printf
+    "  weaken checks incremental : %6d  (%.1fs; %.1fx fewer, %d re-weaken \
+     skips%s)\n"
+    inc.im_inc_wc inc.im_inc_t (inc_reduction inc) inc.im_skipped
+    (if inc.im_agree then "" else "; VERDICTS DIVERGE");
+  Printf.printf
+    "  spec edit (slice cache)   : %6d  (vs %d from scratch; %d slice \
+     hit(s)%s)\n"
+    inc.im_edit_warm_wc inc.im_edit_scratch_wc inc.im_edit_slice_hits
+    (if inc.im_edit_ok then "" else "; FAIL");
   write_table1_json
     ~rows:(rvec_row :: rmat_row :: rows)
     ~totals:(fl, fs, ft, pl, ps, pa, pt)
     ~cache_rows:eng.eg_rows
     ~engine:(Some (json_engine eng ~seq_time:ft))
+    ~incremental:(Some (json_incremental inc))
     ~claims:
       ( pt /. ft,
         float_of_int ps /. float_of_int fs,
@@ -354,7 +492,7 @@ let table1 ~jobs () =
   Printf.printf "\nWrote BENCH_table1.json\n";
   let all_ok =
     List.for_all (fun r -> r.r_flux_ok && r.r_prusti_ok) rows
-    && rmat_ok && eng.eg_cold_ok && eng.eg_warm_ok
+    && rmat_ok && eng.eg_cold_ok && eng.eg_warm_ok && inc_ok inc
   in
   Printf.printf "All verifications succeeded: %b\n" all_ok;
   if not all_ok then exit 1

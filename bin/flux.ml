@@ -62,7 +62,13 @@ let run_tool ~daemon ~socket ~deadline (opts : Exec.opts) ~file =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times
-    daemon socket deadline =
+    daemon socket deadline fixpoint =
+  Flux_fixpoint.Solve.incremental_enabled := fixpoint = `Incremental;
+  (* The schedule ref lives in this process; a daemon started earlier
+     would not see the flip, so `--fixpoint naive` always runs
+     in-process (both schedules produce byte-identical output — the
+     flag exists precisely so CI can verify that). *)
+  let daemon = daemon && fixpoint = `Incremental in
   let opts =
     {
       Exec.tool = Exec.Flux_check;
@@ -113,8 +119,8 @@ let fuzz_cmd_run seed budget oracle jobs corpus no_corpus quiet =
     | Some os -> os
     | None ->
         Format.eprintf
-          "flux: unknown oracle `%s` (expected soundness, solver, fixpoint or \
-           all)@."
+          "flux: unknown oracle `%s` (expected soundness, solver, fixpoint, \
+           incremental or all)@."
           oracle;
         exit Diag.exit_frontend
   in
@@ -203,6 +209,18 @@ let dump_solution_flag =
   Arg.(value & flag & info [ "dump-solution" ]
          ~doc:"Print the inferred κ solutions (disables the cache)")
 
+let fixpoint_arg =
+  Arg.(
+    value
+    & opt (enum [ ("incremental", `Incremental); ("naive", `Naive) ]) `Incremental
+    & info [ "fixpoint" ] ~docv:"SCHEDULE"
+        ~doc:
+          "Fixpoint schedule: $(b,incremental) (default; SCC-sliced \
+           dependency-aware weakening) or $(b,naive) (the reference full \
+           sweep). Output is byte-identical either way; $(b,naive) exists \
+           for differential testing and always runs in-process (a daemon \
+           would not see the flag)")
+
 let quiet_flag = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print errors")
 
 let jobs_arg =
@@ -289,7 +307,7 @@ let check_cmd =
     Term.(
       const check_cmd_run $ file_arg $ dump_mir_flag $ dump_solution_flag
       $ quiet_flag $ jobs_arg $ cache_flag $ cache_dir_arg $ times_flag
-      $ daemon_flag $ socket_arg $ deadline_arg)
+      $ daemon_flag $ socket_arg $ deadline_arg $ fixpoint_arg)
 
 let lint_cmd =
   Cmd.v
@@ -322,8 +340,9 @@ let oracle_arg =
     value & opt string "all"
     & info [ "oracle" ] ~docv:"ORACLE"
         ~doc:
-          "Which oracle to run: $(b,soundness), $(b,solver), $(b,fixpoint) \
-           or $(b,all)")
+          "Which oracle to run: $(b,soundness), $(b,solver), $(b,fixpoint), \
+           $(b,incremental) (full-vs-incremental schedule differential) or \
+           $(b,all)")
 
 let corpus_arg =
   Arg.(

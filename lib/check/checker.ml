@@ -1219,10 +1219,33 @@ let initial_env ck : env =
     ck.body.Ir.mb_locals;
   !env
 
-let check_body_gen ~(lint : bool) (genv : Genv.t) (fd : Ast.fn_def)
-    (body : Ir.body) : fn_report * lint_info option =
-  Profile.with_fn fd.Ast.fn_name @@ fun () ->
-  Profile.time "check.fn_s" @@ fun () ->
+(** A function's checked-but-unsolved state: the constraint system the
+    walk produced (or the errors that aborted it), plus everything
+    needed to map solver failures back to source spans. Splitting the
+    check here lets the engine pool constraint generation and fixpoint
+    solving separately — in particular, to schedule the solve's SCC
+    slices across functions. *)
+type prepared = {
+  pr_name : string;
+  pr_kvars : Horn.kvar list;
+  pr_clauses : Horn.clause list;
+  pr_tags : (int, Ast.span * string) Hashtbl.t;
+  pr_span : Ast.span;  (** body span, the fallback for unknown tags *)
+  pr_lint : lint_info option;
+  pr_early : error list option;
+      (** [Some errors] when generation itself failed (parse-level
+          check errors, spec errors): there is nothing to solve *)
+  pr_gen_s : float;
+}
+
+let prepared_name pr = pr.pr_name
+let prepared_early pr = pr.pr_early <> None
+let prepared_kvars pr = pr.pr_kvars
+let prepared_clauses pr = pr.pr_clauses
+let prepared_lint pr = pr.pr_lint
+
+let prepare_core ~(lint : bool) (genv : Genv.t) (fd : Ast.fn_def)
+    (body : Ir.body) : prepared =
   let t0 = Unix.gettimeofday () in
   (* Per-function determinism: every check draws fresh names (and κ
      names) from zero, so the constraints — and the report — are a
@@ -1282,18 +1305,19 @@ let check_body_gen ~(lint : bool) (genv : Genv.t) (fd : Ast.fn_def)
         })
       ck.lint
   in
-  let report errors solution =
+  let prepared early =
     Profile.add "check.clauses" (List.length ck.clauses);
     Profile.add "check.kvars" (List.length ck.kvars);
-    ( {
-        fr_name = fd.Ast.fn_name;
-        fr_errors = errors;
-        fr_solution = solution;
-        fr_kvars = List.length ck.kvars;
-        fr_clauses = List.length ck.clauses;
-        fr_time = Unix.gettimeofday () -. t0;
-      },
-      lint_result () )
+    {
+      pr_name = fd.Ast.fn_name;
+      pr_kvars = ck.kvars;
+      pr_clauses = List.rev ck.clauses;
+      pr_tags = ck.tags;
+      pr_span = body.Ir.mb_span;
+      pr_lint = lint_result ();
+      pr_early = early;
+      pr_gen_s = Unix.gettimeofday () -. t0;
+    }
   in
   try
     let preds = Ir.predecessors body in
@@ -1324,30 +1348,74 @@ let check_body_gen ~(lint : bool) (genv : Genv.t) (fd : Ast.fn_def)
             let env = List.fold_left (check_stmt ck) env blk.Ir.stmts in
             check_terminator ck preds env blk.Ir.term)
       rpo;
-    (* solve *)
-    let result = Solve.solve_clauses ~kvars:ck.kvars (List.rev ck.clauses) in
-    match result with
-    | Solve.Sat sol -> report [] (Some sol)
-    | Solve.Unsat (fails, sol) ->
-        let errors =
-          List.map
-            (fun (f : Solve.failure) ->
-              let span, msg =
-                match Hashtbl.find_opt ck.tags f.Solve.f_tag with
-                | Some x -> x
-                | None -> (body.Ir.mb_span, "unknown obligation")
-              in
-              { err_fn = fd.Ast.fn_name; err_span = span; err_msg = msg })
-            fails
-        in
-        report errors (Some sol)
+    prepared None
   with
   | Check_error (msg, span) ->
-      report [ { err_fn = fd.Ast.fn_name; err_span = span; err_msg = msg } ] None
+      prepared
+        (Some [ { err_fn = fd.Ast.fn_name; err_span = span; err_msg = msg } ])
   | Rty.Type_error msg | Specconv.Spec_error msg ->
-      report
-        [ { err_fn = fd.Ast.fn_name; err_span = fd.Ast.fn_span; err_msg = msg } ]
-        None
+      prepared
+        (Some
+           [
+             {
+               err_fn = fd.Ast.fn_name;
+               err_span = fd.Ast.fn_span;
+               err_msg = msg;
+             };
+           ])
+
+let prepare ?(lint = false) (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body)
+    : prepared =
+  Profile.with_fn fd.Ast.fn_name @@ fun () ->
+  Profile.time "check.fn_s" @@ fun () -> prepare_core ~lint genv fd body
+
+(** Turn a prepared function plus its solver verdict into a report:
+    map failing tags back to source spans. [solve_s] is the wall-clock
+    the solve took (added to the generation time for [fr_time]). *)
+let finish ?(solve_s = 0.) (pr : prepared) (result : Solve.result option) :
+    fn_report =
+  let mk errors solution =
+    {
+      fr_name = pr.pr_name;
+      fr_errors = errors;
+      fr_solution = solution;
+      fr_kvars = List.length pr.pr_kvars;
+      fr_clauses = List.length pr.pr_clauses;
+      fr_time = pr.pr_gen_s +. solve_s;
+    }
+  in
+  match pr.pr_early with
+  | Some errors -> mk errors None
+  | None -> (
+      match result with
+      | None -> mk [] None
+      | Some (Solve.Sat sol) -> mk [] (Some sol)
+      | Some (Solve.Unsat (fails, sol)) ->
+          let errors =
+            List.map
+              (fun (f : Solve.failure) ->
+                let span, msg =
+                  match Hashtbl.find_opt pr.pr_tags f.Solve.f_tag with
+                  | Some x -> x
+                  | None -> (pr.pr_span, "unknown obligation")
+                in
+                { err_fn = pr.pr_name; err_span = span; err_msg = msg })
+              fails
+          in
+          mk errors (Some sol))
+
+let check_body_gen ~(lint : bool) (genv : Genv.t) (fd : Ast.fn_def)
+    (body : Ir.body) : fn_report * lint_info option =
+  let pr = prepare ~lint genv fd body in
+  if pr.pr_early <> None then (finish pr None, pr.pr_lint)
+  else
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Profile.with_fn fd.Ast.fn_name @@ fun () ->
+      Solve.solve_clauses ~kvars:pr.pr_kvars pr.pr_clauses
+    in
+    let solve_s = Unix.gettimeofday () -. t0 in
+    (finish ~solve_s pr (Some result), pr.pr_lint)
 
 let check_body (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body) : fn_report =
   fst (check_body_gen ~lint:false genv fd body)

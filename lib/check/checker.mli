@@ -77,6 +77,41 @@ val check_body_lint :
   Genv.t -> Ast.fn_def -> Flux_mir.Ir.body -> fn_report * lint_info
 (** Like {!check_body}, with the lint side channel enabled. *)
 
+(** {2 Split-phase checking}
+
+    The engine schedules constraint generation and fixpoint solving as
+    separate pool tasks (the latter one SCC slice at a time, see
+    {!Flux_fixpoint.Solve}): {!prepare} walks the body and returns the
+    constraint system, {!finish} turns the solver's verdict into the
+    report {!check_body} would have produced. *)
+
+type prepared
+(** A checked-but-unsolved function: its constraint system, or the
+    errors that aborted generation. *)
+
+val prepare : ?lint:bool -> Genv.t -> Ast.fn_def -> Flux_mir.Ir.body -> prepared
+(** Walk one lowered function and generate its constraints
+    ([lint] defaults to [false]). Never raises {!Check_error} for
+    per-function problems — those surface as early errors in the
+    resulting report. *)
+
+val prepared_name : prepared -> string
+val prepared_early : prepared -> bool
+(** Whether generation failed; if [true] there is nothing to solve. *)
+
+val prepared_kvars : prepared -> Flux_fixpoint.Horn.kvar list
+val prepared_clauses : prepared -> Flux_fixpoint.Horn.clause list
+val prepared_lint : prepared -> lint_info option
+
+val finish :
+  ?solve_s:float ->
+  prepared ->
+  Flux_fixpoint.Solve.result option ->
+  fn_report
+(** Map the solver verdict back to source spans ([None] only for early
+    failures). [solve_s] is added to the generation time in
+    [fr_time]. *)
+
 val check_program_ast : Ast.program -> report
 (** Check every non-trusted function of a parsed, typechecked program. *)
 

@@ -35,13 +35,21 @@ open Flux_fixpoint
 
 (** Bump on any change to constraint generation, solving, or the
     fingerprint scheme: stale entries from older checkers must miss. *)
-let version = "flux-engine-v1"
+let version = "flux-engine-v2"
 
 type entry = {
   e_kvars : int;  (** κ variables of the original check (0 for WP) *)
   e_clauses : int;  (** Horn clauses (Flux) or VCs discharged (WP) *)
   e_time : float;  (** wall-clock seconds of the original check *)
 }
+
+type slice_entry = { se_sols : (string * Term.t list) list }
+(** The solved conjuncts of one SCC slice's own κs (see
+    {!Flux_fixpoint.Solve.slice_fingerprint}). Stored only for slices
+    whose concrete heads all passed, for the same reason whole-function
+    entries only store error-free verdicts. Terms are closed qualifier
+    instantiations over the κ formals — plain constructor trees, safe
+    to [Marshal]. *)
 
 (* ------------------------------------------------------------------ *)
 (* The in-memory tier                                                  *)
@@ -180,6 +188,15 @@ let wp_key ~(config : string) ~(lookup : string -> Ast.fn_def option)
        @ callee_material ~fingerprint:contract_fingerprint ~lookup
            (callees body)))
 
+(** Cache key for one SCC slice of a function's fixpoint computation.
+    [fp] is {!Flux_fixpoint.Solve.slice_fingerprint} — κ declarations,
+    clauses, and the final solutions of external κs — so a spec edit
+    re-keys only the slices downstream of the κs it actually changed;
+    everything a slice's solve reads is covered by [fp], the qualifier
+    set, and the flag state. *)
+let slice_key ~(config : string) ~(quals_fp : string) (fp : string) : string =
+  hex (String.concat "\n" [ version; "slice"; config; quals_fp; fp ])
+
 (* ------------------------------------------------------------------ *)
 (* The on-disk store                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -229,16 +246,42 @@ let ensure_dir (dir : string) : (unit, string) result =
             Ok ()
       end
 
-let disk_load ~(dir : string) (key : string) : entry option =
-  match open_in_bin (path dir key) with
+(** Read one marshalled value; any failure (missing file, short read,
+    wrong type tag from an old executable) degrades to a miss. *)
+let read_marshalled : 'a. string -> 'a option =
+ fun file ->
+  match open_in_bin file with
   | exception Sys_error _ -> None
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
-          match (Marshal.from_channel ic : entry) with
+          match Marshal.from_channel ic with
           | e -> Some e
           | exception _ -> None)
+
+(** Write one marshalled value atomically (temp file + rename), never
+    raising: a full disk or permission flip degrades to not caching. *)
+let write_marshalled : 'a. string -> 'a -> unit =
+ fun file v ->
+  let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+      let written =
+        match Marshal.to_channel oc v [] with
+        | () ->
+            close_out_noerr oc;
+            true
+        | exception _ ->
+            close_out_noerr oc;
+            false
+      in
+      if written then ( try Sys.rename tmp file with Sys_error _ -> ())
+      else ( try Sys.remove tmp with Sys_error _ -> ())
+
+let disk_load ~(dir : string) (key : string) : entry option =
+  (read_marshalled (path dir key) : entry option)
 
 (** Tiered lookup: memory first (when installed), then disk; a disk hit
     is promoted into the memory tier. Per-tier hits are counted in the
@@ -268,19 +311,23 @@ let load ~(dir : string) (key : string) : entry option =
 let store ~(dir : string) (key : string) (e : entry) : unit =
   (match !memory_tier with Some m -> m.t_store key e | None -> ());
   (try mkdir_p dir with Unix.Unix_error _ -> ());
-  let p = path dir key in
-  let tmp = Printf.sprintf "%s.tmp.%d" p (Unix.getpid ()) in
-  match open_out_bin tmp with
-  | exception Sys_error _ -> ()
-  | oc ->
-      let written =
-        match Marshal.to_channel oc e [] with
-        | () ->
-            close_out_noerr oc;
-            true
-        | exception _ ->
-            close_out_noerr oc;
-            false
-      in
-      if written then ( try Sys.rename tmp p with Sys_error _ -> ())
-      else ( try Sys.remove tmp with Sys_error _ -> ())
+  write_marshalled (path dir key) e
+
+(* ------------------------------------------------------------------ *)
+(* The per-slice store                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Slice entries live beside the whole-function entries under their own
+   suffix; they are disk-only (no memory tier — the daemon's warm path
+   is the whole-function entry, which subsumes every slice). Per-tier
+   traffic is counted by the engine as [cache.slice_hits] /
+   [cache.slice_misses]. *)
+
+let slice_path dir key = Filename.concat dir (key ^ ".slice")
+
+let slice_load ~(dir : string) (key : string) : slice_entry option =
+  (read_marshalled (slice_path dir key) : slice_entry option)
+
+let slice_store ~(dir : string) (key : string) (e : slice_entry) : unit =
+  (try mkdir_p dir with Unix.Unix_error _ -> ());
+  write_marshalled (slice_path dir key) e

@@ -14,10 +14,21 @@
       errors, κ/clause counts — are byte-identical to a sequential run
       regardless of [jobs]. Worker profiles are merged back into the
       calling domain in declaration order ({!Flux_smt.Profile.absorb}).
+      Under the (default) incremental fixpoint schedule, Flux checking
+      is split finer still: constraint generation is one pooled phase,
+      then the SCC slices of {e all} functions' κ-dependency graphs are
+      pooled level by level ({!Flux_fixpoint.Solve}'s slice API), so
+      independent SCCs of one heavyweight function spread across the
+      pool instead of serializing on it.
 
     - {b Incrementality}: before scheduling, each function is probed in
       the content-addressed on-disk cache ({!Cache}); hits return the
-      stored verdict/stats without generating or solving anything.
+      stored verdict/stats without generating or solving anything. A
+      function-level miss (say, after a single spec edit) then probes
+      per-SCC-slice: slices whose fingerprint — clauses plus the final
+      solutions of the external κs they read — is unchanged replay
+      their stored κ conjuncts with zero weaken checks, so only the
+      slices downstream of the edited κs are re-solved.
 
     The engine accepts a {e list} of programs and pools all their
     functions into one schedule: for a suite (the Table-1 benchmarks),
@@ -43,8 +54,8 @@ let default_config = { jobs = 0; cache_dir = Some default_cache_dir }
 (* Flag state a check runs under; part of the cache key so toggling a
    flag cannot replay verdicts obtained under another configuration. *)
 let flux_config_string () =
-  Printf.sprintf "underflow=%b;slice=%b" !Checker.check_underflow
-    !Solve.slice_enabled
+  Printf.sprintf "underflow=%b;slice=%b;incremental=%b"
+    !Checker.check_underflow !Solve.slice_enabled !Solve.incremental_enabled
 
 let wp_config_string () =
   Printf.sprintf "underflow=%b;rounds=%d;cap=%d" !Wp.check_underflow
@@ -142,6 +153,157 @@ let run_ok (r : run) = List.for_all (fun o -> Checker.fn_ok o.fo_report) r.run_f
    into the shared task arrays. *)
 type 'r slot = Hit of 'r | Todo of int * string option
 
+(* ------------------------------------------------------------------ *)
+(* Split-phase Flux checking: slice-level pooling + per-slice cache    *)
+(* ------------------------------------------------------------------ *)
+
+(** Check the miss functions through the split-phase pipeline:
+    {!Checker.prepare} pooled per function, then every function's SCC
+    slices pooled level by level (dependencies first — slices of equal
+    level cannot depend on each other, across functions trivially so),
+    with results merged on the calling domain between levels, finally
+    {!Checker.finish}. Before solving, each non-trivial slice is probed
+    under its {!Flux_fixpoint.Solve.slice_fingerprint}; a hit replays
+    the stored κ conjuncts without any weaken checks. Only failure-free
+    slices are stored (failures carry obligation tags whose spans the
+    fingerprint deliberately ignores — same policy as whole-function
+    entries). Reports are byte-identical to {!Checker.check_body}'s:
+    the slice schedule converges to the same strongest fixpoint, and
+    {!Flux_fixpoint.Solve.finish} restores input-clause failure
+    order. *)
+let check_split ?cancel (cfg : config) ~(config : string)
+    ~(quals_fp : string) ~(sizes : int array)
+    (task_arr : (Genv.t * Ast.fn_def * Ir.body * string option) array) :
+    Checker.fn_report array =
+  let n = Array.length task_arr in
+  (* Phase A: pooled constraint generation, plus solver prep (initial κ
+     instantiation + dependency graph). The prep is built on whichever
+     worker ran the task and only read by others afterwards: its tables
+     are written exclusively by {!Solve.apply_slice} on this domain,
+     between the pooled batches below. *)
+  let preps =
+    run_pool ?cancel ~jobs:cfg.jobs ~sizes
+      (Array.map
+         (fun (genv, fd, body, _) () ->
+           let p = Checker.prepare genv fd body in
+           if Checker.prepared_early p then (p, None, 0.0)
+           else
+             let t0 = Unix.gettimeofday () in
+             let sp =
+               Profile.with_fn fd.Ast.fn_name @@ fun () ->
+               Solve.prepare
+                 ~kvars:(Checker.prepared_kvars p)
+                 (Checker.prepared_clauses p)
+             in
+             (p, Some sp, Unix.gettimeofday () -. t0))
+         task_arr)
+  in
+  (* Per-function solving wall-clock, fed to [Checker.finish] so
+     [fr_time] matches a monolithic check's accounting. *)
+  let solve_s = Array.map (fun (_, _, dt) -> dt) preps in
+  let max_level =
+    Array.fold_left
+      (fun acc (_, sp, _) ->
+        match sp with
+        | None -> acc
+        | Some p ->
+            let m = ref acc in
+            for s = 0 to Solve.slice_count p - 1 do
+              m := max !m (Solve.slice_level p s)
+            done;
+            !m)
+      (-1) preps
+  in
+  (* Phase B: one pooled batch per dependency level. *)
+  for level = 0 to max_level do
+    let acc = ref [] in
+    Array.iteri
+      (fun i (_, sp, _) ->
+        match sp with
+        | None -> ()
+        | Some p ->
+            for s = 0 to Solve.slice_count p - 1 do
+              if Solve.slice_level p s = level then acc := (i, p, s) :: !acc
+            done)
+      preps;
+    let items = Array.of_list (List.rev !acc) in
+    (* Probe the slice cache. Trivial slices (nothing to weaken, no
+       concrete heads) skip the disk round-trip; they still run — the
+       run is a no-op — so the apply protocol stays uniform. *)
+    let probes =
+      Array.map
+        (fun (_, p, s) ->
+          match cfg.cache_dir with
+          | Some dir when Solve.slice_size p s > 0 -> (
+              let key =
+                Cache.slice_key ~config ~quals_fp
+                  (Solve.slice_fingerprint p s)
+              in
+              match Cache.slice_load ~dir key with
+              | Some e ->
+                  Profile.incr "cache.slice_hits";
+                  `Hit
+                    {
+                      Solve.sr_slice = s;
+                      sr_sols = e.Cache.se_sols;
+                      sr_failures = [];
+                    }
+              | None ->
+                  Profile.incr "cache.slice_misses";
+                  `Run (Some (dir, key)))
+          | _ -> `Run None)
+        items
+    in
+    let todo = ref [] in
+    Array.iteri
+      (fun j _ -> match probes.(j) with `Run _ -> todo := j :: !todo | `Hit _ -> ())
+      probes;
+    let todo = Array.of_list (List.rev !todo) in
+    let slice_sizes =
+      Array.map
+        (fun j ->
+          let _, p, s = items.(j) in
+          Solve.slice_size p s)
+        todo
+    in
+    let tasks =
+      Array.map
+        (fun j () ->
+          let i, p, s = items.(j) in
+          let _, fd, _, _ = task_arr.(i) in
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Profile.with_fn fd.Ast.fn_name @@ fun () -> Solve.run_slice p s
+          in
+          (r, Unix.gettimeofday () -. t0))
+        todo
+    in
+    let solved = run_pool ?cancel ~jobs:cfg.jobs ~sizes:slice_sizes tasks in
+    (* Merge in deterministic item order; store fresh clean slices. *)
+    let next = ref 0 in
+    Array.iteri
+      (fun j (i, p, _) ->
+        match probes.(j) with
+        | `Hit r -> Solve.apply_slice p r
+        | `Run key ->
+            let r, dt = solved.(!next) in
+            incr next;
+            solve_s.(i) <- solve_s.(i) +. dt;
+            Solve.apply_slice p r;
+            (match key with
+            | Some (dir, k) when r.Solve.sr_failures = [] ->
+                Cache.slice_store ~dir k { Cache.se_sols = r.Solve.sr_sols }
+            | _ -> ()))
+      items
+  done;
+  (* Phase C: verdicts back to source spans. *)
+  Array.init n (fun i ->
+      let p, sp, _ = preps.(i) in
+      match sp with
+      | None -> Checker.finish p None
+      | Some sprep ->
+          Checker.finish ~solve_s:solve_s.(i) p (Some (Solve.finish sprep)))
+
 (** Check several programs through one shared schedule. Genvs are built
     sequentially on the calling domain and are read-only afterwards, so
     worker domains may read them concurrently. *)
@@ -205,12 +367,17 @@ let check_programs ?cancel (cfg : config) (progs : Ast.program list) :
   in
   let task_arr = Array.of_list (List.rev !tasks) in
   let sizes = Array.map (fun (_, _, body, _) -> body_size body) task_arr in
-  let fns =
-    Array.map
-      (fun (genv, fd, body, _) () -> Checker.check_body genv fd body)
-      task_arr
+  let results =
+    if !Solve.incremental_enabled then
+      check_split ?cancel cfg ~config ~quals_fp ~sizes task_arr
+    else
+      (* Naive schedule (--fixpoint naive): monolithic per-function
+         checks, the pre-slicing engine path. *)
+      run_pool ?cancel ~jobs:cfg.jobs ~sizes
+        (Array.map
+           (fun (genv, fd, body, _) () -> Checker.check_body genv fd body)
+           task_arr)
   in
-  let results = run_pool ?cancel ~jobs:cfg.jobs ~sizes fns in
   (match cfg.cache_dir with
   | Some dir ->
       Array.iteri

@@ -1,0 +1,42 @@
+(** The Horn κ-dependency graph and its SCC decomposition.
+
+    An edge κ' → κ exists for every clause with head [κ(es)] and κ' in
+    its hypotheses. {!build} computes the strongly connected components
+    (Tarjan) and lays them out in topological order as {e slices}, the
+    scheduling unit of the incremental solver ({!Solve}) and of the
+    engine's per-SCC work items. Slice 0 is a synthetic root holding the
+    κ-free concrete-head clauses. Undeclared κs in hypothesis position
+    contribute no edges (the solver treats them as ⊤); head κs are
+    assumed declared — {!Solve} rejects undeclared heads before building
+    the graph. The layout is a pure function of the input (deterministic
+    node and successor orders). *)
+
+type slice = {
+  sl_id : int;  (** index into {!t.slices}; also the topological rank *)
+  sl_kvars : string list;  (** κs of this SCC ([[]] for the root slice) *)
+  sl_kclauses : (int * Horn.clause) list;
+      (** κ-headed clauses whose head κ is in this SCC, input order;
+          the [int] is the clause's position in the input list *)
+  sl_cclauses : (int * Horn.clause) list;
+      (** concrete-head clauses whose last κ hypothesis is in this SCC *)
+  sl_deps : int list;  (** direct predecessor slice ids, sorted *)
+  sl_ext_kvars : string list;
+      (** declared κs read from earlier slices, sorted — the external
+          solution material a slice's solve depends on *)
+  sl_level : int;
+      (** longest dependency chain; equal levels are independent *)
+}
+
+type t = {
+  slices : slice array;
+      (** topological order: every dependency of [slices.(i)] has a
+          smaller index *)
+  scc_of : (string, int) Hashtbl.t;  (** κ name → owning slice id *)
+  n_sccs : int;  (** real SCCs, excluding the synthetic root slice *)
+}
+
+val build : kvars:Horn.kvar list -> Horn.clause list -> t
+
+val hyp_kvars : (string, 'a) Hashtbl.t -> Horn.clause -> string list
+(** The κs from the given table occurring in a clause's hypotheses,
+    sorted and deduplicated. *)

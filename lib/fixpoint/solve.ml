@@ -6,7 +6,26 @@
     conjuncts that are not implied by their hypotheses until a fixpoint
     is reached. The result is the strongest solution expressible in the
     qualifier lattice; the remaining concrete-head clauses are then
-    checked once under it. *)
+    checked once under it.
+
+    Two equivalent schedules drive the weakening. The reference
+    schedule ({!solve_clauses_full}) sweeps every κ-headed clause until
+    nothing changes. The incremental schedule
+    ({!solve_clauses_incremental}, the default) decomposes the system
+    along the κ-dependency graph ({!Kgraph}): SCCs are solved in
+    topological order, a clause is re-weakened only when the solution of
+    a κ in its hypotheses shrank since its last evaluation, and
+    concrete-head clauses are final-checked as soon as their last κ
+    hypothesis is final. The weakening operator is monotone on the
+    finite lattice of conjunct subsets, so both chaotic-iteration
+    schedules converge to the same (strongest) fixpoint — verdicts,
+    solutions and failure order are identical, which the differential
+    tests and the fuzzer's [incremental] oracle enforce.
+
+    The slice API ({!prepare} / {!run_slice} / {!apply_slice} /
+    {!finish}) exposes the incremental schedule one SCC at a time so the
+    engine can pool slices of equal dependency level across functions
+    and cache per-slice results ({!slice_fingerprint}). *)
 
 open Flux_smt
 
@@ -22,17 +41,33 @@ type failure = {
 
 type result = Sat of solution | Unsat of failure list * solution
 
+exception Unbound_kvar of string
+(** Raised when a clause's {e head} applies a κ that was never declared:
+    defaulting such a head to ⊤ would make the clause vacuously valid
+    and silently mask a missing kvar declaration. Hypothesis-position
+    misses keep the ⊤ default — that only weakens the left-hand side,
+    which is sound. *)
+
 type stats = {
   mutable iterations : int;
   mutable weaken_checks : int;
   mutable final_checks : int;
+  mutable scc_count : int;
+  mutable reweaken_skipped : int;
+      (** clause evaluations skipped because no κ hypothesis shrank *)
 }
 
 (* Domain-local, like the solver's stats: each domain running parallel
    per-function checks accumulates its own counters. *)
 let stats_dls : stats Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { iterations = 0; weaken_checks = 0; final_checks = 0 })
+      {
+        iterations = 0;
+        weaken_checks = 0;
+        final_checks = 0;
+        scc_count = 0;
+        reweaken_skipped = 0;
+      })
 
 let stats () = Domain.DLS.get stats_dls
 
@@ -40,27 +75,59 @@ let reset_stats () =
   let stats = stats () in
   stats.iterations <- 0;
   stats.weaken_checks <- 0;
-  stats.final_checks <- 0
+  stats.final_checks <- 0;
+  stats.scc_count <- 0;
+  stats.reweaken_skipped <- 0
 
-(** Substitute the current solution into a predicate, yielding a
-    concrete term. *)
-let apply_pred (kenv : (string, Horn.kvar) Hashtbl.t) (sol : solution)
+let incremental_enabled = ref true
+
+let subst_kapp (kv : Horn.kvar) (conjuncts : Term.t list) k
+    (args : Term.t list) : Term.t =
+  let m =
+    try List.map2 (fun (x, _) a -> (x, a)) kv.Horn.kparams args
+    with Invalid_argument _ ->
+      invalid_arg
+        (Printf.sprintf "kvar %s applied to %d args, expects %d" k
+           (List.length args)
+           (List.length kv.Horn.kparams))
+  in
+  Term.mk_and (List.map (Term.subst m) conjuncts)
+
+(** Substitute the current solution into a hypothesis predicate. An
+    unknown κ becomes ⊤ — dropping a hypothesis only weakens the
+    left-hand side, which is sound. *)
+let apply_hyp (kenv : (string, Horn.kvar) Hashtbl.t) (sol : solution)
     (p : Horn.pred) : Term.t =
   match p with
   | Horn.Conc t -> t
   | Horn.Kapp (k, args) -> (
       match (Hashtbl.find_opt kenv k, Hashtbl.find_opt sol k) with
-      | Some kv, Some conjuncts ->
-          let m =
-            try List.map2 (fun (x, _) a -> (x, a)) kv.Horn.kparams args
-            with Invalid_argument _ ->
-              invalid_arg
-                (Printf.sprintf "kvar %s applied to %d args, expects %d" k
-                   (List.length args)
-                   (List.length kv.Horn.kparams))
-          in
-          Term.mk_and (List.map (Term.subst m) conjuncts)
+      | Some kv, Some conjuncts -> subst_kapp kv conjuncts k args
       | _ -> Term.tt)
+
+(** Substitute the current solution into a head predicate. Unknown κs
+    raise {!Unbound_kvar}: a ⊤ head would make the clause vacuously
+    valid and mask a missing declaration. *)
+let apply_head (kenv : (string, Horn.kvar) Hashtbl.t) (sol : solution)
+    (p : Horn.pred) : Term.t =
+  match p with
+  | Horn.Conc t -> t
+  | Horn.Kapp (k, args) -> (
+      match (Hashtbl.find_opt kenv k, Hashtbl.find_opt sol k) with
+      | Some kv, Some conjuncts -> subst_kapp kv conjuncts k args
+      | _ -> raise (Unbound_kvar k))
+
+(** Reject clauses whose head applies an undeclared κ, before solving
+    begins — shared by both schedules so they fail identically. *)
+let check_heads (kenv : (string, Horn.kvar) Hashtbl.t)
+    (clauses : Horn.clause list) : unit =
+  List.iter
+    (fun cl ->
+      match cl.Horn.head with
+      | Horn.Kapp (k, _) when not (Hashtbl.mem kenv k) ->
+          raise (Unbound_kvar k)
+      | _ -> ())
+    clauses
 
 (** Cone-of-influence slicing: keep only the hypotheses transitively
     sharing a variable with the goal. Dropping hypotheses weakens the
@@ -74,7 +141,7 @@ let slice_enabled = ref true
     solution, tagging each conjunct with its free variables; shared by
     all the per-qualifier slices of one clause. *)
 let prepare_hyps kenv sol (c : Horn.clause) : (Term.t * Term.VarSet.t) list =
-  List.map (apply_pred kenv sol) c.Horn.hyps
+  List.map (apply_hyp kenv sol) c.Horn.hyps
   |> List.concat_map (function Term.And ts -> ts | t -> [ t ])
   |> List.map (fun h -> (h, Term.free_vars h))
 
@@ -91,14 +158,14 @@ let slice_prepared (hyps : (Term.t * Term.VarSet.t) list) (rhs : Term.t) :
 let sliced_lhs kenv sol (c : Horn.clause) (rhs : Term.t) : Term.t =
   slice_prepared (prepare_hyps kenv sol c) rhs
 
-(** Solve a set of flat clauses over the given κ declarations. *)
-let solve_clauses ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
-    (clauses : Horn.clause list) : result =
-  Profile.time "fixpoint.solve_s" @@ fun () ->
-  let stats = stats () in
+(** Build the initial environment and solution (every κ at its full
+    qualifier instantiation) for a clause system. *)
+let init_system ~qualifiers ~(kvars : Horn.kvar list)
+    (clauses : Horn.clause list) :
+    (string, Horn.kvar) Hashtbl.t * solution =
   let kenv = Hashtbl.create 16 in
   List.iter (fun kv -> Hashtbl.replace kenv kv.Horn.kname kv) kvars;
-  (* Initial solution: all qualifier instantiations. *)
+  check_heads kenv clauses;
   let sol : solution = Hashtbl.create 16 in
   List.iter
     (fun kv ->
@@ -106,77 +173,444 @@ let solve_clauses ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
         (Qualifier.instantiate_all ~values:kv.Horn.kvalues qualifiers
            kv.Horn.kparams))
     kvars;
-  (* κ-headed and concrete-headed clauses. *)
+  (kenv, sol)
+
+(** One weakening step for a κ-headed clause against [sol]: knock out
+    the head κ's conjuncts not implied by the hypotheses. Returns
+    whether the κ's solution shrank. *)
+let weaken_clause stats kenv (sol : solution) (cl : Horn.clause) : bool =
+  match cl.Horn.head with
+  | Horn.Conc _ -> false
+  | Horn.Kapp (k, args) -> (
+      match Hashtbl.find_opt sol k with
+      | None -> raise (Unbound_kvar k)
+      | Some [] -> false
+      | Some conjuncts ->
+          let kv = Hashtbl.find kenv k in
+          let m = List.map2 (fun (x, _) a -> (x, a)) kv.Horn.kparams args in
+          let prepared = prepare_hyps kenv sol cl in
+          (* The slice depends on the goal only through its
+             free-variable set, and the qualifiers of one sweep mostly
+             range over a handful of variable sets — share the cone
+             computation across them. *)
+          let slices = ref [] in
+          let slice_for rhs =
+            let seed = Term.free_vars rhs in
+            match
+              List.find_opt (fun (s, _) -> Term.VarSet.equal s seed) !slices
+            with
+            | Some (_, lhs) -> lhs
+            | None ->
+                let lhs = slice_prepared prepared rhs in
+                slices := (seed, lhs) :: !slices;
+                lhs
+          in
+          let keep =
+            List.filter
+              (fun q ->
+                stats.weaken_checks <- stats.weaken_checks + 1;
+                Profile.incr "fixpoint.weaken_checks";
+                let rhs = Term.subst m q in
+                Solver.valid (Term.mk_imp (slice_for rhs) rhs))
+              conjuncts
+          in
+          if List.length keep <> List.length conjuncts then begin
+            Hashtbl.replace sol k keep;
+            true
+          end
+          else false)
+
+(** Incremental variant of {!weaken_clause}, two refinements over the
+    reference per-conjunct loop — both preserve the exact kept set, so
+    the fixpoint (and hence the verdict) is identical:
+
+    - {e query memo}: every decided implication is recorded (per
+      slice) keyed by the query term; re-asking the same formula —
+      whether by the same clause on a later pass, or by a sibling
+      clause with identical hypotheses and goal (pre/post join-κ pairs
+      produce many) — reuses the verdict (pure memoization of a
+      deterministic query);
+    - {e survivor batching}: a conjunct that survived an earlier
+      evaluation is being re-checked only because its left-hand side
+      lost hypotheses; almost all survive again. For survivors sharing
+      the (structurally) same new left-hand side L,
+      [valid (L ⇒ q₁ ∧ … ∧ qₙ)] holds iff every [valid (L ⇒ qᵢ)]
+      does — one query covers the batch in the common all-survive
+      case, and a failed or unprovable (incompleteness) batch bisects
+      down to exactly the reference's single-conjunct queries.
+      First-time conjuncts are checked individually: initial sweeps
+      mostly {e knock out}, where batching only adds queries. *)
+let weaken_clause_memo stats kenv (sol : solution)
+    ~(qmemo : bool Term.Tbl.t) (memo : (Term.t, Term.t * bool) Hashtbl.t)
+    (cl : Horn.clause) : bool =
+  match cl.Horn.head with
+  | Horn.Conc _ -> false
+  | Horn.Kapp (k, args) -> (
+      match Hashtbl.find_opt sol k with
+      | None -> raise (Unbound_kvar k)
+      | Some [] -> false
+      | Some conjuncts ->
+          let kv = Hashtbl.find kenv k in
+          let m = List.map2 (fun (x, _) a -> (x, a)) kv.Horn.kparams args in
+          let prepared = prepare_hyps kenv sol cl in
+          let slices = ref [] in
+          let slice_for rhs =
+            let seed = Term.free_vars rhs in
+            match
+              List.find_opt (fun (s, _) -> Term.VarSet.equal s seed) !slices
+            with
+            | Some (_, lhs) -> lhs
+            | None ->
+                let lhs = slice_prepared prepared rhs in
+                slices := (seed, lhs) :: !slices;
+                lhs
+          in
+          let skip () =
+            stats.reweaken_skipped <- stats.reweaken_skipped + 1;
+            Profile.incr "fixpoint.reweaken_skipped"
+          in
+          let query lhs rhs =
+            let f = Term.mk_imp lhs rhs in
+            match Term.Tbl.find_opt qmemo f with
+            | Some v ->
+                skip ();
+                v
+            | None ->
+                stats.weaken_checks <- stats.weaken_checks + 1;
+                Profile.incr "fixpoint.weaken_checks";
+                let v = Solver.valid f in
+                Term.Tbl.replace qmemo f v;
+                v
+          in
+          let verdict : (Term.t, bool) Hashtbl.t =
+            Hashtbl.create (List.length conjuncts)
+          in
+          (* Triage each conjunct: reuse the verdict when the query is
+             unchanged since the last evaluation (clause memo) or was
+             already decided for a sibling clause (query memo);
+             otherwise bucket it by its (structural) left-hand side,
+             buckets in first-seen order. *)
+          let buckets : (Term.t * (Term.t * Term.t) list ref) list ref =
+            ref []
+          in
+          List.iter
+            (fun q ->
+              let rhs = Term.subst m q in
+              let lhs = slice_for rhs in
+              match Hashtbl.find_opt memo q with
+              | Some (lhs', v) when Term.equal lhs' lhs ->
+                  skip ();
+                  Hashtbl.replace verdict q v
+              | _ -> (
+                  match Term.Tbl.find_opt qmemo (Term.mk_imp lhs rhs) with
+                  | Some v ->
+                      skip ();
+                      Hashtbl.replace verdict q v;
+                      Hashtbl.replace memo q (lhs, v)
+                  | None ->
+                      let cell =
+                        match
+                          List.find_opt
+                            (fun (l, _) -> Term.equal l lhs)
+                            !buckets
+                        with
+                        | Some (_, c) -> c
+                        | None ->
+                            let c = ref [] in
+                            buckets := !buckets @ [ (lhs, c) ];
+                            c
+                      in
+                      cell := (q, rhs) :: !cell))
+            conjuncts;
+          (* Besides recording the verdict, mirror it under the
+             singleton query so sibling clauses and later passes
+             asking the same implication skip it. Batched sweeps are
+             decided by the solver deciding exactly these singleton
+             implications (see {!Flux_smt.Solver.first_invalid}), so
+             the mirror records the solver's own answers. *)
+          let settle lhs (q, rhs) v =
+            Hashtbl.replace verdict q v;
+            Hashtbl.replace memo q (lhs, v);
+            Term.Tbl.replace qmemo (Term.mk_imp lhs rhs) v
+          in
+          (* Sweep a group sharing one left-hand side: each solver
+             call either confirms every remaining conjunct (the common
+             case once a κ's survivors cohere) or locates the next
+             knockout, so an evaluation costs one call per knockout
+             plus one. Conjuncts whose singleton query got decided
+             along the way (duplicates under the same lhs) are settled
+             from the query memo between calls. *)
+          let rec sweep lhs = function
+            | [] -> ()
+            | [ (q, rhs) ] -> settle lhs (q, rhs) (query lhs rhs)
+            | group -> (
+                stats.weaken_checks <- stats.weaken_checks + 1;
+                Profile.incr "fixpoint.weaken_checks";
+                match Solver.first_invalid lhs (List.map snd group) with
+                | None -> List.iter (fun m -> settle lhs m true) group
+                | Some i ->
+                    let rec cut i pre = function
+                      | m :: rest when i > 0 -> cut (i - 1) (m :: pre) rest
+                      | m :: rest ->
+                          List.iter (fun m -> settle lhs m true) pre;
+                          settle lhs m false;
+                          rest
+                      | [] -> []
+                    in
+                    let rest = cut i [] group in
+                    let rest =
+                      List.filter
+                        (fun (q, rhs) ->
+                          match
+                            Term.Tbl.find_opt qmemo (Term.mk_imp lhs rhs)
+                          with
+                          | Some v ->
+                              skip ();
+                              settle lhs (q, rhs) v;
+                              false
+                          | None -> true)
+                        rest
+                    in
+                    sweep lhs rest)
+          in
+          List.iter (fun (lhs, cell) -> sweep lhs (List.rev !cell)) !buckets;
+          let keep =
+            List.filter (fun q -> Hashtbl.find verdict q) conjuncts
+          in
+          if List.length keep <> List.length conjuncts then begin
+            Hashtbl.replace sol k keep;
+            true
+          end
+          else false)
+
+(** Final-check one concrete-head clause under the (final) solution. *)
+let final_check stats kenv (sol : solution) (cl : Horn.clause) :
+    failure option =
+  match cl.Horn.head with
+  | Horn.Kapp _ -> None
+  | Horn.Conc rhs ->
+      stats.final_checks <- stats.final_checks + 1;
+      Profile.incr "fixpoint.final_checks";
+      let lhs = sliced_lhs kenv sol cl rhs in
+      if Solver.valid (Term.mk_imp lhs rhs) then None
+      else Some { f_tag = cl.Horn.tag; f_clause = cl; f_lhs = lhs; f_rhs = rhs }
+
+(** The reference schedule: sweep every κ-headed clause until no
+    solution changes, then check all concrete heads. Retained verbatim
+    as the differential baseline for the incremental schedule. *)
+let solve_clauses_full ?(qualifiers = Qualifier.default)
+    ~(kvars : Horn.kvar list) (clauses : Horn.clause list) : result =
+  Profile.time "fixpoint.solve_s" @@ fun () ->
+  let stats = stats () in
+  let kenv, sol = init_system ~qualifiers ~kvars clauses in
   let kclauses, cclauses =
     List.partition
       (fun cl -> match cl.Horn.head with Horn.Kapp _ -> true | _ -> false)
       clauses
   in
-  (* Iterative weakening. *)
   let changed = ref true in
   while !changed do
     changed := false;
     stats.iterations <- stats.iterations + 1;
     Profile.incr "fixpoint.iterations";
     List.iter
-      (fun cl ->
-        match cl.Horn.head with
-        | Horn.Kapp (k, args) -> (
-            match Hashtbl.find_opt sol k with
-            | None | Some [] -> ()
-            | Some conjuncts ->
-                let kv = Hashtbl.find kenv k in
-                let m =
-                  List.map2 (fun (x, _) a -> (x, a)) kv.Horn.kparams args
-                in
-                let prepared = prepare_hyps kenv sol cl in
-                (* The slice depends on the goal only through its
-                   free-variable set, and the qualifiers of one sweep
-                   mostly range over a handful of variable sets — share
-                   the cone computation across them. *)
-                let slices = ref [] in
-                let slice_for rhs =
-                  let seed = Term.free_vars rhs in
-                  match
-                    List.find_opt (fun (s, _) -> Term.VarSet.equal s seed) !slices
-                  with
-                  | Some (_, lhs) -> lhs
-                  | None ->
-                      let lhs = slice_prepared prepared rhs in
-                      slices := (seed, lhs) :: !slices;
-                      lhs
-                in
-                let keep =
-                  List.filter
-                    (fun q ->
-                      stats.weaken_checks <- stats.weaken_checks + 1;
-                      Profile.incr "fixpoint.weaken_checks";
-                      let rhs = Term.subst m q in
-                      Solver.valid (Term.mk_imp (slice_for rhs) rhs))
-                    conjuncts
-                in
-                if List.length keep <> List.length conjuncts then begin
-                  Hashtbl.replace sol k keep;
-                  changed := true
-                end)
-        | Horn.Conc _ -> ())
+      (fun cl -> if weaken_clause stats kenv sol cl then changed := true)
       kclauses
   done;
-  (* Final check of concrete heads. *)
+  let failures = List.filter_map (final_check stats kenv sol) cclauses in
+  if failures = [] then Sat sol else Unsat (failures, sol)
+
+(* -------------------------------------------------------------------- *)
+(* Incremental (SCC-sliced) schedule                                     *)
+(* -------------------------------------------------------------------- *)
+
+type prep = {
+  p_kenv : (string, Horn.kvar) Hashtbl.t;
+  p_sol : solution;
+      (** authoritative solution; extended slice by slice via
+          {!apply_slice}. Workers never write it — {!run_slice} copies
+          the entries it reads into a slice-local table. *)
+  p_graph : Kgraph.t;
+  p_failures : (int * failure) list ref;
+      (** failing concrete heads with their original clause index *)
+}
+
+type slice_result = {
+  sr_slice : int;
+  sr_sols : (string * Term.t list) list;
+      (** final conjuncts for the slice's own κs *)
+  sr_failures : (int * failure) list;
+}
+
+let prepare ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
+    (clauses : Horn.clause list) : prep =
+  Profile.time "fixpoint.solve_s" @@ fun () ->
+  let kenv, sol = init_system ~qualifiers ~kvars clauses in
+  let graph = Kgraph.build ~kvars clauses in
+  let stats = stats () in
+  stats.scc_count <- stats.scc_count + graph.Kgraph.n_sccs;
+  Profile.add "fixpoint.scc_count" graph.Kgraph.n_sccs;
+  { p_kenv = kenv; p_sol = sol; p_graph = graph; p_failures = ref [] }
+
+let slice_count (p : prep) : int = Array.length p.p_graph.Kgraph.slices
+let slice_level (p : prep) (i : int) : int =
+  p.p_graph.Kgraph.slices.(i).Kgraph.sl_level
+let slice_kvars (p : prep) (i : int) : string list =
+  p.p_graph.Kgraph.slices.(i).Kgraph.sl_kvars
+
+(** Rough work estimate for pool scheduling: conjuncts to weaken plus
+    concrete heads to check. *)
+let slice_size (p : prep) (i : int) : int =
+  let sl = p.p_graph.Kgraph.slices.(i) in
+  List.fold_left
+    (fun acc k ->
+      acc + List.length (try Hashtbl.find p.p_sol k with Not_found -> []))
+    (List.length sl.Kgraph.sl_cclauses)
+    sl.Kgraph.sl_kvars
+
+(** Deterministic rendering of everything a slice's result depends on
+    besides the qualifier set: the slice's κ declarations, its clauses
+    (tags excluded — {!Horn.pp_clause} does not print them, so
+    renumbering obligations elsewhere in a function cannot spoil the
+    key), and the final solutions of the external κs it reads. Used by
+    the engine as slice-level cache-key material. *)
+let slice_fingerprint (p : prep) (i : int) : string =
+  let sl = p.p_graph.Kgraph.slices.(i) in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun k ->
+      let kv = Hashtbl.find p.p_kenv k in
+      Buffer.add_string buf
+        (Printf.sprintf "k %s/%d" kv.Horn.kname kv.Horn.kvalues);
+      List.iter
+        (fun (x, s) ->
+          Buffer.add_string buf
+            (Format.asprintf " (%s:%a)" x Flux_smt.Sort.pp s))
+        kv.Horn.kparams;
+      Buffer.add_char buf '\n')
+    sl.Kgraph.sl_kvars;
+  List.iter
+    (fun (_, cl) ->
+      Buffer.add_string buf (Format.asprintf "c %a\n" Horn.pp_clause cl))
+    (sl.Kgraph.sl_kclauses @ sl.Kgraph.sl_cclauses);
+  List.iter
+    (fun k ->
+      let conjuncts = try Hashtbl.find p.p_sol k with Not_found -> [] in
+      Buffer.add_string buf
+        (Format.asprintf "x %s := %a\n" k Term.pp (Term.mk_and conjuncts)))
+    sl.Kgraph.sl_ext_kvars;
+  Buffer.contents buf
+
+(** Solve one slice: weaken its κ-headed clauses to their local
+    fixpoint, re-evaluating a clause only when a κ in its hypotheses
+    shrank since the clause's last evaluation, then final-check the
+    slice's concrete heads. Reads (but never writes) [p.p_sol]; every
+    predecessor slice must have been applied first. *)
+let run_slice (p : prep) (i : int) : slice_result =
+  Profile.time "fixpoint.solve_s" @@ fun () ->
+  let stats = stats () in
+  let sl = p.p_graph.Kgraph.slices.(i) in
+  (* Slice-local working solution: own κs (mutated) plus the external
+     κs the slice reads (final, never mutated). *)
+  let wsol : solution = Hashtbl.create 16 in
+  let import k =
+    match Hashtbl.find_opt p.p_sol k with
+    | Some conjuncts -> Hashtbl.replace wsol k conjuncts
+    | None -> ()
+  in
+  List.iter import sl.Kgraph.sl_kvars;
+  List.iter import sl.Kgraph.sl_ext_kvars;
+  let kcls = Array.of_list sl.Kgraph.sl_kclauses in
+  let n = Array.length kcls in
+  (* Shrink counters for the slice's own κs; external κs are final. A
+     clause whose hypothesis κs all kept their counter since its last
+     evaluation has an unchanged left-hand side, and its surviving
+     conjuncts were already validated against it — skip it. *)
+  let own = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace own k ()) sl.Kgraph.sl_kvars;
+  let version : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let ver k = Option.value (Hashtbl.find_opt version k) ~default:0 in
+  let hyp_ks =
+    Array.map (fun (_, cl) -> Kgraph.hyp_kvars own cl) kcls
+  in
+  let last : int list option array = Array.make n None in
+  let memos = Array.init n (fun _ -> Hashtbl.create 32) in
+  (* Slice-global query-dedup memo: sibling clauses (e.g. pre/post κ
+     pairs of the same join) and later passes frequently re-ask
+     byte-identical implications. *)
+  let qmemo : bool Term.Tbl.t = Term.Tbl.create 256 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    stats.iterations <- stats.iterations + 1;
+    Profile.incr "fixpoint.iterations";
+    for j = 0 to n - 1 do
+      let _, cl = kcls.(j) in
+      let cur = List.map ver hyp_ks.(j) in
+      match last.(j) with
+      | Some seen when seen = cur ->
+          stats.reweaken_skipped <- stats.reweaken_skipped + 1;
+          Profile.incr "fixpoint.reweaken_skipped"
+      | _ ->
+          last.(j) <- Some cur;
+          if weaken_clause_memo stats p.p_kenv wsol ~qmemo memos.(j) cl
+          then begin
+            (match cl.Horn.head with
+            | Horn.Kapp (k, _) -> Hashtbl.replace version k (ver k + 1)
+            | Horn.Conc _ -> ());
+            changed := true
+          end
+    done
+  done;
   let failures =
     List.filter_map
-      (fun cl ->
-        match cl.Horn.head with
-        | Horn.Conc rhs ->
-            stats.final_checks <- stats.final_checks + 1;
-            Profile.incr "fixpoint.final_checks";
-            let lhs = sliced_lhs kenv sol cl rhs in
-            if Solver.valid (Term.mk_imp lhs rhs) then None
-            else Some { f_tag = cl.Horn.tag; f_clause = cl; f_lhs = lhs; f_rhs = rhs }
-        | Horn.Kapp _ -> None)
-      cclauses
+      (fun (idx, cl) ->
+        Option.map
+          (fun f -> (idx, f))
+          (final_check stats p.p_kenv wsol cl))
+      sl.Kgraph.sl_cclauses
   in
-  if failures = [] then Sat sol else Unsat (failures, sol)
+  {
+    sr_slice = i;
+    sr_sols =
+      List.map (fun k -> (k, Hashtbl.find wsol k)) sl.Kgraph.sl_kvars;
+    sr_failures = failures;
+  }
+
+(** Merge a slice's result into the authoritative solution. Must be
+    called from the coordinating domain, in any order consistent with
+    slice dependencies. *)
+let apply_slice (p : prep) (r : slice_result) : unit =
+  List.iter (fun (k, conjuncts) -> Hashtbl.replace p.p_sol k conjuncts) r.sr_sols;
+  p.p_failures := r.sr_failures @ !(p.p_failures)
+
+(** Assemble the final verdict. Failures are re-sorted by original
+    clause index, restoring exactly the order the reference schedule
+    reports them in. *)
+let finish (p : prep) : result =
+  let failures =
+    List.sort (fun (a, _) (b, _) -> compare a b) !(p.p_failures)
+    |> List.map snd
+  in
+  if failures = [] then Sat p.p_sol else Unsat (failures, p.p_sol)
+
+(** The incremental schedule, run to completion in-process: solve the
+    slices sequentially in topological order. *)
+let solve_clauses_incremental ?(qualifiers = Qualifier.default)
+    ~(kvars : Horn.kvar list) (clauses : Horn.clause list) : result =
+  let p = prepare ~qualifiers ~kvars clauses in
+  for i = 0 to slice_count p - 1 do
+    apply_slice p (run_slice p i)
+  done;
+  finish p
+
+(** Solve a set of flat clauses over the given κ declarations,
+    dispatching on {!incremental_enabled}. *)
+let solve_clauses ?(qualifiers = Qualifier.default)
+    ~(kvars : Horn.kvar list) (clauses : Horn.clause list) : result =
+  if !incremental_enabled then
+    solve_clauses_incremental ~qualifiers ~kvars clauses
+  else solve_clauses_full ~qualifiers ~kvars clauses
 
 (** Solve a nested constraint (flattens first). *)
 let solve ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
@@ -187,12 +621,13 @@ let solve ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
     it: substitute the solution into hypotheses and head, slice, and ask
     the solver whether the implication is valid. Used by lint passes to
     test side conditions (e.g. overflow bounds) against the fixpoint
-    solution the checker already computed. *)
+    solution the checker already computed. Raises {!Unbound_kvar} if the
+    head applies a κ missing from the declarations or solution. *)
 let check_clause ~(kvars : Horn.kvar list) (sol : solution)
     (cl : Horn.clause) : bool =
   let kenv = Hashtbl.create 16 in
   List.iter (fun kv -> Hashtbl.replace kenv kv.Horn.kname kv) kvars;
-  let rhs = apply_pred kenv sol cl.Horn.head in
+  let rhs = apply_head kenv sol cl.Horn.head in
   let lhs = sliced_lhs kenv sol cl rhs in
   Solver.valid (Term.mk_imp lhs rhs)
 

@@ -5,7 +5,14 @@
     qualifier instantiations; clauses with κ heads repeatedly knock out
     conjuncts not implied by their hypotheses until a fixpoint is
     reached (the strongest solution in the qualifier lattice); the
-    remaining concrete-head clauses are then checked under it. *)
+    remaining concrete-head clauses are then checked under it.
+
+    Two equivalent schedules are provided: the reference full sweep
+    ({!solve_clauses_full}) and the default incremental one
+    ({!solve_clauses_incremental}) that solves the κ-dependency graph
+    SCC by SCC in topological order ({!Kgraph}), re-weakening a clause
+    only when a κ hypothesis shrank. Both converge to the same fixpoint
+    and report identical verdicts, solutions and failure order. *)
 
 open Flux_smt
 
@@ -22,10 +29,19 @@ type failure = {
 
 type result = Sat of solution | Unsat of failure list * solution
 
+exception Unbound_kvar of string
+(** Raised when a clause's {e head} applies an undeclared κ (a ⊤
+    default there would make the clause vacuously valid and mask a
+    missing declaration). Undeclared κs in hypothesis position still
+    default to ⊤, which only weakens the left-hand side and is sound. *)
+
 type stats = {
   mutable iterations : int;
   mutable weaken_checks : int;
   mutable final_checks : int;
+  mutable scc_count : int;
+  mutable reweaken_skipped : int;
+      (** clause evaluations skipped because no κ hypothesis shrank *)
 }
 
 val stats : unit -> stats
@@ -38,21 +54,102 @@ val slice_enabled : bool ref
 (** Cone-of-influence slicing of clause hypotheses (default [true];
     sound either way, large speedup on join-heavy constraints). *)
 
+val incremental_enabled : bool ref
+(** Schedule selector for {!solve_clauses} (default [true] =
+    incremental). Read once per solve; flip it only from a single
+    domain (CLI flag, benchmarks, tests) — parallel fuzz/engine code
+    must instead call the two schedules explicitly. *)
+
 val solve_clauses :
   ?qualifiers:Qualifier.t list ->
   kvars:Horn.kvar list ->
   Horn.clause list ->
   result
+(** Solve flat clauses with the schedule selected by
+    {!incremental_enabled}. *)
+
+val solve_clauses_full :
+  ?qualifiers:Qualifier.t list ->
+  kvars:Horn.kvar list ->
+  Horn.clause list ->
+  result
+(** The reference schedule: sweep every κ-headed clause until nothing
+    changes. Retained as the differential baseline. *)
+
+val solve_clauses_incremental :
+  ?qualifiers:Qualifier.t list ->
+  kvars:Horn.kvar list ->
+  Horn.clause list ->
+  result
+(** The incremental SCC-sliced schedule, run to completion
+    in-process. *)
 
 val solve :
   ?qualifiers:Qualifier.t list -> kvars:Horn.kvar list -> Horn.cstr -> result
 (** Solve a nested constraint (flattens first). *)
 
+(** {2 Slice-level API}
+
+    The incremental schedule, exposed one SCC slice at a time so the
+    engine can pool independent slices across functions and cache
+    per-slice results. Protocol: {!prepare}; then for each slice in an
+    order consistent with {!slice_level} (dependencies first), either
+    {!run_slice} (pure w.r.t. the prep — safe to run on a worker
+    domain) or rebuild a {!slice_result} from a cache hit, and
+    {!apply_slice} it from the coordinating domain; finally
+    {!finish}. *)
+
+type prep
+
+type slice_result = {
+  sr_slice : int;
+  sr_sols : (string * Term.t list) list;
+      (** final conjuncts for the slice's own κs *)
+  sr_failures : (int * failure) list;
+      (** failing concrete heads with their original clause index *)
+}
+
+val prepare :
+  ?qualifiers:Qualifier.t list ->
+  kvars:Horn.kvar list ->
+  Horn.clause list ->
+  prep
+(** Initialize the solution and build the κ-dependency graph. Raises
+    {!Unbound_kvar} on undeclared head κs. *)
+
+val slice_count : prep -> int
+val slice_level : prep -> int -> int
+val slice_kvars : prep -> int -> string list
+
+val slice_size : prep -> int -> int
+(** Rough work estimate (conjuncts to weaken + concrete heads to
+    check) for pool scheduling. *)
+
+val slice_fingerprint : prep -> int -> string
+(** Deterministic rendering of everything the slice's result depends on
+    besides the qualifier set: κ declarations, clauses (tags excluded)
+    and the final solutions of external κs. Only valid once every
+    predecessor slice has been applied. Cache-key material. *)
+
+val run_slice : prep -> int -> slice_result
+(** Solve one slice (weaken own κ clauses to their local fixpoint with
+    shrink-driven skipping, then final-check its concrete heads). Every
+    predecessor slice must have been applied first. *)
+
+val apply_slice : prep -> slice_result -> unit
+(** Merge a slice result into the authoritative solution (coordinator
+    only). *)
+
+val finish : prep -> result
+(** Assemble the verdict; failures are sorted back into input-clause
+    order, matching the reference schedule exactly. *)
+
 val check_clause : kvars:Horn.kvar list -> solution -> Horn.clause -> bool
 (** Evaluate one clause under a (final) solution without altering it:
     substitute the solution into hypotheses and head, slice, and report
     whether the implication is valid. Lets lint passes test side
-    conditions against the solution the checker already computed. *)
+    conditions against the solution the checker already computed.
+    Raises {!Unbound_kvar} on an undeclared head κ. *)
 
 val validate_solution :
   kvars:Horn.kvar list -> solution -> Horn.clause list -> Horn.clause list

@@ -22,19 +22,21 @@ module Ast = Flux_syntax.Ast
 open Flux_smt
 open Flux_fixpoint
 
-type oracle_kind = Soundness | Solver | Fixpoint
+type oracle_kind = Soundness | Solver | Fixpoint | Incremental
 
-let all_oracles = [ Soundness; Solver; Fixpoint ]
+let all_oracles = [ Soundness; Solver; Fixpoint; Incremental ]
 
 let oracle_name = function
   | Soundness -> "soundness"
   | Solver -> "solver"
   | Fixpoint -> "fixpoint"
+  | Incremental -> "incremental"
 
 let oracle_of_string = function
   | "soundness" -> Some [ Soundness ]
   | "solver" -> Some [ Solver ]
   | "fixpoint" -> Some [ Fixpoint ]
+  | "incremental" -> Some [ Incremental ]
   | "all" -> Some all_oracles
   | _ -> None
 
@@ -42,7 +44,11 @@ let oracle_of_string = function
     [--budget SECS] into a deterministic case count. Understating the
     real rate only makes the campaign finish early; it never makes two
     runs diverge. *)
-let rate = function Soundness -> 3.0 | Solver -> 2000.0 | Fixpoint -> 300.0
+let rate = function
+  | Soundness -> 3.0
+  | Solver -> 2000.0
+  | Fixpoint -> 300.0
+  | Incremental -> 150.0
 
 let cases_for ~(budget : float) (k : oracle_kind) : int =
   max 1 (int_of_float (budget *. rate k))
@@ -107,12 +113,19 @@ let fingerprint (s : summary) : string =
 (* Running                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(** Run a campaign. The optional [check]/[valid]/[sat]/[solve]
-    arguments substitute broken implementations for the bug-seeding
-    meta-tests; production callers omit them. *)
+(** Run a campaign. The optional [check]/[valid]/[sat]/[solve]/
+    [incremental] arguments substitute broken implementations for the
+    bug-seeding meta-tests; production callers omit them. Note the
+    incremental oracle calls the two schedules {e explicitly}
+    ({!Flux_fixpoint.Solve.solve_clauses_full} vs
+    [solve_clauses_incremental]) — it never flips
+    [Solve.incremental_enabled], which would race across the pool's
+    worker domains. *)
 let run ?(check : (Ast.program -> bool) option)
     ?(valid : (Term.t -> bool) option) ?(sat : (Term.t -> bool) option)
     ?(solve : (kvars:Horn.kvar list -> Horn.clause list -> Solve.result) option)
+    ?(incremental :
+        (kvars:Horn.kvar list -> Horn.clause list -> Solve.result) option)
     (cfg : config) : summary =
   let t0 = Unix.gettimeofday () in
   (* never advanced, only split: safe to share across worker domains *)
@@ -135,6 +148,8 @@ let run ?(check : (Ast.program -> bool) option)
         | Soundness -> Oracle.soundness_case ?check ~seed:cfg.seed ~case rng
         | Solver -> Oracle.solver_case ?valid ?sat ~seed:cfg.seed ~case rng
         | Fixpoint -> Oracle.fixpoint_case ?solve ~seed:cfg.seed ~case rng
+        | Incremental ->
+            Oracle.incremental_case ?incremental ~seed:cfg.seed ~case rng
     in
     let fns = Array.init count (fun i -> one (base_index + i)) in
     let verdicts =

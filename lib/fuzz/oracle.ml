@@ -1,8 +1,8 @@
-(** The three differential oracles.
+(** The four differential oracles.
 
     Each oracle examines one randomly generated case and returns a
     {!verdict} — with any bug already shrunk to a minimal reproducer.
-    All three exploit verdicts with a {e definite} polarity, so a
+    All four exploit verdicts with a {e definite} polarity, so a
     mismatch is always a real bug, never solver incompleteness showing
     through:
 
@@ -22,6 +22,12 @@
       claims the κ assignment satisfies every Horn clause; substitute
       it back and re-verify each clause independently of the weakening
       loop's worklist bookkeeping.
+    - {b full-vs-incremental differential} — the SCC-sliced schedule
+      ({!Flux_fixpoint.Solve.solve_clauses_incremental}) promises
+      verdicts, failure order and rendered solutions {e byte-identical}
+      to the reference sweep ({!Flux_fixpoint.Solve.solve_clauses_full});
+      any textual divergence on any generated κ system is a bug in the
+      dependency graph, the skip bookkeeping, or the memo layers.
 
     The checker/solver entry points are injectable so the test suite
     can seed known-broken implementations (e.g. a Euclidean remainder
@@ -39,7 +45,8 @@ open Flux_smt
 open Flux_fixpoint
 
 type bug = {
-  b_oracle : string;  (** "soundness" | "solver" | "fixpoint" *)
+  b_oracle : string;
+      (** "soundness" | "solver" | "fixpoint" | "incremental" *)
   b_seed : int;  (** campaign seed (reprinted in every report) *)
   b_case : int;  (** global case index within the campaign *)
   b_descr : string;  (** one-line description of the violation *)
@@ -336,6 +343,76 @@ let fixpoint_case ?(solve = default_solve) ~(seed : int) ~(case : int)
       Bug
         {
           b_oracle = "fixpoint";
+          b_seed = seed;
+          b_case = case;
+          b_descr = descr;
+          b_repro = Repro.horn_to_string kvars clauses';
+          b_ext = "horn";
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Full-vs-incremental differential                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Render everything the incremental schedule promises to reproduce
+    byte-for-byte: the verdict tag, the failing clause tags in report
+    order, and the pretty-printed solution. *)
+let render_result (r : Solve.result) : string =
+  match r with
+  | Solve.Sat sol -> Format.asprintf "Sat@.%a" Solve.pp_solution sol
+  | Solve.Unsat (failures, sol) ->
+      Format.asprintf "Unsat [%s]@.%a"
+        (String.concat ","
+           (List.map (fun f -> string_of_int f.Solve.f_tag) failures))
+        Solve.pp_solution sol
+
+let default_incremental ~kvars clauses =
+  Solve.solve_clauses_incremental ~kvars clauses
+
+(** A divergence between the reference full sweep and the incremental
+    schedule on this κ system, if any. Exceptions count as outcomes:
+    both schedules must raise the same way (e.g. {!Solve.Unbound_kvar}
+    on the same κ) or the case is a bug. *)
+let incremental_mismatch
+    ~(incremental :
+       kvars:Horn.kvar list -> Horn.clause list -> Solve.result)
+    (kvars : Horn.kvar list) (clauses : Horn.clause list) : string option =
+  let outcome solve =
+    match solve ~kvars clauses with
+    | r -> render_result r
+    | exception Solve.Unbound_kvar k -> "raised Unbound_kvar " ^ k
+  in
+  let full = outcome (fun ~kvars cls -> Solve.solve_clauses_full ~kvars cls) in
+  let inc = outcome incremental in
+  if String.equal full inc then None
+  else
+    Some
+      (Printf.sprintf "schedules disagree\n--- full ---\n%s\n--- incremental ---\n%s"
+         full inc)
+
+let incremental_case ?(incremental = default_incremental) ~(seed : int)
+    ~(case : int) (rng : Rng.t) : verdict =
+  let { Hgen.kvars; clauses } = Hgen.gen rng in
+  match incremental_mismatch ~incremental kvars clauses with
+  | None -> Ok
+  | Some _ ->
+      let fails cls =
+        match incremental_mismatch ~incremental kvars cls with
+        | Some _ -> true
+        | None -> false
+        | exception _ -> false
+      in
+      let clauses' =
+        Shrink.minimize_clauses ~budget:shrink_budget fails clauses
+      in
+      let descr =
+        match incremental_mismatch ~incremental kvars clauses' with
+        | Some d -> d
+        | None | (exception _) -> "schedules disagree"
+      in
+      Bug
+        {
+          b_oracle = "incremental";
           b_seed = seed;
           b_case = case;
           b_descr = descr;

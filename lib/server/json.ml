@@ -9,13 +9,18 @@
     integers and must decode as such, while bench/metrics values are
     seconds and must survive a round trip — floats always print with a
     decimal point or exponent so they re-parse as [Float], and [%.17g]
-    guarantees bit-exact round trips for finite values.
+    guarantees bit-exact round trips for finite values. Non-finite
+    floats print as [null] (JSON has no inf/nan; this matches
+    JavaScript's [JSON.stringify]), so they do {e not} round-trip —
+    the lossy direction is deliberate and the only standard-conforming
+    one.
 
     Unicode: strings are byte sequences passed through verbatim (the
     protocol ships file contents, which are not necessarily UTF-8);
     only the characters JSON requires escaping for are escaped. On
-    input, [\uXXXX] escapes decode to UTF-8 (no surrogate pairs —
-    our own encoder never emits them above U+001F). *)
+    input, [\uXXXX] escapes decode to UTF-8, including surrogate pairs
+    for supplementary-plane characters; lone surrogates are rejected
+    (our own encoder only emits [\u] for control characters). *)
 
 type t =
   | Null
@@ -47,7 +52,12 @@ let escape_to buf s =
   Buffer.add_char buf '"'
 
 let float_to_string f =
-  if Float.is_integer f && Float.abs f < 1e16 then
+  if not (Float.is_finite f) then
+    (* JSON has no inf/nan tokens; [%.17g] would print them as bare
+       words no parser accepts. [null] is the interoperable rendering
+       (what e.g. JavaScript's JSON.stringify emits). *)
+    "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then
     (* force a decimal point so the value re-parses as a float *)
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
@@ -148,22 +158,50 @@ let parse (s : string) : (t, string) result =
           | 'r' -> Buffer.add_char buf '\r'
           | 't' -> Buffer.add_char buf '\t'
           | 'u' ->
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let cp =
-                (hex_digit s.[!pos] lsl 12)
-                lor (hex_digit s.[!pos + 1] lsl 8)
-                lor (hex_digit s.[!pos + 2] lsl 4)
-                lor hex_digit s.[!pos + 3]
+              let read_hex4 () =
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let v =
+                  (hex_digit s.[!pos] lsl 12)
+                  lor (hex_digit s.[!pos + 1] lsl 8)
+                  lor (hex_digit s.[!pos + 2] lsl 4)
+                  lor hex_digit s.[!pos + 3]
+                in
+                pos := !pos + 4;
+                v
               in
-              pos := !pos + 4;
-              (* UTF-8 encode the code point (BMP only) *)
+              let cp = read_hex4 () in
+              let cp =
+                if cp >= 0xd800 && cp <= 0xdbff then
+                  (* high surrogate: JSON encodes supplementary-plane
+                     characters as a \u pair; the low half must follow
+                     immediately *)
+                  if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = read_hex4 () in
+                    if lo >= 0xdc00 && lo <= 0xdfff then
+                      0x10000 + (((cp - 0xd800) lsl 10) lor (lo - 0xdc00))
+                    else fail "high surrogate not followed by low surrogate"
+                  end
+                  else fail "lone high surrogate"
+                else if cp >= 0xdc00 && cp <= 0xdfff then
+                  fail "lone low surrogate"
+                else cp
+              in
+              (* UTF-8 encode the code point *)
               if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
               else if cp < 0x800 then begin
                 Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
                 Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
               end
-              else begin
+              else if cp < 0x10000 then begin
                 Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+                Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
                 Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
                 Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
               end

@@ -16,6 +16,7 @@ let () =
       Test_soundness.divmod_tests;
       Test_workloads.tests;
       Test_engine.tests;
+      Test_incremental.tests;
       Test_analysis.tests;
       Test_fuzz.tests;
       Test_server.tests;

@@ -283,6 +283,70 @@ let cache_failing_not_stored =
         (run_fingerprints r2))
 
 (* ------------------------------------------------------------------ *)
+(* Slice cache: a spec edit replays the unaffected κ-SCCs              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two sequential loops: the second loop's join κ depends on the
+   first's, so they land in distinct SCC slices; the return
+   postcondition only reaches the later slice's concrete clauses. *)
+let two_phase_src ret =
+  Printf.sprintf
+    {|
+#[lr::sig(fn(usize<@n>) -> usize{v: %s})]
+fn two_phase(n: usize) -> usize {
+    let mut i = 0;
+    let mut s = 0;
+    while i < n {
+        i += 1;
+        s += 1;
+    }
+    let mut j = 0;
+    while j < s {
+        j += 1;
+    }
+    j
+}
+|}
+    ret
+
+let counter key =
+  match List.assoc_opt key (Profile.snapshot ()) with
+  | Some (n, _, _) -> n
+  | None -> 0
+
+let cache_slice_reuse =
+  Alcotest.test_case "spec edit replays unchanged κ-slices" `Quick (fun () ->
+      let v1 = two_phase_src "0 <= v" in
+      let v2 = two_phase_src "v <= n" in
+      (* baseline: how much weakening an uncached check of v2 does *)
+      Profile.reset ();
+      let cold =
+        Engine.check_source { Engine.jobs = 1; cache_dir = None } v2
+      in
+      Alcotest.(check bool) "v2 verifies" true (Engine.run_ok cold);
+      let cold_weaken = counter "fixpoint.weaken_checks" in
+      Alcotest.(check bool) "uncached run weakens" true (cold_weaken > 0);
+      (* warm the slice cache with v1, then check the edited spec: the
+         function-level entry misses (sig changed) but the first loop's
+         SCC is untouched and must replay from the slice cache, so the
+         edited run re-weakens strictly less than from scratch *)
+      let dir = fresh_cache_dir () in
+      let _ = check_with dir v1 in
+      Profile.reset ();
+      let warm = check_with dir v2 in
+      Alcotest.(check bool) "edited program verifies" true (Engine.run_ok warm);
+      Alcotest.(check flags) "the edited function itself re-checks"
+        [ ("two_phase", false) ]
+        (cached_flags warm);
+      Alcotest.(check bool) "unchanged slices replay from the cache" true
+        (counter "cache.slice_hits" >= 1);
+      let warm_weaken = counter "fixpoint.weaken_checks" in
+      if warm_weaken >= cold_weaken then
+        Alcotest.failf
+          "spec edit re-weakened everything: %d checks warm vs %d cold"
+          warm_weaken cold_weaken)
+
+(* ------------------------------------------------------------------ *)
 (* Profile JSON typing (the [_s]-key satellite fix)                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -343,6 +407,7 @@ let tests =
       cache_fresh_state;
       cache_disabled;
       cache_failing_not_stored;
+      cache_slice_reuse;
       parallel_determinism "failing-program" failing_src;
       wp_parallel_determinism;
       workload_determinism "dotprod";

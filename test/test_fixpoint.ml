@@ -210,6 +210,109 @@ let test_flatten () =
   let c1 = List.nth clauses 0 in
   Alcotest.(check int) "binder count" 1 (List.length c1.Horn.binders)
 
+(* ------------------------------------------------------------------ *)
+(* κ-dependency graph and the incremental schedule                     *)
+(* ------------------------------------------------------------------ *)
+
+let clause binders hyps head tag = Horn.{ binders; hyps; head; tag }
+
+(** Chain κ1 → κ2 plus a 2-cycle {κ3, κ4}: three SCCs, laid out
+    dependencies-first with the cycle collapsed into one slice. *)
+let test_kgraph_sccs () =
+  let open Term in
+  let kv n = mkk n [ ("v", Sort.Int) ] in
+  let kvars = [ kv "k1"; kv "k2"; kv "k3"; kv "k4" ] in
+  let b = [ ("v", Sort.Int) ] in
+  let clauses =
+    [
+      clause b
+        [ Horn.Conc (ge (var "v") (int 0)) ]
+        (Horn.Kapp ("k1", [ var "v" ]))
+        1;
+      clause b
+        [ Horn.Kapp ("k1", [ var "v" ]) ]
+        (Horn.Kapp ("k2", [ var "v" ]))
+        2;
+      clause b
+        [ Horn.Kapp ("k3", [ var "v" ]) ]
+        (Horn.Kapp ("k4", [ var "v" ]))
+        3;
+      clause b
+        [ Horn.Kapp ("k4", [ var "v" ]) ]
+        (Horn.Kapp ("k3", [ var "v" ]))
+        4;
+      clause b
+        [ Horn.Conc (gt (var "v") (int 3)) ]
+        (Horn.Kapp ("k3", [ var "v" ]))
+        5;
+      clause b
+        [ Horn.Kapp ("k2", [ var "v" ]) ]
+        (Horn.Conc (ge (var "v") (int 0)))
+        6;
+    ]
+  in
+  let g = Kgraph.build ~kvars clauses in
+  Alcotest.(check int) "three SCCs" 3 g.Kgraph.n_sccs;
+  Alcotest.(check int) "four slices incl. root" 4 (Array.length g.Kgraph.slices);
+  let slice_of k = Hashtbl.find g.Kgraph.scc_of k in
+  let s1 = slice_of "k1" and s2 = slice_of "k2" in
+  Alcotest.(check bool) "k1's slice precedes k2's" true (s1 < s2);
+  Alcotest.(check bool)
+    "the κ3/κ4 cycle shares a slice" true
+    (slice_of "k3" = slice_of "k4");
+  let sl1 = g.Kgraph.slices.(s1) and sl2 = g.Kgraph.slices.(s2) in
+  Alcotest.(check bool)
+    "k2's level is above k1's" true
+    (sl2.Kgraph.sl_level > sl1.Kgraph.sl_level);
+  Alcotest.(check (list string)) "k2 reads k1" [ "k1" ] sl2.Kgraph.sl_ext_kvars;
+  (* a concrete-head clause lands on the slice of its last κ hypothesis *)
+  Alcotest.(check (list int))
+    "concrete clause scheduled on k2's slice" [ 5 ]
+    (List.map fst sl2.Kgraph.sl_cclauses)
+
+(** Regression: a clause whose {e head} applies an undeclared κ must
+    raise under both schedules — the old silent ⊤ default made the
+    clause vacuously valid and masked the missing declaration. *)
+let test_unbound_head_kvar () =
+  let open Term in
+  let cl =
+    clause
+      [ ("x", Sort.Int) ]
+      [ Horn.Conc (ge (var "x") (int 0)) ]
+      (Horn.Kapp ("ghost", [ var "x" ]))
+      1
+  in
+  Alcotest.check_raises "full schedule raises" (Solve.Unbound_kvar "ghost")
+    (fun () -> ignore (Solve.solve_clauses_full ~kvars:[] [ cl ]));
+  Alcotest.check_raises "incremental schedule raises"
+    (Solve.Unbound_kvar "ghost") (fun () ->
+      ignore (Solve.solve_clauses_incremental ~kvars:[] [ cl ]))
+
+(** An undeclared κ in {e hypothesis} position still defaults to ⊤ —
+    dropping it only weakens the left-hand side, which is sound. The
+    clause below is unprovable once the ghost hypothesis is ⊤, so both
+    schedules must report Unsat rather than raise (or verify). *)
+let test_unbound_hyp_kvar_top () =
+  let open Term in
+  let cl =
+    clause
+      [ ("x", Sort.Int) ]
+      [ Horn.Kapp ("ghost", [ var "x" ]) ]
+      (Horn.Conc (ge (var "x") (int 0)))
+      7
+  in
+  let run name solve =
+    match solve () with
+    | Solve.Unsat (fails, _) ->
+        Alcotest.(check (list int))
+          name [ 7 ]
+          (List.map (fun f -> f.Solve.f_tag) fails)
+    | Solve.Sat _ -> Alcotest.failf "%s: expected UNSAT under the ⊤ default" name
+  in
+  run "full" (fun () -> Solve.solve_clauses_full ~kvars:[] [ cl ]);
+  run "incremental" (fun () ->
+      Solve.solve_clauses_incremental ~kvars:[] [ cl ])
+
 let tests =
   ( "fixpoint",
     [
@@ -221,4 +324,8 @@ let tests =
       Alcotest.test_case "qualifier scoping" `Quick test_qualifier_scope;
       Alcotest.test_case "qualifier rotation" `Quick test_qualifier_rotation;
       Alcotest.test_case "flatten" `Quick test_flatten;
+      Alcotest.test_case "kgraph SCC layout" `Quick test_kgraph_sccs;
+      Alcotest.test_case "unbound head κ raises" `Quick test_unbound_head_kvar;
+      Alcotest.test_case "unbound hypothesis κ is ⊤" `Quick
+        test_unbound_hyp_kvar_top;
     ] )

@@ -29,7 +29,7 @@ let cfg ?(seed = 42) oracles budget =
     they must find zero bugs (any bug here is a real soundness/solver
     defect — investigate, don't re-seed). *)
 let determinism () =
-  let c = cfg [ Fuzz.Soundness; Fuzz.Solver; Fuzz.Fixpoint ] 1.0 in
+  let c = cfg Fuzz.all_oracles 1.0 in
   let s1 = Fuzz.run { c with jobs = 1 } in
   let s2 = Fuzz.run { c with jobs = 2 } in
   Alcotest.(check string)
@@ -146,6 +146,29 @@ let fixpoint_top_caught () =
         "real fixpoint solver passes its self-check on the shrunk system"
         true
         (Oracle.fixpoint_violation ~solve:Oracle.default_solve kvars clauses
+        = None)
+
+let incremental_lying_caught () =
+  (* broken incremental schedule: claims Sat with the empty solution
+     table no matter what — diverges from the reference sweep whenever
+     the system is Unsat or solves any kappa non-trivially *)
+  let incremental ~kvars:(_ : Flux_fixpoint.Horn.kvar list)
+      (_ : Flux_fixpoint.Horn.clause list) =
+    Flux_fixpoint.Solve.Sat (Hashtbl.create 1)
+  in
+  let s = Fuzz.run ~incremental (cfg [ Fuzz.Incremental ] 0.1) in
+  match Fuzz.summary_bugs s with
+  | [] -> Alcotest.fail "lying incremental schedule not caught"
+  | b :: _ ->
+      let kvars, clauses = Repro.horn_of_string b.Oracle.b_repro in
+      Alcotest.(check bool)
+        "shrunk system still exposes the broken schedule" true
+        (Oracle.incremental_mismatch ~incremental kvars clauses <> None);
+      Alcotest.(check bool)
+        "real incremental schedule matches the reference on the shrunk system"
+        true
+        (Oracle.incremental_mismatch ~incremental:Oracle.default_incremental
+           kvars clauses
         = None)
 
 (* ------------------------------------------------------------------ *)
@@ -335,12 +358,18 @@ let corpus_replay () =
           | Some d -> Alcotest.failf "%s: regressed — %s" name d)
       | ".horn" -> (
           let kvars, clauses = Repro.horn_of_string body in
+          (match
+             Oracle.fixpoint_violation ~solve:Oracle.default_solve kvars
+               clauses
+           with
+          | None -> ()
+          | Some d -> Alcotest.failf "%s: regressed — %s" name d);
           match
-            Oracle.fixpoint_violation ~solve:Oracle.default_solve kvars
-              clauses
+            Oracle.incremental_mismatch
+              ~incremental:Oracle.default_incremental kvars clauses
           with
           | None -> ()
-          | Some d -> Alcotest.failf "%s: regressed — %s" name d)
+          | Some d -> Alcotest.failf "%s: schedules diverged — %s" name d)
       | _ -> ())
     files
 
@@ -357,6 +386,8 @@ let tests =
         `Slow soundness_accept_all_caught;
       Alcotest.test_case "seeded top-solution fixpoint bug caught" `Quick
         fixpoint_top_caught;
+      Alcotest.test_case "seeded lying incremental schedule caught" `Quick
+        incremental_lying_caught;
       Alcotest.test_case "no frontend rejects over 80 seeds" `Slow
         no_frontend_rejects;
       Alcotest.test_case "checker accepts a healthy fraction" `Slow

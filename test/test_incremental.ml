@@ -1,0 +1,81 @@
+(** Differential tests pinning the incremental (SCC-sliced) fixpoint
+    schedule to the retained reference sweep: on every Table-1 workload
+    (including seeded-bug Unsat paths) and on a seeded random Horn
+    corpus, the two schedules must produce identical verdicts, errors,
+    κ/clause counts and rendered solutions — wall-clock excluded. *)
+
+module Checker = Flux_check.Checker
+module Workloads = Flux_workloads.Workloads
+module Oracle = Flux_fuzz.Oracle
+module Rng = Flux_fuzz.Rng
+module Hgen = Flux_fuzz.Hgen
+open Flux_fixpoint
+
+(** Everything byte-identity promises for one function, time excluded. *)
+let render_fn (fr : Checker.fn_report) : string =
+  Format.asprintf "%s kvars=%d clauses=%d errors=[%s] sol=%s"
+    fr.Checker.fr_name fr.Checker.fr_kvars fr.Checker.fr_clauses
+    (String.concat ";"
+       (List.map
+          (fun e -> Format.asprintf "%a" Checker.pp_error e)
+          fr.Checker.fr_errors))
+    (match fr.Checker.fr_solution with
+    | None -> "-"
+    | Some sol -> Format.asprintf "%a" Solve.pp_solution sol)
+
+(** Run the whole checker pipeline under one schedule, rendered;
+    exceptions are outcomes too (both schedules must raise alike). *)
+let run_rendered ~(incremental : bool) (src : string) : string =
+  let saved = !Solve.incremental_enabled in
+  Fun.protect
+    ~finally:(fun () -> Solve.incremental_enabled := saved)
+    (fun () ->
+      Solve.incremental_enabled := incremental;
+      match Checker.check_source src with
+      | r -> String.concat "\n" (List.map render_fn r.Checker.rp_fns)
+      | exception e -> "raised " ^ Printexc.to_string e)
+
+let differential name src =
+  Alcotest.test_case (name ^ ": schedules agree") `Slow (fun () ->
+      Alcotest.(check string)
+        name
+        (run_rendered ~incremental:false src)
+        (run_rendered ~incremental:true src))
+
+(** The Unsat path: seeded mutations must fail identically — same
+    failing clauses in the same order, same surviving solution. *)
+let mutated name ~bug:(from_s, to_s) =
+  let b = Option.get (Workloads.find name) in
+  let src =
+    match Str_replace.first b.Workloads.bm_flux from_s to_s with
+    | Some s -> s
+    | None -> Alcotest.failf "mutation pattern %S not found" from_s
+  in
+  differential (name ^ " (mutated)") src
+
+(** A seeded random Horn corpus: the full-vs-incremental oracle must
+    find no divergence on any of it. *)
+let hgen_corpus () =
+  let root = Rng.make 2026 in
+  for case = 0 to 59 do
+    let { Hgen.kvars; clauses } = Hgen.gen (Rng.split root case) in
+    match
+      Oracle.incremental_mismatch ~incremental:Oracle.default_incremental
+        kvars clauses
+    with
+    | None -> ()
+    | Some d -> Alcotest.failf "case %d: %s" case d
+  done
+
+let tests =
+  ( "incremental",
+    List.map
+      (fun b -> differential b.Workloads.bm_name b.Workloads.bm_flux)
+      Workloads.all
+    @ [
+        differential "rmat" Workloads.rmat_flux;
+        mutated "bsearch" ~bug:("while lo < hi", "while lo <= hi");
+        mutated "dotprod" ~bug:("i < x.len()", "i <= x.len()");
+        Alcotest.test_case "seeded horn corpus: no divergence" `Slow
+          hgen_corpus;
+      ] )

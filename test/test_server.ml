@@ -158,6 +158,81 @@ let json_cases () =
     (rt (Json.to_string (Json.String "a\nb\tc\x01d"))
     = Ok (Json.String "a\nb\tc\x01d"))
 
+(** The non-finite-float satellite fix: [inf]/[-inf]/[nan] must print
+    as [null] (never as bare words no parser accepts), containers
+    holding them must stay parseable, and every {e finite} float —
+    including signed zero, subnormals and extremes — must survive
+    print-then-parse bit-exactly. *)
+let json_nonfinite_floats () =
+  List.iter
+    (fun f ->
+      Alcotest.(check string)
+        (Printf.sprintf "%h prints as null" f)
+        "null"
+        (Json.to_string (Json.Float f));
+      Alcotest.(check string)
+        (Printf.sprintf "%h pretty-prints as null" f)
+        "null"
+        (String.trim (Json.to_string ~pretty:true (Json.Float f))))
+    [ infinity; neg_infinity; nan; -.nan ];
+  Alcotest.(check bool) "document with non-finite floats reparses" true
+    (Json.parse
+       (Json.to_string
+          (Json.Obj
+             [ ("p99_ms", Json.Float nan); ("rate", Json.Float infinity) ]))
+    = Ok (Json.Obj [ ("p99_ms", Json.Null); ("rate", Json.Null) ]))
+
+let json_finite_floats_bitexact () =
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%h round-trips bit-exactly" f)
+            (Int64.bits_of_float f) (Int64.bits_of_float g)
+      | _ -> Alcotest.failf "%h did not re-parse as a float" f)
+    [
+      0.1;
+      -0.0;
+      4.94e-324 (* smallest subnormal *);
+      2.2250738585072014e-308 (* smallest normal *);
+      1.7976931348623157e308 (* largest finite *);
+      3.141592653589793;
+      -1e22;
+      1.0000000000000002 (* 1 + ulp *);
+    ]
+
+(** The surrogate-pair satellite fix: astral-plane [\u] escape pairs
+    decode to 4-byte UTF-8, and lone/mismatched surrogates are parse
+    errors rather than silent garbage. *)
+let json_surrogates () =
+  let rt s = Json.parse s in
+  let grin = "\xf0\x9f\x98\x80" (* U+1F600 *) in
+  Alcotest.(check bool) "\\ud83d\\ude00 decodes to U+1F600" true
+    (rt "\"\\ud83d\\ude00\"" = Ok (Json.String grin));
+  Alcotest.(check bool) "boundary pair \\ud800\\udc00 is U+10000" true
+    (rt "\"\\ud800\\udc00\"" = Ok (Json.String "\xf0\x90\x80\x80"));
+  Alcotest.(check bool) "top pair \\udbff\\udfff is U+10FFFF" true
+    (rt "\"\\udbff\\udfff\"" = Ok (Json.String "\xf4\x8f\xbf\xbf"));
+  Alcotest.(check bool) "raw astral UTF-8 survives print-then-parse" true
+    (rt (Json.to_string (Json.String grin)) = Ok (Json.String grin));
+  Alcotest.(check bool) "mixed text around the pair survives" true
+    (rt "\"a\\ud83d\\ude00z\"" = Ok (Json.String ("a" ^ grin ^ "z")));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rejected" (String.escaped s))
+        true
+        (Result.is_error (rt s)))
+    [
+      "\"\\ud83d\"" (* lone high at end *);
+      "\"\\ud83dXY\"" (* high then plain chars *);
+      "\"\\ud83d\\u0041\"" (* high then non-surrogate escape *);
+      "\"\\ud83d\\ud83d\"" (* high then another high *);
+      "\"\\udc00\"" (* lone low *);
+      "\"x\\ude00y\"" (* lone low mid-string *);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Protocol codecs                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -706,6 +781,12 @@ let tests =
     [
       QCheck_alcotest.to_alcotest json_roundtrip;
       Alcotest.test_case "JSON edge cases" `Quick json_cases;
+      Alcotest.test_case "non-finite floats print as null" `Quick
+        json_nonfinite_floats;
+      Alcotest.test_case "finite floats round-trip bit-exactly" `Quick
+        json_finite_floats_bitexact;
+      Alcotest.test_case "surrogate pairs decode, lone ones rejected" `Quick
+        json_surrogates;
       Alcotest.test_case "protocol requests round-trip" `Quick request_roundtrip;
       Alcotest.test_case "protocol responses round-trip" `Quick response_roundtrip;
       QCheck_alcotest.to_alcotest overlay_roundtrip;
