@@ -17,6 +17,13 @@
     enabled, cold then warm, asserting zero findings, a fully-hit warm
     cache, and zero warm solver queries; writes [BENCH_lint.json].
 
+    [bench/main.exe certify] measures the proof-certificate pipeline:
+    a cold certified run (solve + emit) against a warm run whose every
+    verdict re-validates by replaying its stored certificate, asserting
+    zero replay rejections, zero warm solver queries, and an aggregate
+    replay time within 5% of the solve time; spliced into
+    [BENCH_table1.json] under a ["certify"] key.
+
     [bench/main.exe daemon] measures the [fluxd] daemon: cold CLI
     end-to-end time (process start + parse + verify, fresh cache) vs.
     warm daemon request latency (socket round trip answered from the
@@ -663,6 +670,124 @@ let lint_bench ~jobs () =
   if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Certify: emit certificates on a cold run, replay them on the warm   *)
+(* run, and assert the replay overhead stays within the 5% budget      *)
+(* ------------------------------------------------------------------ *)
+
+module Sjson = Flux_server.Json
+
+let profile_time key =
+  match List.assoc_opt key (Profile.snapshot ()) with
+  | Some (_, t, _) -> t
+  | None -> 0.0
+
+let certify_bench ~jobs () =
+  let dir = ".flux-cache-certbench" in
+  let progs =
+    List.map
+      (fun (b : Workloads.benchmark) ->
+        let p = Flux_syntax.Parser.parse_program b.Workloads.bm_flux in
+        Flux_syntax.Typeck.check_program p;
+        p)
+      Workloads.all
+  in
+  let cfg = { Engine.jobs; cache_dir = Some dir } in
+  let pristine () =
+    fresh_caches ();
+    Flux_smt.Term.reset_intern ();
+    Gc.compact ()
+  in
+  wipe_cache dir;
+  pristine ();
+  (* cold: solve every obligation and emit its certificate *)
+  let t0 = Unix.gettimeofday () in
+  let cold = Engine.check_programs ~certify:true cfg progs in
+  let cold_t = Unix.gettimeofday () -. t0 in
+  let emitted = profile_count "cert.emitted" in
+  let incomplete = profile_count "cert.incomplete" in
+  let emit_s = profile_time "cert.emit_s" in
+  (* the solver work proper: cold wall-clock minus certificate
+     construction (emission is the only certify-specific cold cost) *)
+  let solve_s = cold_t -. emit_s in
+  pristine ();
+  (* warm: every cached verdict must re-validate by replay, with no
+     SMT at all *)
+  let t1 = Unix.gettimeofday () in
+  let warm = Engine.check_programs ~certify:true cfg progs in
+  let warm_t = Unix.gettimeofday () -. t1 in
+  let replayed = profile_count "cert.replayed" in
+  let failed = profile_count "cert.failed" in
+  let replay_s = profile_time "cert.replay_s" in
+  let warm_queries = profile_count "solver.queries" in
+  wipe_cache dir;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let fns =
+    List.fold_left (fun a r -> a + List.length r.Engine.run_fns) 0 warm
+  in
+  let cold_ok = List.for_all Engine.run_ok cold in
+  let warm_ok = List.for_all Engine.run_ok warm in
+  let ratio = replay_s /. Float.max 1e-9 solve_s in
+  Printf.printf
+    "Certify (7 workloads, --jobs %d):\n\
+    \  cold: %.2fs  (%.2fs solving + %.2fs certificate emission; %d \
+     certificate(s), %d function(s) uncertified)\n\
+    \  warm: %.2fs  (%.3fs replaying %d certificate(s), %d rejected, %d \
+     solver queries)\n\
+    \  replay / solve: %.1f%%  (budget 5%%)\n"
+    jobs cold_t solve_s emit_s emitted incomplete warm_t replay_s replayed
+    failed warm_queries (100.0 *. ratio);
+  let pass =
+    cold_ok && warm_ok && emitted > 0 && incomplete = 0 && failed = 0
+    && replayed = emitted && warm_queries = 0
+    && ratio <= 0.05
+  in
+  let certify_json =
+    Sjson.Obj
+      [
+        ("jobs", Sjson.Int jobs);
+        ("functions", Sjson.Int fns);
+        ("cold_time_s", Sjson.Float cold_t);
+        ("solve_s", Sjson.Float solve_s);
+        ("emit_s", Sjson.Float emit_s);
+        ("warm_time_s", Sjson.Float warm_t);
+        ("replay_s", Sjson.Float replay_s);
+        ("emitted", Sjson.Int emitted);
+        ("replayed", Sjson.Int replayed);
+        ("failed", Sjson.Int failed);
+        ("incomplete", Sjson.Int incomplete);
+        ("warm_solver_queries", Sjson.Int warm_queries);
+        ("replay_over_solve", Sjson.Float ratio);
+        ("ok", Sjson.Bool pass);
+      ]
+  in
+  (* splice under "certify" in BENCH_table1.json, preserving whatever
+     the other modes already wrote *)
+  let table_file = "BENCH_table1.json" in
+  let table =
+    if Sys.file_exists table_file then
+      match Sjson.parse (Flux_engine.Diag.read_file table_file) with
+      | Ok (Sjson.Obj kvs) ->
+          Sjson.Obj
+            (List.remove_assoc "certify" kvs @ [ ("certify", certify_json) ])
+      | Ok _ | Error _ ->
+          Printf.printf
+            "  (existing %s is not a JSON object; rewriting with the certify \
+             section only)\n"
+            table_file;
+          Sjson.Obj [ ("certify", certify_json) ]
+    else Sjson.Obj [ ("certify", certify_json) ]
+  in
+  let oc = open_out table_file in
+  output_string oc (Sjson.to_string ~pretty:true table);
+  close_out oc;
+  Printf.printf "Wrote %s (certify section)\n" table_file;
+  Printf.printf
+    "Certify assertions (all certified, warm all-replay, zero warm solver \
+     queries, replay <= 5%% of solve): %s\n"
+    (if pass then "PASS" else "FAIL");
+  if not pass then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -750,7 +875,6 @@ let ablations () =
 (* Daemon latency: cold CLI end-to-end vs. warm daemon requests        *)
 (* ------------------------------------------------------------------ *)
 
-module Sjson = Flux_server.Json
 module Client = Flux_server.Client
 module Daemon = Flux_server.Daemon
 module Sproto = Flux_server.Protocol
@@ -1081,6 +1205,7 @@ let () =
   | "smoke" -> smoke ~jobs ()
   | "fuzz" -> fuzz_smoke ~jobs ()
   | "lint" -> lint_bench ~jobs ()
+  | "certify" -> certify_bench ~jobs ()
   | "daemon" -> daemon_bench ~jobs ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()
@@ -1092,7 +1217,7 @@ let () =
       micro ()
   | m ->
       Printf.eprintf
-        "unknown mode %s (expected table1 | smoke | fuzz | lint | daemon | \
-         ablations | micro | all)\n"
+        "unknown mode %s (expected table1 | smoke | fuzz | lint | certify | \
+         daemon | ablations | micro | all)\n"
         m;
       exit 2

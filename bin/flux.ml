@@ -62,7 +62,7 @@ let run_tool ~daemon ~socket ~deadline (opts : Exec.opts) ~file =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times
-    daemon socket deadline fixpoint =
+    daemon socket deadline fixpoint certify format =
   Flux_fixpoint.Solve.incremental_enabled := fixpoint = `Incremental;
   (* The schedule ref lives in this process; a daemon started earlier
      would not see the flip, so `--fixpoint naive` always runs
@@ -77,9 +77,10 @@ let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times
       jobs;
       cache;
       cache_dir;
+      certify;
       dump_mir;
       dump_solution;
-      format_json = false;
+      format_json = (format = `Json);
       passes = [];
       all_passes = false;
     }
@@ -100,6 +101,7 @@ let lint_cmd_run file format quiet jobs cache cache_dir times pass_sel all
       jobs;
       cache;
       cache_dir;
+      certify = false;
       dump_mir = false;
       dump_solution = false;
       format_json = (format = `Json);
@@ -119,8 +121,8 @@ let fuzz_cmd_run seed budget oracle jobs corpus no_corpus quiet =
     | Some os -> os
     | None ->
         Format.eprintf
-          "flux: unknown oracle `%s` (expected soundness, solver, fixpoint, \
-           incremental or all)@."
+          "flux: unknown oracle `%s` (expected soundness, solver, cert, \
+           fixpoint, incremental or all)@."
           oracle;
         exit Diag.exit_frontend
   in
@@ -295,6 +297,17 @@ let deadline_arg =
           "Abandon the request after $(docv) milliseconds (checked at \
            function boundaries); exit code 3 on expiry")
 
+let certify_flag =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Emit an independently replayable proof certificate for every \
+           verified obligation (stored next to the cache entry; warm runs \
+           re-validate by replay instead of trusting the cache), and attach \
+           a verified falsifying assignment plus an executable \
+           counterexample trace to every failure")
+
 let foreground_flag =
   Arg.(
     value & flag
@@ -307,7 +320,8 @@ let check_cmd =
     Term.(
       const check_cmd_run $ file_arg $ dump_mir_flag $ dump_solution_flag
       $ quiet_flag $ jobs_arg $ cache_flag $ cache_dir_arg $ times_flag
-      $ daemon_flag $ socket_arg $ deadline_arg $ fixpoint_arg)
+      $ daemon_flag $ socket_arg $ deadline_arg $ fixpoint_arg $ certify_flag
+      $ format_arg)
 
 let lint_cmd =
   Cmd.v
@@ -340,9 +354,9 @@ let oracle_arg =
     value & opt string "all"
     & info [ "oracle" ] ~docv:"ORACLE"
         ~doc:
-          "Which oracle to run: $(b,soundness), $(b,solver), $(b,fixpoint), \
-           $(b,incremental) (full-vs-incremental schedule differential) or \
-           $(b,all)")
+          "Which oracle to run: $(b,soundness), $(b,solver), $(b,cert) \
+           (certificate replay), $(b,fixpoint), $(b,incremental) \
+           (full-vs-incremental schedule differential) or $(b,all)")
 
 let corpus_arg =
   Arg.(

@@ -18,7 +18,8 @@ module Diag = Flux_engine.Diag
 module Exec = Flux_server.Exec
 module Client = Flux_server.Client
 
-let check_cmd_run file quiet jobs cache cache_dir times daemon socket deadline =
+let check_cmd_run file quiet jobs cache cache_dir times daemon socket deadline
+    certify =
   let opts =
     {
       Exec.tool = Exec.Prusti_check;
@@ -27,6 +28,7 @@ let check_cmd_run file quiet jobs cache cache_dir times daemon socket deadline =
       jobs;
       cache;
       cache_dir;
+      certify;
       dump_mir = false;
       dump_solution = false;
       format_json = false;
@@ -107,12 +109,24 @@ let deadline_arg =
           "Abandon the request after $(docv) milliseconds (checked at \
            function boundaries); exit code 3 on expiry")
 
+let certify_flag =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Emit an independently replayable proof certificate for every \
+           discharged VC (warm runs re-validate by replay instead of \
+           trusting the cache), and attach a verified falsifying \
+           assignment plus an executable counterexample trace to every \
+           failure")
+
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a program with the program-logic baseline")
     Term.(
       const check_cmd_run $ file_arg $ quiet_flag $ jobs_arg $ cache_flag
-      $ cache_dir_arg $ times_flag $ daemon_flag $ socket_arg $ deadline_arg)
+      $ cache_dir_arg $ times_flag $ daemon_flag $ socket_arg $ deadline_arg
+      $ certify_flag)
 
 let main =
   Cmd.group

@@ -27,10 +27,27 @@ module Ir = Flux_mir.Ir
 module Liveness = Flux_mir.Liveness
 module IMap = Map.Make (Int)
 
-type error = { err_fn : string; err_span : Ast.span; err_msg : string }
+type error = {
+  err_fn : string;
+  err_span : Ast.span;
+  err_msg : string;
+  err_witness : (string * Eval.value) list option;
+      (** a verified falsifying assignment for the failed obligation
+          (constraint-level variables), present under [--certify] *)
+}
+
+let pp_witness fmt = function
+  | Some ((_ :: _) as w) ->
+      Format.fprintf fmt "@.    falsified by %s"
+        (String.concat ", "
+           (List.map
+              (fun (x, v) -> Format.asprintf "%s = %a" x Eval.pp_value v)
+              w))
+  | Some [] | None -> ()
 
 let pp_error fmt e =
-  Format.fprintf fmt "%s:%a: %s" e.err_fn Ast.pp_span e.err_span e.err_msg
+  Format.fprintf fmt "%s:%a: %s%a" e.err_fn Ast.pp_span e.err_span e.err_msg
+    pp_witness e.err_witness
 
 type fn_report = {
   fr_name : string;
@@ -1352,7 +1369,15 @@ let prepare_core ~(lint : bool) (genv : Genv.t) (fd : Ast.fn_def)
   with
   | Check_error (msg, span) ->
       prepared
-        (Some [ { err_fn = fd.Ast.fn_name; err_span = span; err_msg = msg } ])
+        (Some
+           [
+             {
+               err_fn = fd.Ast.fn_name;
+               err_span = span;
+               err_msg = msg;
+               err_witness = None;
+             };
+           ])
   | Rty.Type_error msg | Specconv.Spec_error msg ->
       prepared
         (Some
@@ -1361,6 +1386,7 @@ let prepare_core ~(lint : bool) (genv : Genv.t) (fd : Ast.fn_def)
                err_fn = fd.Ast.fn_name;
                err_span = fd.Ast.fn_span;
                err_msg = msg;
+               err_witness = None;
              };
            ])
 
@@ -1372,8 +1398,8 @@ let prepare ?(lint = false) (genv : Genv.t) (fd : Ast.fn_def) (body : Ir.body)
 (** Turn a prepared function plus its solver verdict into a report:
     map failing tags back to source spans. [solve_s] is the wall-clock
     the solve took (added to the generation time for [fr_time]). *)
-let finish ?(solve_s = 0.) (pr : prepared) (result : Solve.result option) :
-    fn_report =
+let finish ?(solve_s = 0.) ?(certify = false) (pr : prepared)
+    (result : Solve.result option) : fn_report =
   let mk errors solution =
     {
       fr_name = pr.pr_name;
@@ -1399,7 +1425,23 @@ let finish ?(solve_s = 0.) (pr : prepared) (result : Solve.result option) :
                   | Some x -> x
                   | None -> (pr.pr_span, "unknown obligation")
                 in
-                { err_fn = pr.pr_name; err_span = span; err_msg = msg })
+                let witness =
+                  if certify then begin
+                    let w =
+                      Solver.counterexample
+                        (Term.mk_imp f.Solve.f_lhs f.Solve.f_rhs)
+                    in
+                    if w <> None then Profile.incr "cert.cex";
+                    w
+                  end
+                  else None
+                in
+                {
+                  err_fn = pr.pr_name;
+                  err_span = span;
+                  err_msg = msg;
+                  err_witness = witness;
+                })
               fails
           in
           mk errors (Some sol))

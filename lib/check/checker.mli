@@ -13,8 +13,16 @@
 
 module Ast = Flux_syntax.Ast
 
-(** A verification error, mapped back to a source span. *)
-type error = { err_fn : string; err_span : Ast.span; err_msg : string }
+(** A verification error, mapped back to a source span. [err_witness]
+    (present under [--certify]) is a falsifying assignment for the
+    failed obligation's constraint variables, verified by ground
+    evaluation before being attached. *)
+type error = {
+  err_fn : string;
+  err_span : Ast.span;
+  err_msg : string;
+  err_witness : (string * Flux_smt.Eval.value) list option;
+}
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -105,12 +113,15 @@ val prepared_lint : prepared -> lint_info option
 
 val finish :
   ?solve_s:float ->
+  ?certify:bool ->
   prepared ->
   Flux_fixpoint.Solve.result option ->
   fn_report
 (** Map the solver verdict back to source spans ([None] only for early
-    failures). [solve_s] is added to the generation time in
-    [fr_time]. *)
+    failures). [solve_s] is added to the generation time in [fr_time].
+    With [~certify:true], each failure additionally gets a verified
+    counterexample assignment in [err_witness] (when the solver can
+    produce one). *)
 
 val check_program_ast : Ast.program -> report
 (** Check every non-trusted function of a parsed, typechecked program. *)

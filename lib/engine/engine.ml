@@ -40,6 +40,8 @@ module Ir = Flux_mir.Ir
 module Checker = Flux_check.Checker
 module Genv = Flux_check.Genv
 module Wp = Flux_wp.Wp
+module Replay = Flux_cert.Replay
+module Cert_store = Flux_cert.Store
 open Flux_smt
 open Flux_fixpoint
 
@@ -154,6 +156,70 @@ let run_ok (r : run) = List.for_all (fun o -> Checker.fn_ok o.fo_report) r.run_f
 type 'r slot = Hit of 'r | Todo of int * string option
 
 (* ------------------------------------------------------------------ *)
+(* Certificates (--certify)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Warm-path revalidation: under [--certify] a cache hit only stands if
+   the certificate stored next to the verdict replays in full through
+   the independent checker — no SMT queries. A missing certificate
+   (e.g. the entry predates --certify) demotes the hit to a plain miss
+   so the re-check can emit one; a corrupt or non-replaying certificate
+   additionally counts as [cert.failed]. *)
+let cert_replay_ok ~dir key : bool =
+  match Cert_store.load dir key with
+  | Cert_store.Missing -> false
+  | Cert_store.Corrupt ->
+      Profile.incr "cert.failed";
+      false
+  | Cert_store.Loaded entries ->
+      Profile.time "cert.replay_s" @@ fun () ->
+      List.for_all
+        (fun (_, p) ->
+          match Replay.check p with
+          | Ok () ->
+              Profile.incr "cert.replayed";
+              true
+          | Error _ ->
+              Profile.incr "cert.failed";
+              false)
+        entries
+
+(* Cold-path emission is all-or-nothing per function: if any clause
+   resists certification (the certifying search is deliberately
+   simpler than the solver and may give up), no file is written — a
+   partial certificate would let a warm replay claim full coverage. *)
+let save_cert_entries ~dir key (entries : (int * Proof.t) list option) : unit
+    =
+  match entries with
+  | Some entries ->
+      Cert_store.save dir key entries;
+      Profile.add "cert.emitted" (List.length entries)
+  | None -> Profile.incr "cert.incomplete"
+
+let emit_flux_cert ~dir key ~(kvars : Horn.kvar list)
+    (sol : Solve.solution) (clauses : Horn.clause list) : unit =
+  Profile.time "cert.emit_s" @@ fun () ->
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | cl :: rest -> (
+        match Solver.certify (Solve.clause_query ~kvars sol cl) with
+        | Some p -> go ((cl.Horn.tag, p) :: acc) rest
+        | None -> None)
+  in
+  save_cert_entries ~dir key (go [] clauses)
+
+let emit_wp_cert ~dir key (goals : (int * Term.t) list) : unit =
+  Profile.time "cert.emit_s" @@ fun () ->
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | (tag, g) :: rest -> (
+        match Solver.certify g with
+        | Some p -> go ((tag, p) :: acc) rest
+        | None -> None)
+  in
+  save_cert_entries ~dir key (go [] goals)
+
+(* ------------------------------------------------------------------ *)
 (* Split-phase Flux checking: slice-level pooling + per-slice cache    *)
 (* ------------------------------------------------------------------ *)
 
@@ -171,10 +237,10 @@ type 'r slot = Hit of 'r | Todo of int * string option
     the slice schedule converges to the same strongest fixpoint, and
     {!Flux_fixpoint.Solve.finish} restores input-clause failure
     order. *)
-let check_split ?cancel (cfg : config) ~(config : string)
+let check_split ?cancel ~(certify : bool) (cfg : config) ~(config : string)
     ~(quals_fp : string) ~(sizes : int array)
     (task_arr : (Genv.t * Ast.fn_def * Ir.body * string option) array) :
-    Checker.fn_report array =
+    (Checker.fn_report * (Horn.kvar list * Horn.clause list) option) array =
   let n = Array.length task_arr in
   (* Phase A: pooled constraint generation, plus solver prep (initial κ
      instantiation + dependency graph). The prep is built on whichever
@@ -296,19 +362,22 @@ let check_split ?cancel (cfg : config) ~(config : string)
             | _ -> ()))
       items
   done;
-  (* Phase C: verdicts back to source spans. *)
+  (* Phase C: verdicts back to source spans (plus, under --certify, the
+     constraint payload cert emission re-derives clause queries from). *)
   Array.init n (fun i ->
       let p, sp, _ = preps.(i) in
       match sp with
-      | None -> Checker.finish p None
+      | None -> (Checker.finish ~certify p None, None)
       | Some sprep ->
-          Checker.finish ~solve_s:solve_s.(i) p (Some (Solve.finish sprep)))
+          ( Checker.finish ~solve_s:solve_s.(i) ~certify p
+              (Some (Solve.finish sprep)),
+            Some (Checker.prepared_kvars p, Checker.prepared_clauses p) ))
 
 (** Check several programs through one shared schedule. Genvs are built
     sequentially on the calling domain and are read-only afterwards, so
     worker domains may read them concurrently. *)
-let check_programs ?cancel (cfg : config) (progs : Ast.program list) :
-    run list =
+let check_programs ?cancel ?(certify = false) (cfg : config)
+    (progs : Ast.program list) : run list =
   let t0 = Unix.gettimeofday () in
   let config = flux_config_string () in
   let quals_fp = Cache.qualifiers_fingerprint Qualifier.default in
@@ -338,18 +407,25 @@ let check_programs ?cancel (cfg : config) (progs : Ast.program list) :
                   in
                   let hit =
                     match (key, cfg.cache_dir) with
-                    | Some k, Some dir ->
-                        Option.map
-                          (fun (e : Cache.entry) ->
-                            {
-                              Checker.fr_name = fd.Ast.fn_name;
-                              fr_errors = [];
-                              fr_solution = None;
-                              fr_kvars = e.Cache.e_kvars;
-                              fr_clauses = e.Cache.e_clauses;
-                              fr_time = 0.0;
-                            })
-                          (Cache.load ~dir k)
+                    | Some k, Some dir -> (
+                        match Cache.load ~dir k with
+                        | Some _ when certify && not (cert_replay_ok ~dir k)
+                          ->
+                            (* verdict present but certificate missing
+                               or not replaying: demote to a miss so the
+                               re-check re-emits it *)
+                            None
+                        | Some (e : Cache.entry) ->
+                            Some
+                              {
+                                Checker.fr_name = fd.Ast.fn_name;
+                                fr_errors = [];
+                                fr_solution = None;
+                                fr_kvars = e.Cache.e_kvars;
+                                fr_clauses = e.Cache.e_clauses;
+                                fr_time = 0.0;
+                              }
+                        | None -> None)
                     | _ -> None
                   in
                   (match hit with
@@ -369,13 +445,32 @@ let check_programs ?cancel (cfg : config) (progs : Ast.program list) :
   let sizes = Array.map (fun (_, _, body, _) -> body_size body) task_arr in
   let results =
     if !Solve.incremental_enabled then
-      check_split ?cancel cfg ~config ~quals_fp ~sizes task_arr
+      check_split ?cancel ~certify cfg ~config ~quals_fp ~sizes task_arr
     else
       (* Naive schedule (--fixpoint naive): monolithic per-function
-         checks, the pre-slicing engine path. *)
+         checks, the pre-slicing engine path — unrolled from
+         [Checker.check_body] so the constraint payload stays available
+         for certificate emission. *)
       run_pool ?cancel ~jobs:cfg.jobs ~sizes
         (Array.map
-           (fun (genv, fd, body, _) () -> Checker.check_body genv fd body)
+           (fun (genv, fd, body, _) () ->
+             let pr = Checker.prepare genv fd body in
+             if Checker.prepared_early pr then
+               (Checker.finish ~certify pr None, None)
+             else begin
+               let t0 = Unix.gettimeofday () in
+               let result =
+                 Profile.with_fn fd.Ast.fn_name @@ fun () ->
+                 Solve.solve_clauses
+                   ~kvars:(Checker.prepared_kvars pr)
+                   (Checker.prepared_clauses pr)
+               in
+               let solve_s = Unix.gettimeofday () -. t0 in
+               ( Checker.finish ~solve_s ~certify pr (Some result),
+                 Some
+                   (Checker.prepared_kvars pr, Checker.prepared_clauses pr)
+               )
+             end)
            task_arr)
   in
   (match cfg.cache_dir with
@@ -383,14 +478,20 @@ let check_programs ?cancel (cfg : config) (progs : Ast.program list) :
       Array.iteri
         (fun i (_, _, _, key) ->
           match key with
-          | Some k when Checker.fn_ok results.(i) ->
-              let r = results.(i) in
+          | Some k when Checker.fn_ok (fst results.(i)) ->
+              let r, payload = results.(i) in
               Cache.store ~dir k
                 {
                   Cache.e_kvars = r.Checker.fr_kvars;
                   e_clauses = r.Checker.fr_clauses;
                   e_time = r.Checker.fr_time;
-                }
+                };
+              if certify then begin
+                match (payload, r.Checker.fr_solution) with
+                | Some (kvars, clauses), Some sol ->
+                    emit_flux_cert ~dir k ~kvars sol clauses
+                | _ -> ()
+              end
           | _ -> ())
         task_arr
   | None -> ());
@@ -401,7 +502,8 @@ let check_programs ?cancel (cfg : config) (progs : Ast.program list) :
         List.map
           (function
             | Hit r -> { fo_report = r; fo_cached = true }
-            | Todo (i, _) -> { fo_report = results.(i); fo_cached = false })
+            | Todo (i, _) ->
+                { fo_report = fst results.(i); fo_cached = false })
           prog_slots
       in
       let hits =
@@ -415,15 +517,16 @@ let check_programs ?cancel (cfg : config) (progs : Ast.program list) :
       })
     slots
 
-let check_program_ast ?cancel (cfg : config) (prog : Ast.program) : run =
-  match check_programs ?cancel cfg [ prog ] with
+let check_program_ast ?cancel ?certify (cfg : config) (prog : Ast.program) :
+    run =
+  match check_programs ?cancel ?certify cfg [ prog ] with
   | [ r ] -> r
   | _ -> assert false
 
-let check_source ?cancel (cfg : config) (src : string) : run =
+let check_source ?cancel ?certify (cfg : config) (src : string) : run =
   let prog = Flux_syntax.Parser.parse_program src in
   Flux_syntax.Typeck.check_program prog;
-  check_program_ast ?cancel cfg prog
+  check_program_ast ?cancel ?certify cfg prog
 
 (* ------------------------------------------------------------------ *)
 (* WP (Prusti baseline)                                                *)
@@ -446,8 +549,8 @@ let wp_report_of_run (r : wp_run) : Wp.report =
 
 let wp_run_ok (r : wp_run) = List.for_all (fun o -> Wp.fn_ok o.wo_report) r.wr_fns
 
-let verify_programs ?cancel (cfg : config) (progs : Ast.program list) :
-    wp_run list =
+let verify_programs ?cancel ?(certify = false) (cfg : config)
+    (progs : Ast.program list) : wp_run list =
   let t0 = Unix.gettimeofday () in
   let config = wp_config_string () in
   let tasks = ref [] in
@@ -471,16 +574,21 @@ let verify_programs ?cancel (cfg : config) (progs : Ast.program list) :
                   in
                   let hit =
                     match (key, cfg.cache_dir) with
-                    | Some k, Some dir ->
-                        Option.map
-                          (fun (e : Cache.entry) ->
-                            {
-                              Wp.fr_name = fd.Ast.fn_name;
-                              fr_errors = [];
-                              fr_vcs = e.Cache.e_clauses;
-                              fr_time = 0.0;
-                            })
-                          (Cache.load ~dir k)
+                    | Some k, Some dir -> (
+                        match Cache.load ~dir k with
+                        | Some _ when certify && not (cert_replay_ok ~dir k)
+                          ->
+                            None
+                        | Some (e : Cache.entry) ->
+                            Some
+                              {
+                                Wp.fr_name = fd.Ast.fn_name;
+                                fr_errors = [];
+                                fr_vcs = e.Cache.e_clauses;
+                                fr_time = 0.0;
+                                fr_goals = [];
+                              }
+                        | None -> None)
                     | _ -> None
                   in
                   (match hit with
@@ -500,7 +608,7 @@ let verify_programs ?cancel (cfg : config) (progs : Ast.program list) :
   let sizes = Array.map (fun (_, _, body, _) -> body_size body) task_arr in
   let fns =
     Array.map
-      (fun (prog, fd, body, _) () -> Wp.verify_body prog fd body)
+      (fun (prog, fd, body, _) () -> Wp.verify_body ~certify prog fd body)
       task_arr
   in
   let results = run_pool ?cancel ~jobs:cfg.jobs ~sizes fns in
@@ -516,7 +624,8 @@ let verify_programs ?cancel (cfg : config) (progs : Ast.program list) :
                   Cache.e_kvars = 0;
                   e_clauses = r.Wp.fr_vcs;
                   e_time = r.Wp.fr_time;
-                }
+                };
+              if certify then emit_wp_cert ~dir k r.Wp.fr_goals
           | _ -> ())
         task_arr
   | None -> ());
@@ -539,12 +648,13 @@ let verify_programs ?cancel (cfg : config) (progs : Ast.program list) :
       })
     slots
 
-let verify_program_ast ?cancel (cfg : config) (prog : Ast.program) : wp_run =
-  match verify_programs ?cancel cfg [ prog ] with
+let verify_program_ast ?cancel ?certify (cfg : config) (prog : Ast.program) :
+    wp_run =
+  match verify_programs ?cancel ?certify cfg [ prog ] with
   | [ r ] -> r
   | _ -> assert false
 
-let verify_source ?cancel (cfg : config) (src : string) : wp_run =
+let verify_source ?cancel ?certify (cfg : config) (src : string) : wp_run =
   let prog = Flux_syntax.Parser.parse_program src in
   Flux_syntax.Typeck.check_program prog;
-  verify_program_ast ?cancel cfg prog
+  verify_program_ast ?cancel ?certify cfg prog

@@ -623,13 +623,17 @@ let solve ?(qualifiers = Qualifier.default) ~(kvars : Horn.kvar list)
     test side conditions (e.g. overflow bounds) against the fixpoint
     solution the checker already computed. Raises {!Unbound_kvar} if the
     head applies a κ missing from the declarations or solution. *)
-let check_clause ~(kvars : Horn.kvar list) (sol : solution)
-    (cl : Horn.clause) : bool =
+let clause_query ~(kvars : Horn.kvar list) (sol : solution)
+    (cl : Horn.clause) : Term.t =
   let kenv = Hashtbl.create 16 in
   List.iter (fun kv -> Hashtbl.replace kenv kv.Horn.kname kv) kvars;
   let rhs = apply_head kenv sol cl.Horn.head in
   let lhs = sliced_lhs kenv sol cl rhs in
-  Solver.valid (Term.mk_imp lhs rhs)
+  Term.mk_imp lhs rhs
+
+let check_clause ~(kvars : Horn.kvar list) (sol : solution)
+    (cl : Horn.clause) : bool =
+  Solver.valid (clause_query ~kvars sol cl)
 
 (** Re-check every clause of a system under a claimed solution,
     returning the ones that fail. This is the fixpoint self-check the

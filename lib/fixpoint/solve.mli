@@ -144,6 +144,14 @@ val finish : prep -> result
 (** Assemble the verdict; failures are sorted back into input-clause
     order, matching the reference schedule exactly. *)
 
+val clause_query : kvars:Horn.kvar list -> solution -> Horn.clause -> Term.t
+(** The exact implication {!check_clause} decides for this clause under
+    this solution — hypotheses with the solution substituted in, sliced
+    to the head's cone of influence. Exposed so certifying callers
+    ([--certify]) can hand the very same term to [Solver.certify] and
+    later replay the stored proof against it. Raises {!Unbound_kvar} on
+    an undeclared head κ. *)
+
 val check_clause : kvars:Horn.kvar list -> solution -> Horn.clause -> bool
 (** Evaluate one clause under a (final) solution without altering it:
     substitute the solution into hypotheses and head, slice, and report

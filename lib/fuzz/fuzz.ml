@@ -22,19 +22,21 @@ module Ast = Flux_syntax.Ast
 open Flux_smt
 open Flux_fixpoint
 
-type oracle_kind = Soundness | Solver | Fixpoint | Incremental
+type oracle_kind = Soundness | Solver | Cert | Fixpoint | Incremental
 
-let all_oracles = [ Soundness; Solver; Fixpoint; Incremental ]
+let all_oracles = [ Soundness; Solver; Cert; Fixpoint; Incremental ]
 
 let oracle_name = function
   | Soundness -> "soundness"
   | Solver -> "solver"
+  | Cert -> "cert"
   | Fixpoint -> "fixpoint"
   | Incremental -> "incremental"
 
 let oracle_of_string = function
   | "soundness" -> Some [ Soundness ]
   | "solver" -> Some [ Solver ]
+  | "cert" -> Some [ Cert ]
   | "fixpoint" -> Some [ Fixpoint ]
   | "incremental" -> Some [ Incremental ]
   | "all" -> Some all_oracles
@@ -47,6 +49,7 @@ let oracle_of_string = function
 let rate = function
   | Soundness -> 3.0
   | Solver -> 2000.0
+  | Cert -> 500.0
   | Fixpoint -> 300.0
   | Incremental -> 150.0
 
@@ -123,6 +126,9 @@ let fingerprint (s : summary) : string =
     worker domains. *)
 let run ?(check : (Ast.program -> bool) option)
     ?(valid : (Term.t -> bool) option) ?(sat : (Term.t -> bool) option)
+    ?(counterexample :
+        (Term.t -> (string * Eval.value) list option) option)
+    ?(certify : (Term.t -> Proof.t option) option)
     ?(solve : (kvars:Horn.kvar list -> Horn.clause list -> Solve.result) option)
     ?(incremental :
         (kvars:Horn.kvar list -> Horn.clause list -> Solve.result) option)
@@ -146,7 +152,10 @@ let run ?(check : (Ast.program -> bool) option)
         let rng = Rng.split root case in
         match kind with
         | Soundness -> Oracle.soundness_case ?check ~seed:cfg.seed ~case rng
-        | Solver -> Oracle.solver_case ?valid ?sat ~seed:cfg.seed ~case rng
+        | Solver ->
+            Oracle.solver_case ?valid ?sat ?counterexample ~seed:cfg.seed
+              ~case rng
+        | Cert -> Oracle.cert_case ?valid ?certify ~seed:cfg.seed ~case rng
         | Fixpoint -> Oracle.fixpoint_case ?solve ~seed:cfg.seed ~case rng
         | Incremental ->
             Oracle.incremental_case ?incremental ~seed:cfg.seed ~case rng

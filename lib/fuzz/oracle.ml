@@ -1,4 +1,4 @@
-(** The four differential oracles.
+(** The differential oracles.
 
     Each oracle examines one randomly generated case and returns a
     {!verdict} — with any bug already shrunk to a minimal reproducer.
@@ -22,6 +22,11 @@
       claims the κ assignment satisfies every Horn clause; substitute
       it back and re-verify each clause independently of the weakening
       loop's worklist bookkeeping.
+    - {b certificate replay} — a [valid] verdict that produces a proof
+      certificate must be accepted by the independent replay checker
+      ({!Flux_cert.Replay}), which shares no solver code; rejection of
+      a fresh (or round-tripped) certificate is always a bug in either
+      the certifying solver or the checker.
     - {b full-vs-incremental differential} — the SCC-sliced schedule
       ({!Flux_fixpoint.Solve.solve_clauses_incremental}) promises
       verdicts, failure order and rendered solutions {e byte-identical}
@@ -46,12 +51,13 @@ open Flux_fixpoint
 
 type bug = {
   b_oracle : string;
-      (** "soundness" | "solver" | "fixpoint" | "incremental" *)
+      (** "soundness" | "solver" | "cert" | "fixpoint" | "incremental" *)
   b_seed : int;  (** campaign seed (reprinted in every report) *)
   b_case : int;  (** global case index within the campaign *)
   b_descr : string;  (** one-line description of the violation *)
   b_repro : string;  (** shrunk reproducer file contents *)
-  b_ext : string;  (** corpus file extension: "rs" / "term" / "horn" *)
+  b_ext : string;
+      (** corpus file extension: "rs" / "term" / "cterm" / "horn" *)
 }
 
 (** Per-case outcome. [Skip] means the case tested nothing (checker
@@ -216,10 +222,12 @@ let soundness_case ?(check = default_check) ~(seed : int) ~(case : int)
 (* ------------------------------------------------------------------ *)
 
 (** A definite-polarity mismatch for [t], if any: a falsifying
-    assignment refuting [valid t = true], or a satisfying assignment
-    refuting [sat t = false]. *)
+    assignment refuting [valid t = true], a satisfying assignment
+    refuting [sat t = false], or a claimed counterexample model that
+    ground evaluation does not confirm (every [invalid] claim must come
+    with an [Eval]-confirmed falsifying model). *)
 let solver_mismatch ~(valid : Term.t -> bool) ~(sat : Term.t -> bool)
-    (t : Term.t) : string option =
+    ?(counterexample = Solver.counterexample) (t : Term.t) : string option =
   try
     let vars = Term.free_vars_sorted t in
     let render env =
@@ -245,29 +253,61 @@ let solver_mismatch ~(valid : Term.t -> bool) ~(sat : Term.t -> bool)
     in
     match refuted_valid with
     | Some _ -> refuted_valid
-    | None ->
-        if sat t then None
-        else (
-          match search true with
-          | Some a -> Some ("claimed unsat, satisfied by " ^ a)
-          | None -> None)
+    | None -> (
+        let refuted_sat =
+          if sat t then None
+          else
+            match search true with
+            | Some a -> Some ("claimed unsat, satisfied by " ^ a)
+            | None -> None
+        in
+        match refuted_sat with
+        | Some _ -> refuted_sat
+        | None -> (
+            (* counterexample cross-check: a model claiming to falsify
+               [t] must be confirmed by ground evaluation *)
+            match counterexample t with
+            | None -> None
+            | Some model -> (
+                let env x =
+                  match List.assoc_opt x model with
+                  | Some v -> v
+                  | None -> (
+                      match List.assoc_opt x vars with
+                      | Some Sort.Bool -> Eval.VBool false
+                      | _ -> Eval.VInt 0)
+                in
+                let rendered =
+                  String.concat ", "
+                    (List.map
+                       (fun (x, v) ->
+                         Format.asprintf "%s = %a" x Eval.pp_value v)
+                       model)
+                in
+                match Eval.eval_bool env t with
+                | false -> None
+                | true ->
+                    Some
+                      ("claimed counterexample does not falsify: " ^ rendered)
+                | exception Division_by_zero -> None)))
   with Eval.Unsupported _ -> None
 
-let solver_case ?(valid = Solver.valid) ?(sat = Solver.sat) ~(seed : int)
-    ~(case : int) (rng : Rng.t) : verdict =
+let solver_case ?(valid = Solver.valid) ?(sat = Solver.sat)
+    ?(counterexample = Solver.counterexample) ~(seed : int) ~(case : int)
+    (rng : Rng.t) : verdict =
   let t = Tgen.gen rng in
-  match solver_mismatch ~valid ~sat t with
+  match solver_mismatch ~valid ~sat ~counterexample t with
   | None -> Ok
   | Some _ ->
       let fails t' =
-        match solver_mismatch ~valid ~sat t' with
+        match solver_mismatch ~valid ~sat ~counterexample t' with
         | Some _ -> true
         | None -> false
         | exception _ -> false
       in
       let t' = Shrink.minimize_term ~budget:shrink_budget fails t in
       let descr =
-        match solver_mismatch ~valid ~sat t' with
+        match solver_mismatch ~valid ~sat ~counterexample t' with
         | Some d -> Format.asprintf "%a — %s" Term.pp t' d
         | None | (exception _) -> Format.asprintf "%a" Term.pp t'
       in
@@ -279,6 +319,70 @@ let solver_case ?(valid = Solver.valid) ?(sat = Solver.sat) ~(seed : int)
           b_descr = descr;
           b_repro = Repro.term_to_string t';
           b_ext = "term";
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Certificate replay                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Replay = Flux_cert.Replay
+
+(** A certificate-pipeline violation for [t], if any. The polarity is
+    definite on the certified side: [certify] returning [None] is
+    solver incompleteness (not a bug), but a produced certificate must
+    (a) name exactly the goal it was asked about, (b) be accepted by
+    the independent replay checker, and (c) still be accepted after a
+    print/parse round-trip — replay shares no code with the solver, so
+    acceptance is independent evidence for the [valid] verdict. *)
+let cert_violation ~(valid : Term.t -> bool)
+    ~(certify : Term.t -> Proof.t option) (t : Term.t) : string option =
+  if not (try valid t with _ -> false) then None
+  else
+    match (try certify t with _ -> None) with
+    | None -> None
+    | Some p ->
+        if not (Term.equal p.Proof.goal t) then
+          Some "certificate names a different goal than the query"
+        else (
+          match Replay.check ~goal:t p with
+          | Error e ->
+              Some
+                ("replay rejected a fresh certificate: "
+                ^ Replay.error_to_string e)
+          | Ok () -> (
+              match Replay.check_string ~goal:t (Proof.to_string p) with
+              | Error e ->
+                  Some
+                    ("replay rejected the round-tripped certificate: "
+                    ^ Replay.error_to_string e)
+              | Ok () -> None))
+
+let cert_case ?(valid = Solver.valid) ?(certify = Solver.certify)
+    ~(seed : int) ~(case : int) (rng : Rng.t) : verdict =
+  let t = Tgen.gen rng in
+  match cert_violation ~valid ~certify t with
+  | None -> Ok
+  | Some _ ->
+      let fails t' =
+        match cert_violation ~valid ~certify t' with
+        | Some _ -> true
+        | None -> false
+        | exception _ -> false
+      in
+      let t' = Shrink.minimize_term ~budget:shrink_budget fails t in
+      let descr =
+        match cert_violation ~valid ~certify t' with
+        | Some d -> Format.asprintf "%a — %s" Term.pp t' d
+        | None | (exception _) -> Format.asprintf "%a" Term.pp t'
+      in
+      Bug
+        {
+          b_oracle = "cert";
+          b_seed = seed;
+          b_case = case;
+          b_descr = descr;
+          b_repro = Repro.term_to_string t';
+          b_ext = "cterm";
         }
 
 (* ------------------------------------------------------------------ *)

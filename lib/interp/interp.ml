@@ -105,6 +105,9 @@ type machine = {
   bodies : (string * Ir.body) list;
   builtins : (string, value list -> value) Hashtbl.t;
   mutable fuel : int;
+  tracef : (string -> unit) option;
+      (** called with one rendered line per function/method call —
+          the step-by-step counterexample traces of [--certify] *)
 }
 
 let default_builtins () =
@@ -117,12 +120,13 @@ let default_builtins () =
   Hashtbl.replace tbl "flt2" to_float;
   tbl
 
-let make ?(fuel = 10_000_000) (prog : Ast.program) : machine =
+let make ?(fuel = 10_000_000) ?trace (prog : Ast.program) : machine =
   {
     prog;
     bodies = Flux_mir.Lower.lower_program prog;
     builtins = default_builtins ();
     fuel;
+    tracef = trace;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -222,6 +226,13 @@ let eval_binop (op : Ast.binop) (a : value) (b : value) : value =
 (** Call a function by name. *)
 let rec call (m : machine) (fname : string) (args : value list) : value =
   burn m;
+  (match m.tracef with
+  | Some f ->
+      f
+        (Format.asprintf "%s(%s)" fname
+           (String.concat ", "
+              (List.map (Format.asprintf "%a" pp_value) args)))
+  | None -> ());
   if String.length fname > 6 && String.sub fname 0 6 = "RVec::" then
     vec_call (String.sub fname 6 (String.length fname - 6)) args
   else if String.equal fname "RVec::new" then VVec (vec_make ())
@@ -318,9 +329,9 @@ and exec_body (m : machine) (body : Ir.body) (args : value list) : value =
   run 0
 
 (** Run a named function of a parsed program. *)
-let run_fn ?(fuel = 10_000_000) (prog : Ast.program) (fname : string)
+let run_fn ?(fuel = 10_000_000) ?trace (prog : Ast.program) (fname : string)
     (args : value list) : value =
-  let m = make ~fuel prog in
+  let m = make ~fuel ?trace prog in
   call m fname args
 
 (** Parse, typecheck and run. *)
@@ -349,9 +360,9 @@ let pp_outcome fmt = function
   | OFault f -> pp_fault fmt f
   | ODiverged -> Format.pp_print_string fmt "diverged (fuel exhausted)"
 
-let run ?fuel (prog : Ast.program) (fname : string) (args : value list) :
-    outcome =
-  match run_fn ?fuel prog fname args with
+let run ?fuel ?trace (prog : Ast.program) (fname : string) (args : value list)
+    : outcome =
+  match run_fn ?fuel ?trace prog fname args with
   | v -> OValue v
   | exception Panic msg -> OFault (FPanic msg)
   | exception Stuck msg -> OFault (FStuck msg)

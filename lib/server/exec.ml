@@ -16,8 +16,11 @@
     deadline passed (a single long function still runs to completion —
     cancellation is task-granular). *)
 
+module Ast = Flux_syntax.Ast
 module Parser = Flux_syntax.Parser
 module Typeck = Flux_syntax.Typeck
+module Profile = Flux_smt.Profile
+module Eval = Flux_smt.Eval
 module Checker = Flux_check.Checker
 module Wp = Flux_wp.Wp
 module Engine = Flux_engine.Engine
@@ -40,9 +43,12 @@ type opts = {
   jobs : int;
   cache : bool;
   cache_dir : string;
+  certify : bool;
+      (** [--certify]: emit/replay proof certificates and attach
+          executable counterexample witnesses to failures *)
   dump_mir : bool;  (** [flux check] only *)
   dump_solution : bool;  (** [flux check] only *)
-  format_json : bool;  (** [flux lint] only *)
+  format_json : bool;  (** [flux check] and [flux lint] *)
   passes : string list;  (** [flux lint] only: [--pass] selections *)
   all_passes : bool;  (** [flux lint] only *)
 }
@@ -55,6 +61,7 @@ let default_opts tool =
     jobs = 0;
     cache = true;
     cache_dir = Engine.default_cache_dir;
+    certify = false;
     dump_mir = false;
     dump_solution = false;
     format_json = false;
@@ -68,6 +75,28 @@ type outcome = { out : string; err : string; code : int }
 exception Disconnected
 (** The run was cancelled because [check_alive] reported the client
     gone; there is nobody to render a reply for. *)
+
+(* Per-request certificate counter deltas: the profile is domain-local
+   and the daemon accumulates across requests, so summarize against a
+   snapshot taken before the engine ran. *)
+let cert_counts (before : (string * (int * float * bool)) list) :
+    int * int * int =
+  let get key snap =
+    match List.assoc_opt key snap with Some (n, _, _) -> n | None -> 0
+  in
+  let after = Profile.snapshot () in
+  let d key = get key after - get key before in
+  (d "cert.emitted", d "cert.replayed", d "cert.failed")
+
+let json_of_witness (w : (string * Eval.value) list) : Json.t =
+  Json.Obj
+    (List.map
+       (fun (x, v) ->
+         ( x,
+           match v with
+           | Eval.VInt n -> Json.Int n
+           | Eval.VBool b -> Json.Bool b ))
+       w)
 
 let run ?deadline_ms ?(check_alive = fun () -> true) (o : opts)
     ~(file : string) ~(read : unit -> string) : outcome =
@@ -129,32 +158,125 @@ let run ?deadline_ms ?(check_alive = fun () -> true) (o : opts)
             cache_dir = cache_dir_if (o.cache && not o.dump_solution);
           }
         in
-        let run = Engine.check_program_ast ~cancel cfg prog in
-        List.iter
-          (fun (fo : Engine.fn_outcome) ->
+        let before = Profile.snapshot () in
+        let run =
+          Engine.check_program_ast ~cancel ~certify:o.certify cfg prog
+        in
+        (* executable counterexample replay for failures that carry a
+           verified model ([--certify] only) *)
+        let demo (e : Checker.error) : Witness.run option =
+          match e.Checker.err_witness with
+          | Some w when o.certify -> (
+              match Ast.find_fn prog e.Checker.err_fn with
+              | Some fd -> Some (Witness.demonstrate prog fd w)
+              | None -> None)
+          | _ -> None
+        in
+        if o.format_json then begin
+          let err_json (e : Checker.error) =
+            Json.Obj
+              ([
+                 ("fn", Json.String e.Checker.err_fn);
+                 ( "span",
+                   Json.String
+                     (Format.asprintf "%a" Ast.pp_span e.Checker.err_span) );
+                 ("msg", Json.String e.Checker.err_msg);
+               ]
+              @ (match e.Checker.err_witness with
+                | Some w -> [ ("witness", json_of_witness w) ]
+                | None -> [])
+              @
+              match demo e with
+              | Some r -> [ ("counterexample", Witness.to_json r) ]
+              | None -> [])
+          in
+          let fn_json (fo : Engine.fn_outcome) =
             let fr = fo.Engine.fo_report in
-            Diag.print_row out ~quiet:o.quiet ~times:o.times ~name:fr.fr_name
-              ~ok:(Checker.fn_ok fr)
-              ~stats:
-                (Printf.sprintf "%d κ, %d clauses" fr.fr_kvars fr.fr_clauses)
-              ~time:fr.fr_time ~cached:fo.Engine.fo_cached;
-            Diag.print_errors out Checker.pp_error fr.fr_errors;
-            if o.dump_solution then
-              match fr.fr_solution with
-              | Some sol ->
-                  Format.fprintf out "  inferred solution:@.%a"
-                    Flux_fixpoint.Solve.pp_solution sol
-              | None -> ())
-          run.Engine.run_fns;
-        finish
-          (Diag.print_footer out ~quiet:o.quiet ~times:o.times ~tool:"flux"
-             ~ok:(Engine.run_ok run)
-             ~fns:(List.length run.Engine.run_fns)
-             ~hits:run.Engine.run_hits ~time:run.Engine.run_time)
+            Json.Obj
+              [
+                ("name", Json.String fr.Checker.fr_name);
+                ("ok", Json.Bool (Checker.fn_ok fr));
+                ("kvars", Json.Int fr.Checker.fr_kvars);
+                ("clauses", Json.Int fr.Checker.fr_clauses);
+                ("cached", Json.Bool fo.Engine.fo_cached);
+                ( "errors",
+                  Json.List (List.map err_json fr.Checker.fr_errors) );
+              ]
+          in
+          let certs =
+            if o.certify then
+              let e, r, f = cert_counts before in
+              [
+                ( "certificates",
+                  Json.Obj
+                    [
+                      ("emitted", Json.Int e);
+                      ("replayed", Json.Int r);
+                      ("failed", Json.Int f);
+                    ] );
+              ]
+            else []
+          in
+          let j =
+            Json.Obj
+              ([
+                 ("tool", Json.String "flux");
+                 ("file", Json.String file);
+                 ("ok", Json.Bool (Engine.run_ok run));
+                 ( "fns",
+                   Json.List (List.map fn_json run.Engine.run_fns) );
+               ]
+              @ certs)
+          in
+          Format.fprintf out "%s@." (Json.to_string ~pretty:true j);
+          finish
+            (if Engine.run_ok run then Diag.exit_ok else Diag.exit_failed)
+        end
+        else begin
+          List.iter
+            (fun (fo : Engine.fn_outcome) ->
+              let fr = fo.Engine.fo_report in
+              Diag.print_row out ~quiet:o.quiet ~times:o.times
+                ~name:fr.fr_name ~ok:(Checker.fn_ok fr)
+                ~stats:
+                  (Printf.sprintf "%d κ, %d clauses" fr.fr_kvars
+                     fr.fr_clauses)
+                ~time:fr.fr_time ~cached:fo.Engine.fo_cached;
+              Diag.print_errors out Checker.pp_error fr.fr_errors;
+              if o.certify then
+                List.iter
+                  (fun e ->
+                    match demo e with
+                    | Some r -> Witness.print out r
+                    | None -> ())
+                  fr.fr_errors;
+              if o.dump_solution then
+                match fr.fr_solution with
+                | Some sol ->
+                    Format.fprintf out "  inferred solution:@.%a"
+                      Flux_fixpoint.Solve.pp_solution sol
+                | None -> ())
+            run.Engine.run_fns;
+          (if o.certify && not o.quiet then
+             let e, r, f = cert_counts before in
+             Format.fprintf out
+               "flux: certificates: %d emitted, %d replayed, %d failed@." e r
+               f);
+          finish
+            (Diag.print_footer out ~quiet:o.quiet ~times:o.times ~tool:"flux"
+               ~ok:(Engine.run_ok run)
+               ~fns:(List.length run.Engine.run_fns)
+               ~hits:run.Engine.run_hits ~time:run.Engine.run_time)
+        end
     | Prusti_check ->
         let src = read () in
+        let prog = Parser.parse_program src in
+        Typeck.check_program prog;
         let cfg = { Engine.jobs = o.jobs; cache_dir = cache_dir_if o.cache } in
-        let run = Engine.verify_source ~cancel cfg src in
+        let before = Profile.snapshot () in
+        let run =
+          Engine.verify_program_ast ~cancel ~certify:o.certify cfg prog
+        in
         List.iter
           (fun (wo : Engine.wp_outcome) ->
             let fr = wo.Engine.wo_report in
@@ -162,8 +284,24 @@ let run ?deadline_ms ?(check_alive = fun () -> true) (o : opts)
               ~ok:(Wp.fn_ok fr)
               ~stats:(Printf.sprintf "%d VCs" fr.fr_vcs)
               ~time:fr.fr_time ~cached:wo.Engine.wo_cached;
-            Diag.print_errors out Wp.pp_error fr.fr_errors)
+            Diag.print_errors out Wp.pp_error fr.fr_errors;
+            if o.certify then
+              List.iter
+                (fun (e : Wp.error) ->
+                  match e.Wp.err_witness with
+                  | Some w -> (
+                      match Ast.find_fn prog e.Wp.err_fn with
+                      | Some fd ->
+                          Witness.print out (Witness.demonstrate prog fd w)
+                      | None -> ())
+                  | None -> ())
+                fr.fr_errors)
           run.Engine.wr_fns;
+        (if o.certify && not o.quiet then
+           let e, r, f = cert_counts before in
+           Format.fprintf out
+             "prusti: certificates: %d emitted, %d replayed, %d failed@." e r
+             f);
         finish
           (Diag.print_footer out ~quiet:o.quiet ~times:o.times ~tool:"prusti"
              ~ok:(Engine.wp_run_ok run)

@@ -64,6 +64,7 @@ let json_of_opts (o : Exec.opts) : Json.t =
       ("jobs", Json.Int o.Exec.jobs);
       ("cache", Json.Bool o.Exec.cache);
       ("cache_dir", Json.String o.Exec.cache_dir);
+      ("certify", Json.Bool o.Exec.certify);
       ("dump_mir", Json.Bool o.Exec.dump_mir);
       ("dump_solution", Json.Bool o.Exec.dump_solution);
       ("format_json", Json.Bool o.Exec.format_json);
@@ -91,6 +92,7 @@ let opts_of_json (j : Json.t) : (Exec.opts, string) result =
   let* jobs = field j "jobs" Json.get_int "opts.jobs" in
   let* cache = field j "cache" Json.get_bool "opts.cache" in
   let* cache_dir = field j "cache_dir" Json.get_string "opts.cache_dir" in
+  let* certify = field j "certify" Json.get_bool "opts.certify" in
   let* dump_mir = field j "dump_mir" Json.get_bool "opts.dump_mir" in
   let* dump_solution =
     field j "dump_solution" Json.get_bool "opts.dump_solution"
@@ -115,6 +117,7 @@ let opts_of_json (j : Json.t) : (Exec.opts, string) result =
       jobs;
       cache;
       cache_dir;
+      certify;
       dump_mir;
       dump_solution;
       format_json;

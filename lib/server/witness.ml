@@ -1,0 +1,219 @@
+(** Executable counterexample witnesses ([--certify]).
+
+    A failed refinement obligation under [--certify] carries a verified
+    falsifying assignment for the symbolic variables of the failing
+    implication ([err_witness]). This module lifts that model back to
+    entry-point argument values, replays the function in the reference
+    interpreter ({!Flux_interp.Interp}) with call tracing on, and
+    renders the execution as a step-by-step trace — turning a static
+    "refinement may not hold" into a demonstrated runtime fault
+    whenever the model concretises at the entry point.
+
+    The lift is best-effort by design: symbolic variables carry the
+    rtype fresh-name suffix ([n!3]), inner path conditions may make an
+    entry model unreachable, and vector element values are not part of
+    the length-indexed model. When the replay does not fault, the
+    verdict says so honestly ({!Not_demonstrated}) — a witness is only
+    ever {e claimed} when the interpreter actually faulted or the
+    produced value violates the declared return refinement. *)
+
+module Ast = Flux_syntax.Ast
+module Interp = Flux_interp.Interp
+module Eval = Flux_smt.Eval
+module Spec_eval = Flux_fuzz.Spec_eval
+
+type run =
+  | Fault of { call : string; steps : string list; fault : string }
+      (** the replay faulted: the static error is demonstrated *)
+  | Post_violation of { call : string; steps : string list; result : string }
+      (** the replay returned a value violating the return refinement *)
+  | Not_demonstrated of string
+      (** the model did not concretise, or the replay did not fault *)
+
+let fuel = 200_000
+let max_steps = 32
+
+(* Witness variables carry the rtype fresh suffix ("n!3"); recover the
+   source-level prefix for matching against parameter/binder names. *)
+let base_name w =
+  match String.index_opt w '!' with
+  | Some i when i > 0 -> String.sub w 0 i
+  | _ -> w
+
+let lookup (witness : (string * Eval.value) list) (name : string) :
+    Eval.value option =
+  match List.assoc_opt name witness with
+  | Some v -> Some v
+  | None ->
+      List.find_map
+        (fun (w, v) ->
+          if String.equal (base_name w) name then Some v else None)
+        witness
+
+let rec strip_ref_ty = function Ast.TRef (_, t) -> strip_ref_ty t | t -> t
+
+(* The names the model is likely to bind this parameter under: the
+   signature index binder (or existential binder) first, then the
+   surface parameter name itself. *)
+let binder_names (pname : string) (rty : Ast.rty option) : string list =
+  let rec of_rty = function
+    | Some (Ast.RRef (_, t)) -> of_rty (Some t)
+    | Some (Ast.RBase (_, [ Ast.IxBinder n ])) -> [ n ]
+    | Some (Ast.RExists (x, _, _)) -> [ x ]
+    | _ -> []
+  in
+  of_rty rty @ [ pname ]
+
+(** Concretise one parameter from the model; [None] when the parameter
+    type is outside the executable subset (structs, floats, generics).
+    Unconstrained positions default to 0/false/empty — the replay
+    itself decides whether the resulting input demonstrates anything. *)
+let build_arg (witness : (string * Eval.value) list) (pname : string)
+    (rty : Ast.rty option) (ty : Ast.ty) : Interp.value option =
+  let find () = List.find_map (lookup witness) (binder_names pname rty) in
+  match strip_ref_ty ty with
+  | Ast.TInt _ ->
+      Some
+        (Interp.VInt (match find () with Some (Eval.VInt n) -> n | _ -> 0))
+  | Ast.TBool ->
+      Some
+        (Interp.VBool
+           (match find () with Some (Eval.VBool b) -> b | _ -> false))
+  | Ast.TUnit -> Some Interp.VUnit
+  | Ast.TFloat ->
+      (* float positions are never part of the (int/bool) model *)
+      Some (Interp.VFloat 0.0)
+  | Ast.TVec ((Ast.TInt _ | Ast.TFloat) as elt) ->
+      (* the vector's index is its length; elements are unconstrained *)
+      let len =
+        match find () with
+        | Some (Eval.VInt n) when n >= 0 && n <= 64 -> n
+        | _ -> 0
+      in
+      let zero =
+        match elt with Ast.TFloat -> Interp.VFloat 0.0 | _ -> Interp.VInt 0
+      in
+      Some
+        (Interp.VRefCell
+           (ref (Interp.VVec (Interp.vec_of_list (List.init len (fun _ -> zero))))))
+  | _ -> None
+
+let demonstrate (prog : Ast.program) (fd : Ast.fn_def)
+    (witness : (string * Eval.value) list) : run =
+  match fd.Ast.fn_body with
+  | None -> Not_demonstrated "function has no executable body"
+  | Some _ -> (
+      let sig_args =
+        match fd.Ast.fn_sig with
+        | Some fs
+          when List.length fs.Ast.fs_args = List.length fd.Ast.fn_params ->
+            List.map Option.some fs.Ast.fs_args
+        | _ -> List.map (fun _ -> None) fd.Ast.fn_params
+      in
+      let args_opt =
+        List.fold_left2
+          (fun acc (pname, ty) rty ->
+            match acc with
+            | None -> None
+            | Some xs -> (
+                match build_arg witness pname rty ty with
+                | Some v -> Some (v :: xs)
+                | None -> None))
+          (Some []) fd.Ast.fn_params sig_args
+      in
+      match args_opt with
+      | None -> Not_demonstrated "argument types outside the executable subset"
+      | Some rev_args -> (
+          let args = List.rev rev_args in
+          if Spec_eval.precond_holds fd args = Some false then
+            Not_demonstrated
+              "lifted model does not satisfy the entry precondition"
+          else
+            (* render through ref cells (Interp.pp_value prints "&_"),
+               and before the run — vectors are mutated in place *)
+            let rec pp_arg fmt (v : Interp.value) =
+              match v with
+              | Interp.VRefCell r -> Format.fprintf fmt "&%a" pp_arg !r
+              | v -> Interp.pp_value fmt v
+            in
+            let call =
+              Format.asprintf "%s(%s)" fd.Ast.fn_name
+                (String.concat ", "
+                   (List.map (Format.asprintf "%a" pp_arg) args))
+            in
+            let steps = ref [] and count = ref 0 in
+            let trace s =
+              incr count;
+              if !count <= max_steps then steps := s :: !steps
+            in
+            let finish_steps () =
+              let st = List.rev !steps in
+              if !count > max_steps then
+                st @ [ Printf.sprintf "... (%d more calls)" (!count - max_steps) ]
+              else st
+            in
+            match Interp.run ~fuel ~trace prog fd.Ast.fn_name args with
+            | Interp.OFault f ->
+                Fault
+                  {
+                    call;
+                    steps = finish_steps ();
+                    fault = Format.asprintf "%a" Interp.pp_fault f;
+                  }
+            | Interp.OValue v -> (
+                match Spec_eval.postcond_holds fd args v with
+                | Some false ->
+                    Post_violation
+                      {
+                        call;
+                        steps = finish_steps ();
+                        result = Format.asprintf "%a" Interp.pp_value v;
+                      }
+                | _ ->
+                    Not_demonstrated
+                      "replay completed without fault on the lifted model")
+            | Interp.ODiverged ->
+                Not_demonstrated "replay exhausted its fuel budget"))
+
+let to_json (r : run) : Json.t =
+  match r with
+  | Fault { call; steps; fault } ->
+      Json.Obj
+        [
+          ("kind", Json.String "fault");
+          ("call", Json.String call);
+          ("steps", Json.List (List.map (fun s -> Json.String s) steps));
+          ("fault", Json.String fault);
+        ]
+  | Post_violation { call; steps; result } ->
+      Json.Obj
+        [
+          ("kind", Json.String "post-violation");
+          ("call", Json.String call);
+          ("steps", Json.List (List.map (fun s -> Json.String s) steps));
+          ("result", Json.String result);
+        ]
+  | Not_demonstrated reason ->
+      Json.Obj
+        [
+          ("kind", Json.String "not-demonstrated");
+          ("reason", Json.String reason);
+        ]
+
+(** Render a replay verdict as the indented trace block printed under
+    an error row (both CLI and daemon go through this). *)
+let print (fmt : Format.formatter) (r : run) : unit =
+  let print_trace call steps verdict =
+    Format.fprintf fmt "    counterexample execution: %s@." call;
+    List.iteri
+      (fun i s -> Format.fprintf fmt "      %2d. call %s@." (i + 1) s)
+      steps;
+    Format.fprintf fmt "      => %s@." verdict
+  in
+  match r with
+  | Fault { call; steps; fault } -> print_trace call steps fault
+  | Post_violation { call; steps; result } ->
+      print_trace call steps
+        ("returned " ^ result ^ ", violating the declared return refinement")
+  | Not_demonstrated reason ->
+      Format.fprintf fmt "    counterexample: not executable (%s)@." reason

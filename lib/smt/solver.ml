@@ -156,11 +156,25 @@ type elab_state = {
           because they are only consulted when elaboration meets a
           division/remainder, and computing them walks every top-level
           atom of the query *)
+  mutable record : Proof.fresh list option;
+      (** when [Some], every fresh-variable introduction is recorded
+          (reversed) for a certificate, and the div/mod encoding always
+          takes the unconditional split form — the sign-known shortcut
+          consults the unit facts, which the independent replay checker
+          does not re-derive *)
 }
 
 let fresh st prefix sort =
   st.counter <- st.counter + 1;
   Term.var ~sort (Printf.sprintf "$%s%d" prefix st.counter)
+
+let record_fresh st (f : Proof.fresh) =
+  match st.record with
+  | None -> ()
+  | Some acc -> st.record <- Some (f :: acc)
+
+let var_name (v : Term.t) =
+  match v with Term.Var (x, _) -> x | _ -> assert false
 
 let opaque_of st key sort =
   let key = Term.hc key in
@@ -169,6 +183,7 @@ let opaque_of st key sort =
   | None ->
       let v = fresh st "o" sort in
       SmallTbl.add st.opaque key v;
+      record_fresh st (Proof.Opaque (key, var_name v, sort));
       v
 
 let rec has_real (t : Term.t) =
@@ -211,6 +226,7 @@ let divmod st (a : Term.t) (c : int) : Term.t * Term.t =
     | None ->
         let q = fresh st "q" Sort.Int in
         SmallTbl.add st.opaque dkey q;
+        record_fresh st (Proof.Divmod (a, c, var_name q));
         let r = Term.sub a (Term.mul (Term.int c) q) in
         let la = try Some (lin_of_term a) with Nonlinear -> None in
         (* [refuted l]: the unit facts rule out [l], definitely. *)
@@ -220,13 +236,14 @@ let divmod st (a : Term.t) (c : int) : Term.t * Term.t =
           let n = Lia.lin_scale (-1) la in
           Lia.Le0 { n with Lia.const = n.Lia.const + 1 }
         in
+        let recording = st.record <> None in
         let sign_defs =
           match la with
-          | Some la when refuted (a_neg la) ->
+          | Some la when (not recording) && refuted (a_neg la) ->
               (* a >= 0 in every model: truncated = Euclidean *)
               Profile.incr "solver.divmod_sign_known";
               [ Term.le (Term.int 0) r; Term.lt r (Term.int c) ]
-          | Some la when refuted (a_pos la) ->
+          | Some la when (not recording) && refuted (a_pos la) ->
               (* a <= 0 in every model *)
               Profile.incr "solver.divmod_sign_known";
               [ Term.lt (Term.int (-c)) r; Term.le r (Term.int 0) ]
@@ -266,6 +283,7 @@ let rec elab_int st (t : Term.t) : Term.t =
               let v = fresh st "o" Sort.Int in
               SmallTbl.replace st.opaque key v;
               SmallTbl.replace st.opaque (Term.hc (Term.Binop (Mul, b, a))) v;
+              record_fresh st (Proof.Opaque (key, var_name v, Sort.Int));
               v))
   | Binop (Div, a, Int c) when c > 0 ->
       let a = elab_int st a in
@@ -306,6 +324,7 @@ let rec elab_int st (t : Term.t) : Term.t =
       let c = elab_pred st c in
       let a = elab_int st a and b = elab_int st b in
       let v = fresh st "ite" Sort.Int in
+      record_fresh st (Proof.IteV (c, a, b, var_name v));
       st.defs <-
         Term.mk_imp c (Term.eq v a)
         :: Term.mk_imp (Term.mk_not c) (Term.eq v b)
@@ -514,6 +533,151 @@ let dpll_sat (atom_arr : Term.t array) (f : bform) : bool =
   go f undo0
 
 (* ------------------------------------------------------------------ *)
+(* Certifying refutation and model-producing search                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Like {!dpll_sat} on an unsatisfiable skeleton, but building the
+    search tree as a {!Proof.tree}: unit propagations become [Unit]
+    nodes, branches become [Split] nodes, and every closed path carries
+    either a propositional [BoolLeaf] or a {!Farkas.refute} certificate
+    of its theory literals. Returns [None] when the skeleton is
+    satisfiable {e or} when some infeasible path cannot be certified —
+    never a wrong tree (the replay checker re-validates everything
+    anyway). *)
+let dpll_refute (atom_arr : Term.t array) (f : bform) : Proof.tree option =
+  let n = Array.length atom_arr in
+  let assign = Array.make n 0 in
+  let assigned_hyps () =
+    let hyps = ref [] in
+    Array.iteri
+      (fun i v ->
+        if v <> 0 then
+          match literal_of_atom atom_arr.(i) (v = 1) with
+          | Some l -> hyps := (i, v = 1, l) :: !hyps
+          | None -> ())
+      assign;
+    !hyps
+  in
+  let theory_refute () : Proof.trefut option =
+    let hyps = assigned_hyps () in
+    if Lia.sat_literals (List.map (fun (_, _, l) -> l) hyps) then None
+    else
+      match Farkas.refute hyps with
+      | Some tr -> Some tr
+      | None ->
+          (* the theory found the path infeasible but the certifying
+             mirror could not reproduce it — a completeness gap, not a
+             soundness problem; the caller keeps searching deeper or
+             gives up *)
+          Profile.incr "cert.farkas_gap";
+          None
+  in
+  let rec go f : Proof.tree option =
+    match simplify assign f with
+    | BFalse -> Some Proof.BoolLeaf
+    | BTrue -> Option.map (fun tr -> Proof.TheoryLeaf tr) (theory_refute ())
+    | f' -> (
+        match unit_literals f' with
+        | (i, pol) :: _ ->
+            assign.(i) <- (if pol then 1 else 2);
+            let sub = go f' in
+            assign.(i) <- 0;
+            Option.map (fun t -> Proof.Unit (i, pol, t)) sub
+        | [] -> (
+            (* early pruning, mirroring the sat search: a path already
+               infeasible closes here if Farkas can certify it; if not,
+               branching deeper adds literals and may still succeed *)
+            match theory_refute () with
+            | Some tr -> Some (Proof.TheoryLeaf tr)
+            | None -> (
+                match first_lit f' with
+                | None -> None
+                | Some i -> (
+                    assign.(i) <- 1;
+                    let l = go f' in
+                    assign.(i) <- 0;
+                    match l with
+                    | None -> None
+                    | Some lt -> (
+                        assign.(i) <- 2;
+                        let r = go f' in
+                        assign.(i) <- 0;
+                        match r with
+                        | None -> None
+                        | Some rt -> Some (Proof.Split (i, lt, rt)))))))
+  in
+  go f
+
+(** Like {!dpll_sat}, but on success returns the satisfying atom
+    assignment found at the accepting leaf. *)
+let dpll_model (atom_arr : Term.t array) (f : bform) :
+    (int * bool) list option =
+  let n = Array.length atom_arr in
+  let assign = Array.make n 0 in
+  let result = ref None in
+  let theory_consistent () =
+    let lits = ref [] in
+    Array.iteri
+      (fun i v ->
+        if v <> 0 then
+          match literal_of_atom atom_arr.(i) (v = 1) with
+          | Some l -> lits := l :: !lits
+          | None -> ())
+      assign;
+    Lia.sat_literals !lits
+  in
+  let capture () =
+    let m = ref [] in
+    Array.iteri (fun i v -> if v <> 0 then m := (i, v = 1) :: !m) assign;
+    result := Some (List.rev !m)
+  in
+  let accept () =
+    if theory_consistent () then begin
+      capture ();
+      true
+    end
+    else false
+  in
+  let rec go f (undo : int list ref) =
+    match simplify assign f with
+    | BFalse -> false
+    | BTrue -> accept ()
+    | f' -> (
+        match unit_literals f' with
+        | _ :: _ as forced ->
+            let ok =
+              List.for_all
+                (fun (i, pol) ->
+                  let v = if pol then 1 else 2 in
+                  if assign.(i) = 0 then begin
+                    assign.(i) <- v;
+                    undo := i :: !undo;
+                    true
+                  end
+                  else assign.(i) = v)
+                forced
+            in
+            if ok then go f' undo else false
+        | [] -> (
+            match first_lit f' with
+            | None -> accept ()
+            | Some i ->
+                if not (theory_consistent ()) then false
+                else
+                  let try_value v =
+                    assign.(i) <- v;
+                    let undo' = ref [] in
+                    let r = go f' undo' in
+                    List.iter (fun j -> assign.(j) <- 0) !undo';
+                    assign.(i) <- 0;
+                    r
+                  in
+                  try_value 1 || try_value 2))
+  in
+  let undo0 = ref [] in
+  if go f undo0 then !result else None
+
+(* ------------------------------------------------------------------ *)
 (* Public API                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -534,6 +698,7 @@ let sat_raw (t : Term.t) : bool =
       apps = Hashtbl.create 8;
       counter = 0;
       units = lazy (unit_facts [] true t);
+      record = None;
     }
   in
   let t_elab = Unix.gettimeofday () in
@@ -620,14 +785,156 @@ let first_invalid (l : Term.t) (qs : Term.t list) : int option =
 let entails (hyps : Term.t list) (goal : Term.t) : bool =
   valid (Term.mk_imp (Term.mk_and hyps) goal)
 
-(** Like {!entails}, but first slices the hypotheses to the cone of
-    influence of the goal (hypotheses transitively sharing a variable
-    with it) via the shared {!Term.cone_of_influence}. Sound: dropping
-    hypotheses only weakens the left-hand side. Variable-free goals
-    skip slicing. *)
-let entails_sliced (hyps : Term.t list) (goal : Term.t) : bool =
+(** The exact implication {!entails_sliced} hands to {!valid} — exposed
+    so certifying callers (the WP verifier) can record the goal they
+    actually discharged. *)
+let sliced_implication (hyps : Term.t list) (goal : Term.t) : Term.t =
   let seed = Term.free_vars goal in
-  if Term.VarSet.is_empty seed then entails hyps goal
-  else
-    let tagged = List.map (fun h -> (h, Term.free_vars h)) hyps in
-    entails (Term.cone_of_influence tagged seed) goal
+  let hyps =
+    if Term.VarSet.is_empty seed then hyps
+    else
+      let tagged = List.map (fun h -> (h, Term.free_vars h)) hyps in
+      Term.cone_of_influence tagged seed
+  in
+  Term.mk_imp (Term.mk_and hyps) goal
+
+let entails_sliced (hyps : Term.t list) (goal : Term.t) : bool =
+  valid (sliced_implication hyps goal)
+
+(* ------------------------------------------------------------------ *)
+(* Certificates and models                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Produce a replayable validity certificate for [goal], or [None] if
+    the certifying search cannot close it (including when [goal] is
+    simply not valid). Independent of {!valid}: no cache is consulted
+    and the div/mod encoding always takes the split form the replay
+    checker knows how to re-derive. *)
+let certify (goal : Term.t) : Proof.t option =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match
+      let neg = Term.mk_not goal in
+      let st =
+        {
+          defs = [];
+          opaque = SmallTbl.create 16;
+          apps = Hashtbl.create 8;
+          counter = 0;
+          units = lazy [];
+          record = Some [];
+        }
+      in
+      let neg' = elab_pred st neg in
+      let fresh = List.rev (Option.value st.record ~default:[]) in
+      let defs = st.defs in
+      let full = Term.mk_and (neg' :: defs) in
+      match full with
+      | Term.Bool false ->
+          Some
+            {
+              Proof.goal;
+              fresh;
+              skeleton = neg';
+              defs;
+              atoms = [||];
+              tree = Proof.BoolLeaf;
+            }
+      | Term.Bool true -> None
+      | _ -> (
+          let atoms = { table = SmallTbl.create 64; list = []; n = 0 } in
+          let f = to_bform atoms true full in
+          let atom_arr = Array.of_list (List.rev atoms.list) in
+          match dpll_refute atom_arr f with
+          | None -> None
+          | Some tree ->
+              Some
+                { Proof.goal; fresh; skeleton = neg'; defs; atoms = atom_arr;
+                  tree })
+    with
+    | exception Term.Ill_sorted _ -> None
+    | r -> r
+  in
+  Profile.add_time "cert.certify_s" (Unix.gettimeofday () -. t0);
+  result
+
+(** A satisfying assignment for [t] over its free variables, verified
+    by ground evaluation before being returned — [Some env] is
+    definite. [None] means "no model found": unsatisfiable, or the
+    model search / extraction / evaluation lost the witness (opaque
+    abstraction, reals, interpreted applications). *)
+let model (t : Term.t) : (string * Eval.value) list option =
+  match
+    let st =
+      {
+        defs = [];
+        opaque = SmallTbl.create 16;
+        apps = Hashtbl.create 8;
+        counter = 0;
+        units = lazy (unit_facts [] true t);
+        record = None;
+      }
+    in
+    let t' = elab_pred st t in
+    let full = Term.mk_and (t' :: st.defs) in
+    match full with
+    | Term.Bool false -> None
+    | Term.Bool true -> Some ([||], [])
+    | _ -> (
+        let atoms = { table = SmallTbl.create 64; list = []; n = 0 } in
+        let f = to_bform atoms true full in
+        let atom_arr = Array.of_list (List.rev atoms.list) in
+        match dpll_model atom_arr f with
+        | None -> None
+        | Some asn -> Some (atom_arr, asn))
+  with
+  | exception Term.Ill_sorted _ -> None
+  | None -> None
+  | Some (atom_arr, asn) -> (
+      let hyps =
+        List.filter_map (fun (i, v) -> literal_of_atom atom_arr.(i) v) asn
+      in
+      match Farkas.model_literals hyps with
+      | None -> None
+      | Some ints -> (
+          let bools =
+            List.filter_map
+              (fun (i, v) ->
+                match atom_arr.(i) with
+                | Term.Var (x, Sort.Bool) -> Some (x, v)
+                | _ -> None)
+              asn
+          in
+          let env =
+            List.map
+              (fun (x, s) ->
+                match s with
+                | Sort.Bool ->
+                    ( x,
+                      Eval.VBool
+                        (match List.assoc_opt x bools with
+                        | Some b -> b
+                        | None -> false) )
+                | _ ->
+                    ( x,
+                      Eval.VInt
+                        (match List.assoc_opt x ints with
+                        | Some n -> n
+                        | None -> 0) ))
+              (Term.free_vars_sorted t)
+          in
+          let lookup x =
+            match List.assoc_opt x env with
+            | Some v -> v
+            | None -> Eval.VInt 0
+          in
+          match Eval.eval_bool lookup t with
+          | true -> Some env
+          | false -> None
+          | exception Eval.Unsupported _ -> None
+          | exception Division_by_zero -> None))
+
+(** A verified falsifying assignment for [t]: a model of [¬t]. The
+    witness behind an [invalid] verdict. *)
+let counterexample (t : Term.t) : (string * Eval.value) list option =
+  model (Term.mk_not t)

@@ -61,3 +61,25 @@ val entails_sliced : Term.t list -> Term.t -> bool
     influence of the goal (hypotheses transitively sharing a variable
     with it). Sound: dropping hypotheses only weakens the left-hand
     side. *)
+
+val sliced_implication : Term.t list -> Term.t -> Term.t
+(** The exact implication {!entails_sliced} decides — exposed so
+    certifying callers can record the goal they actually discharged. *)
+
+val certify : Term.t -> Proof.t option
+(** [certify goal]: re-derive [valid goal] as a replayable certificate
+    (see {!Proof} and the independent checker in [lib/cert]). [None]
+    means the certifying search could not close the goal — including
+    when it is simply not valid; a returned certificate always replays
+    against [goal] itself. Independent of {!valid}: no cache is
+    consulted. *)
+
+val model : Term.t -> (string * Eval.value) list option
+(** A satisfying assignment for [t] over its free variables.
+    Verified by ground evaluation before being returned, so
+    [Some env] is definite; [None] means no model was found (which
+    does not prove unsatisfiability). *)
+
+val counterexample : Term.t -> (string * Eval.value) list option
+(** A verified falsifying assignment for [t] — a model of [¬t]. The
+    executable witness behind an [invalid] verdict. *)

@@ -22,16 +22,37 @@ module Ast = Flux_syntax.Ast
 module Ir = Flux_mir.Ir
 module IMap = Map.Make (Int)
 
-type error = { err_fn : string; err_span : Ast.span; err_msg : string }
+type error = {
+  err_fn : string;
+  err_span : Ast.span;
+  err_msg : string;
+  err_witness : (string * Eval.value) list option;
+      (** verified falsifying assignment for the failed VC's symbolic
+          variables, present under [--certify] *)
+}
+
+let pp_witness fmt = function
+  | Some ((_ :: _) as w) ->
+      Format.fprintf fmt "@.    falsified by %s"
+        (String.concat ", "
+           (List.map
+              (fun (x, v) -> Format.asprintf "%s = %a" x Eval.pp_value v)
+              w))
+  | Some [] | None -> ()
 
 let pp_error fmt e =
-  Format.fprintf fmt "%s:%a: %s" e.err_fn Ast.pp_span e.err_span e.err_msg
+  Format.fprintf fmt "%s:%a: %s%a" e.err_fn Ast.pp_span e.err_span e.err_msg
+    pp_witness e.err_witness
 
 type fn_report = {
   fr_name : string;
   fr_errors : error list;
   fr_vcs : int;
   fr_time : float;
+  fr_goals : (int * Term.t) list;
+      (** under [--certify]: the exact implication discharged for each
+          non-trivial VC, keyed by VC index — the terms [Solver.certify]
+          is later asked to prove (empty otherwise) *)
 }
 
 let fn_ok r = r.fr_errors = []
@@ -94,10 +115,19 @@ type ck = {
   mutable processed_headers : (int, unit) Hashtbl.t;
   mutable entry_env : (string * Term.t) list option;
       (** parameter values at entry, for [old(..)] in postconditions *)
+  certify : bool;
+  mutable goals : (int * Term.t) list;  (** discharged VCs, certify only *)
 }
 
-let add_error ck span msg =
-  ck.errors <- { err_fn = ck.fd.Ast.fn_name; err_span = span; err_msg = msg } :: ck.errors
+let add_error ?witness ck span msg =
+  ck.errors <-
+    {
+      err_fn = ck.fd.Ast.fn_name;
+      err_span = span;
+      err_msg = msg;
+      err_witness = witness;
+    }
+    :: ck.errors
 
 (* ------------------------------------------------------------------ *)
 (* Quantifier instantiation and VC checking                            *)
@@ -294,17 +324,26 @@ let check_vc ck (st : state) span ~(what : string) (goal : Term.t) : unit =
           foralls
       in
       let rec attempt round =
-        if Solver.entails_sliced (grounds @ !instantiated) goal then true
+        let hyps = grounds @ !instantiated in
+        if Solver.entails_sliced hyps goal then Some hyps
         else if round < !inst_rounds && foralls <> [] then begin
           instantiate_round ();
           attempt (round + 1)
         end
-        else false
+        else None
       in
       if dbg then
         Format.eprintf "[VC %d %s] start: %s@?" ck.vcs what
           (Term.to_string goal);
-      let ok = attempt 0 in
+      let proved = attempt 0 in
+      let ok = proved <> None in
+      (match proved with
+      | Some hyps when ck.certify ->
+          (* the exact (sliced) implication the solver just accepted —
+             what [--certify] will hand to [Solver.certify] *)
+          ck.goals <-
+            (ck.vcs, Solver.sliced_implication hyps goal) :: ck.goals
+      | _ -> ());
       if dbg then
         Format.eprintf " ground=%d inst=%d %s %.2fs@." (List.length grounds)
           (List.length !instantiated)
@@ -321,9 +360,21 @@ let check_vc ck (st : state) span ~(what : string) (goal : Term.t) : unit =
               (Term.to_string b))
           foralls
       end;
-      if not ok then
-        add_error ck span
+      if not ok then begin
+        let witness =
+          if ck.certify then begin
+            let w =
+              Solver.counterexample
+                (Solver.sliced_implication (grounds @ !instantiated) goal)
+            in
+            if w <> None then Profile.incr "cert.cex";
+            w
+          end
+          else None
+        in
+        add_error ?witness ck span
           (Printf.sprintf "%s: cannot prove %s" what (Term.to_string goal))
+      end
 
 let assume (st : state) (f : fact) : state = { st with facts = f :: st.facts }
 let assume_t st t = if t = Term.tt then st else assume st (FGround t)
@@ -1019,8 +1070,8 @@ and exec_term ck (st : state) (term : Ir.terminator) : unit =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let verify_body (prog : Ast.program) (fd : Ast.fn_def) (body : Ir.body) :
-    fn_report =
+let verify_body ?(certify = false) (prog : Ast.program) (fd : Ast.fn_def)
+    (body : Ir.body) : fn_report =
   Profile.with_fn fd.Ast.fn_name @@ fun () ->
   Profile.time "wp.fn_s" @@ fun () ->
   let t0 = Unix.gettimeofday () in
@@ -1046,6 +1097,8 @@ let verify_body (prog : Ast.program) (fd : Ast.fn_def) (body : Ir.body) :
       loop_blocks;
       processed_headers = Hashtbl.create 8;
       entry_env = None;
+      certify;
+      goals = [];
     }
   in
   (try
@@ -1079,6 +1132,7 @@ let verify_body (prog : Ast.program) (fd : Ast.fn_def) (body : Ir.body) :
     fr_errors = List.rev ck.errors;
     fr_vcs = ck.vcs;
     fr_time = Unix.gettimeofday () -. t0;
+    fr_goals = List.rev ck.goals;
   }
 
 type report = { rp_fns : fn_report list; rp_time : float }
@@ -1086,7 +1140,7 @@ type report = { rp_fns : fn_report list; rp_time : float }
 let report_ok r = List.for_all fn_ok r.rp_fns
 let report_errors r = List.concat_map (fun fr -> fr.fr_errors) r.rp_fns
 
-let verify_program_ast (prog : Ast.program) : report =
+let verify_program_ast ?certify (prog : Ast.program) : report =
   let t0 = Unix.gettimeofday () in
   let bodies = Flux_mir.Lower.lower_program prog in
   let fns =
@@ -1095,7 +1149,7 @@ let verify_program_ast (prog : Ast.program) : report =
         if fd.Ast.fn_trusted then None
         else
           match List.assoc_opt fd.Ast.fn_name bodies with
-          | Some body -> Some (verify_body prog fd body)
+          | Some body -> Some (verify_body ?certify prog fd body)
           | None -> None)
       (Ast.program_fns prog)
   in
@@ -1103,7 +1157,7 @@ let verify_program_ast (prog : Ast.program) : report =
 
 (** Parse, typecheck, lower and verify a source string with the
     Prusti-style baseline. *)
-let verify_source (src : string) : report =
+let verify_source ?certify (src : string) : report =
   let prog = Flux_syntax.Parser.parse_program src in
   Flux_syntax.Typeck.check_program prog;
-  verify_program_ast prog
+  verify_program_ast ?certify prog

@@ -8,7 +8,14 @@
 
 module Ast = Flux_syntax.Ast
 
-type error = { err_fn : string; err_span : Ast.span; err_msg : string }
+type error = {
+  err_fn : string;
+  err_span : Ast.span;
+  err_msg : string;
+  err_witness : (string * Flux_smt.Eval.value) list option;
+      (** verified falsifying assignment for the failed VC's symbolic
+          variables, present under [--certify] *)
+}
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -17,6 +24,9 @@ type fn_report = {
   fr_errors : error list;
   fr_vcs : int;  (** verification conditions discharged *)
   fr_time : float;
+  fr_goals : (int * Flux_smt.Term.t) list;
+      (** under [--certify]: the exact implication discharged for each
+          non-trivial VC, keyed by VC index (empty otherwise) *)
 }
 
 val fn_ok : fn_report -> bool
@@ -40,8 +50,13 @@ type report = { rp_fns : fn_report list; rp_time : float }
 val report_ok : report -> bool
 val report_errors : report -> error list
 
-val verify_body : Ast.program -> Ast.fn_def -> Flux_mir.Ir.body -> fn_report
-val verify_program_ast : Ast.program -> report
+val verify_body :
+  ?certify:bool -> Ast.program -> Ast.fn_def -> Flux_mir.Ir.body -> fn_report
+(** With [~certify:true], additionally record the discharged implication
+    of every non-trivial VC in [fr_goals] and attach a verified
+    counterexample assignment ([err_witness]) to each failure. *)
 
-val verify_source : string -> report
+val verify_program_ast : ?certify:bool -> Ast.program -> report
+
+val verify_source : ?certify:bool -> string -> report
 (** Parse, typecheck, lower and verify a source string. *)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "flux"
     [
       Test_smt.tests;
+      Test_cert.tests;
       Test_fixpoint.tests;
       Test_syntax.tests;
       Test_mir.tests;

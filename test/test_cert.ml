@@ -1,0 +1,274 @@
+(** Certificate emission and independent replay.
+
+    The important property is the {e meta}-soundness one: the replay
+    checker must accept everything the honest solver certifies and
+    reject every tampered or mutant certificate with a distinct error —
+    never accept. *)
+
+open Flux_smt
+module Replay = Flux_cert.Replay
+
+let v = Term.var
+let x = v "x"
+let y = v "y"
+let z = v "z"
+
+let error_kind = function
+  | Replay.Bad_sexp _ -> "bad-sexp"
+  | Replay.Bad_fresh _ -> "bad-fresh"
+  | Replay.Bad_def _ -> "bad-def"
+  | Replay.Skeleton_mismatch _ -> "skeleton-mismatch"
+  | Replay.Bad_tree _ -> "bad-tree"
+  | Replay.Bad_refutation _ -> "bad-refutation"
+  | Replay.Goal_falsified _ -> "goal-falsified"
+
+let result_str = function
+  | Ok () -> "ok"
+  | Error e -> error_kind e
+
+let certify_exn name t =
+  match Solver.certify t with
+  | Some p -> p
+  | None -> Alcotest.failf "%s: no certificate for a valid goal" name
+
+(* valid goals exercising every elaboration feature a certificate can
+   record: pure propositional, FM with tightening, equalities,
+   disequality splits, div/mod linearization, ite naming, opaque
+   products (commutativity), Ackermann congruence *)
+let valid_pool =
+  [
+    ("excluded middle", Term.(mk_or [ le x y; gt x y ]));
+    ("transitivity", Term.(mk_imp (mk_and [ lt x y; le y z ]) (lt x z)));
+    ( "tightening",
+      Term.(mk_imp (mk_and [ lt (int 0) x; lt x (int 2) ]) (eq x (int 1))) );
+    ( "eq substitution",
+      Term.(mk_imp (mk_and [ eq x y; lt y z ]) (lt x z)) );
+    ( "diseq split",
+      Term.(mk_imp (mk_and [ ne x y; ge x y ]) (gt x y)) );
+    ( "div lower bound",
+      Term.(mk_imp (ge x (int 0)) (ge (div x (int 2)) (int 0))) );
+    ( "div strict bound",
+      Term.(mk_imp (gt x (int 0)) (lt (div x (int 2)) x)) );
+    ( "mod range",
+      Term.(
+        mk_imp (ge x (int 0))
+          (mk_and [ ge (md x (int 3)) (int 0); lt (md x (int 3)) (int 3) ])) );
+    ( "ite bound",
+      Term.(
+        mk_imp (le x y) (le x (ite (lt x y) y x))) );
+    ( "product commutes",
+      Term.(mk_eq (mul x y) (mul y x)) );
+    ( "congruence",
+      Term.(mk_imp (mk_eq x y) (mk_eq (app "f" [ x ]) (app "f" [ y ]))) );
+    ( "unit propagation",
+      Term.(
+        mk_imp
+          (mk_and [ mk_or [ lt x y; mk_eq x y ]; ge x y ])
+          (mk_eq x y)) );
+  ]
+
+let roundtrip_tests =
+  List.map
+    (fun (name, t) ->
+      Alcotest.test_case name `Quick (fun () ->
+          let p = certify_exn name t in
+          Alcotest.(check bool) "goal recorded" true (Term.equal p.Proof.goal t);
+          Alcotest.(check string)
+            "replay accepts" "ok"
+            (result_str (Replay.check ~goal:t p));
+          (* text round trip through the on-disk format *)
+          Alcotest.(check string)
+            "replay accepts after round trip" "ok"
+            (result_str (Replay.check_string ~goal:t (Proof.to_string p)))))
+    valid_pool
+
+let invalid_pool =
+  [
+    ("open comparison", Term.(lt x y));
+    ("wrong direction", Term.(mk_imp (lt x y) (lt y x)));
+    ("bad div", Term.(mk_imp (gt x (int 0)) (gt (div x (int 2)) (int 0))));
+  ]
+
+let no_cert_tests =
+  List.map
+    (fun (name, t) ->
+      Alcotest.test_case name `Quick (fun () ->
+          Alcotest.(check bool)
+            "no certificate for invalid goal" true
+            (Solver.certify t = None)))
+    invalid_pool
+
+(* ------------------------------------------------------------------ *)
+(* Tampering: every mutation must be rejected, each for its own reason *)
+(* ------------------------------------------------------------------ *)
+
+(** Negate the first Farkas multiplier in the tree (the classic way an
+    unsound solver would "prove" the impossible). *)
+let flip_multiplier (p : Proof.t) : Proof.t option =
+  let hit = ref false in
+  let step = function
+    | Proof.Comb ((k, s) :: rest) when not !hit ->
+        hit := true;
+        Proof.Comb ((-k, s) :: rest)
+    | s -> s
+  in
+  let rec trefut = function
+    | Proof.Steps ss -> Proof.Steps (List.map step ss)
+    | Proof.Dsplit (i, l, r) -> Proof.Dsplit (i, trefut l, trefut r)
+  in
+  let rec tree = function
+    | Proof.Split (i, l, r) -> Proof.Split (i, tree l, tree r)
+    | Proof.Unit (i, pol, t) -> Proof.Unit (i, pol, tree t)
+    | Proof.BoolLeaf -> Proof.BoolLeaf
+    | Proof.TheoryLeaf tr -> Proof.TheoryLeaf (trefut tr)
+  in
+  let t = tree p.Proof.tree in
+  if !hit then Some { p with Proof.tree = t } else None
+
+let transitivity = Term.(mk_imp (mk_and [ lt x y; le y z ]) (lt x z))
+let divgoal = Term.(mk_imp (ge x (int 0)) (ge (div x (int 2)) (int 0)))
+
+let tamper_tests =
+  [
+    Alcotest.test_case "corrupt sexp" `Quick (fun () ->
+        Alcotest.(check string)
+          "rejected" "bad-sexp"
+          (result_str (Replay.check_string "((proof")));
+    Alcotest.test_case "truncated sexp" `Quick (fun () ->
+        let p = certify_exn "transitivity" transitivity in
+        let s = Proof.to_string p in
+        let s = String.sub s 0 (String.length s - 10) in
+        Alcotest.(check string)
+          "rejected" "bad-sexp"
+          (result_str (Replay.check_string s)));
+    Alcotest.test_case "flipped multiplier" `Quick (fun () ->
+        let p = certify_exn "transitivity" transitivity in
+        match flip_multiplier p with
+        | None -> Alcotest.fail "expected a Farkas combination to tamper with"
+        | Some p' ->
+            Alcotest.(check string)
+              "rejected" "bad-refutation"
+              (result_str (Replay.check p')));
+    Alcotest.test_case "dropped fresh fact" `Quick (fun () ->
+        let p = certify_exn "div" divgoal in
+        Alcotest.(check bool) "has fresh facts" true (p.Proof.fresh <> []);
+        let p' = { p with Proof.fresh = List.tl p.Proof.fresh } in
+        let r = Replay.check p' in
+        Alcotest.(check bool)
+          (Printf.sprintf "rejected (%s)" (result_str r))
+          true
+          (match r with
+          | Error (Replay.Bad_def _ | Replay.Skeleton_mismatch _) -> true
+          | _ -> false));
+    Alcotest.test_case "dropped def" `Quick (fun () ->
+        (* removing a def weakens the refuted conjunction: the tree may
+           no longer close. The divisor range facts are load-bearing for
+           this goal, so the refutation must break. *)
+        let p = certify_exn "div" divgoal in
+        Alcotest.(check bool) "has defs" true (List.length p.Proof.defs >= 2);
+        let p' = { p with Proof.defs = List.tl p.Proof.defs } in
+        Alcotest.(check bool)
+          "not accepted" true
+          (Replay.check p' <> Ok ()));
+    Alcotest.test_case "swapped goal" `Quick (fun () ->
+        let p = certify_exn "transitivity" transitivity in
+        let bogus = Term.(lt x y) in
+        let p' = { p with Proof.goal = bogus } in
+        let r = Replay.check ~goal:bogus p' in
+        Alcotest.(check bool)
+          (Printf.sprintf "rejected (%s)" (result_str r))
+          true
+          (match r with
+          | Error (Replay.Skeleton_mismatch _ | Replay.Goal_falsified _) ->
+              true
+          | _ -> false));
+    Alcotest.test_case "unsound divmod mutant" `Quick (fun () ->
+        (* a solver mutant using Euclidean instead of truncated division
+           semantics would emit these defs; replay must refuse to accept
+           facts the fresh story does not license *)
+        let p = certify_exn "div" divgoal in
+        let q =
+          List.find_map
+            (function Proof.Divmod (_, _, q) -> Some q | _ -> None)
+            p.Proof.fresh
+        in
+        match q with
+        | None -> Alcotest.fail "expected a divmod fresh fact"
+        | Some q ->
+            let qv = Term.var ~sort:Sort.Int q in
+            let euclid = Term.(ge (sub x (mul (int 2) qv)) (int 0)) in
+            let p' = { p with Proof.defs = euclid :: p.Proof.defs } in
+            Alcotest.(check string)
+              "rejected" "bad-def"
+              (result_str (Replay.check p')));
+    Alcotest.test_case "truncated tree" `Quick (fun () ->
+        let p = certify_exn "transitivity" transitivity in
+        let p' = { p with Proof.tree = Proof.BoolLeaf } in
+        let r = Replay.check p' in
+        Alcotest.(check bool)
+          (Printf.sprintf "rejected (%s)" (result_str r))
+          true
+          (match r with Error (Replay.Bad_tree _) -> true | _ -> false));
+    Alcotest.test_case "captured fresh name" `Quick (fun () ->
+        let p = certify_exn "div" divgoal in
+        let rename = function
+          | Proof.Divmod (a, c, _) -> Proof.Divmod (a, c, "x")
+          | f -> f
+        in
+        let p' = { p with Proof.fresh = List.map rename p.Proof.fresh } in
+        let r = Replay.check p' in
+        Alcotest.(check bool)
+          (Printf.sprintf "rejected (%s)" (result_str r))
+          true
+          (match r with
+          | Error (Replay.Bad_fresh _ | Replay.Skeleton_mismatch _) -> true
+          | _ -> false));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Models and counterexamples                                          *)
+(* ------------------------------------------------------------------ *)
+
+let eval_with env t =
+  let lookup x =
+    match List.assoc_opt x env with
+    | Some v -> v
+    | None -> Eval.VInt 0
+  in
+  Eval.eval_bool lookup t
+
+let model_tests =
+  [
+    Alcotest.test_case "model satisfies" `Quick (fun () ->
+        let t = Term.(mk_and [ lt x y; lt y z; gt x (int 10) ]) in
+        match Solver.model t with
+        | None -> Alcotest.fail "expected a model"
+        | Some env ->
+            Alcotest.(check bool) "model evaluates true" true (eval_with env t));
+    Alcotest.test_case "counterexample falsifies" `Quick (fun () ->
+        let t = Term.(mk_imp (ge x (int 0)) (ge (sub x (int 1)) (int 0))) in
+        match Solver.counterexample t with
+        | None -> Alcotest.fail "expected a counterexample"
+        | Some env ->
+            Alcotest.(check bool)
+              "witness falsifies goal" false (eval_with env t));
+    Alcotest.test_case "counterexample with divmod" `Quick (fun () ->
+        let t = Term.(mk_imp (gt x (int 0)) (gt (div x (int 2)) (int 0))) in
+        match Solver.counterexample t with
+        | None -> Alcotest.fail "expected a counterexample"
+        | Some env ->
+            Alcotest.(check bool)
+              "witness falsifies goal" false (eval_with env t));
+    Alcotest.test_case "no counterexample for valid" `Quick (fun () ->
+        let t = Term.(mk_imp (lt x y) (le x y)) in
+        Alcotest.(check bool)
+          "valid goal has no counterexample" true
+          (Solver.counterexample t = None));
+    Alcotest.test_case "no model for unsat" `Quick (fun () ->
+        let t = Term.(mk_and [ lt x y; lt y x ]) in
+        Alcotest.(check bool) "unsat has no model" true (Solver.model t = None));
+  ]
+
+let tests =
+  ( "cert",
+    roundtrip_tests @ no_cert_tests @ tamper_tests @ model_tests )

@@ -148,6 +148,47 @@ let fixpoint_top_caught () =
         (Oracle.fixpoint_violation ~solve:Oracle.default_solve kvars clauses
         = None)
 
+let cert_goal_swap_caught () =
+  (* broken certifier: proves the right thing but stamps the
+     certificate with a different goal — the replay checker's goal
+     binding must catch the swap *)
+  let certify t =
+    Option.map
+      (fun p -> { p with Proof.goal = Term.bool true })
+      (Solver.certify t)
+  in
+  let s = Fuzz.run ~certify (cfg [ Fuzz.Cert ] 0.05) in
+  match Fuzz.summary_bugs s with
+  | [] -> Alcotest.fail "goal-swapping certifier not caught"
+  | b :: _ ->
+      let t = Repro.term_of_string b.Oracle.b_repro in
+      Alcotest.(check bool)
+        "shrunk term still refutes the broken certifier" true
+        (Oracle.cert_violation ~valid:Solver.valid ~certify t <> None);
+      Alcotest.(check bool)
+        "real certifier passes on the shrunk term" true
+        (Oracle.cert_violation ~valid:Solver.valid ~certify:Solver.certify t
+        = None)
+
+let counterexample_lying_caught () =
+  (* broken model finder: claims the empty assignment falsifies
+     everything — ground evaluation must refuse the claim on any term
+     that evaluates true under defaults *)
+  let counterexample (_ : Term.t) = Some [] in
+  let s = Fuzz.run ~counterexample (cfg [ Fuzz.Solver ] 0.05) in
+  match Fuzz.summary_bugs s with
+  | [] -> Alcotest.fail "lying counterexample finder not caught"
+  | b :: _ ->
+      let t = Repro.term_of_string b.Oracle.b_repro in
+      Alcotest.(check bool)
+        "shrunk term still refutes the lying finder" true
+        (Oracle.solver_mismatch ~valid:Solver.valid ~sat:Solver.sat
+           ~counterexample t
+        <> None);
+      Alcotest.(check bool)
+        "real counterexamples are Eval-confirmed on the shrunk term" true
+        (Oracle.solver_mismatch ~valid:Solver.valid ~sat:Solver.sat t = None)
+
 let incremental_lying_caught () =
   (* broken incremental schedule: claims Sat with the empty solution
      table no matter what — diverges from the reference sweep whenever
@@ -356,6 +397,14 @@ let corpus_replay () =
           with
           | None -> ()
           | Some d -> Alcotest.failf "%s: regressed — %s" name d)
+      | ".cterm" -> (
+          let t = Repro.term_of_string body in
+          match
+            Oracle.cert_violation ~valid:Solver.valid
+              ~certify:Solver.certify t
+          with
+          | None -> ()
+          | Some d -> Alcotest.failf "%s: regressed — %s" name d)
       | ".horn" -> (
           let kvars, clauses = Repro.horn_of_string body in
           (match
@@ -388,6 +437,10 @@ let tests =
         fixpoint_top_caught;
       Alcotest.test_case "seeded lying incremental schedule caught" `Quick
         incremental_lying_caught;
+      Alcotest.test_case "seeded goal-swapping certifier caught" `Quick
+        cert_goal_swap_caught;
+      Alcotest.test_case "seeded lying counterexample finder caught" `Quick
+        counterexample_lying_caught;
       Alcotest.test_case "no frontend rejects over 80 seeds" `Slow
         no_frontend_rejects;
       Alcotest.test_case "checker accepts a healthy fraction" `Slow

@@ -252,6 +252,7 @@ let sample_opts =
       all_passes = true;
     };
     { (Exec.default_opts Exec.Prusti_check) with Exec.dump_mir = true };
+    { (Exec.default_opts Exec.Flux_check) with Exec.certify = true };
   ]
 
 let sample_requests =
