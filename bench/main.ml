@@ -788,6 +788,173 @@ let certify_bench ~jobs () =
   if not pass then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Abstract-interpretation discharge                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Everything verdict-identity promises for one run, time excluded —
+    same rendering the full-vs-incremental differential tests pin. *)
+let absint_render (r : Checker.report) : string =
+  String.concat "\n"
+    (List.map
+       (fun (fr : Checker.fn_report) ->
+         Format.asprintf "%s kvars=%d clauses=%d errors=[%s] sol=%s"
+           fr.Checker.fr_name fr.Checker.fr_kvars fr.Checker.fr_clauses
+           (String.concat ";"
+              (List.map
+                 (fun e -> Format.asprintf "%a" Checker.pp_error e)
+                 fr.Checker.fr_errors))
+           (match fr.Checker.fr_solution with
+           | None -> "-"
+           | Some sol -> Format.asprintf "%a" Flux_fixpoint.Solve.pp_solution sol))
+       r.Checker.rp_fns)
+
+type absint_row = {
+  ab_name : string;
+  ab_off_q : int;  (** solver queries, discharge disabled *)
+  ab_on_q : int;  (** solver queries, discharge enabled *)
+  ab_disch : int;
+  ab_fall : int;
+  ab_same : bool;  (** rendered verdicts byte-identical off vs on *)
+  ab_on_t : float;
+}
+
+(** Off-vs-on ablation of the pre-solver abstract discharge, per
+    Table-1 workload, plus a crosscheck sweep: every discharged clause
+    re-solved, solver verdict winning, zero disagreements allowed. *)
+let absint_bench ~jobs:_ () =
+  let module Discharge = Flux_absint.Discharge in
+  let run ~absint ~crosscheck src =
+    let saved_e = !Discharge.enabled and saved_c = !Discharge.crosscheck in
+    Fun.protect
+      ~finally:(fun () ->
+        Discharge.enabled := saved_e;
+        Discharge.crosscheck := saved_c)
+      (fun () ->
+        Discharge.enabled := absint;
+        Discharge.crosscheck := crosscheck;
+        fresh_caches ();
+        Discharge.reset ();
+        let t0 = Unix.gettimeofday () in
+        let r = Checker.check_source src in
+        let t = Unix.gettimeofday () -. t0 in
+        ( t,
+          absint_render r,
+          profile_count "solver.queries",
+          profile_count "absint.discharged",
+          profile_count "absint.fallthrough",
+          profile_count "absint.crosscheck_fail" ))
+  in
+  let cases =
+    List.map
+      (fun (b : Workloads.benchmark) -> (b.Workloads.bm_name, b.Workloads.bm_flux))
+      Workloads.all
+    @ [ ("rmat", Workloads.rmat_flux) ]
+  in
+  let rows =
+    List.map
+      (fun (name, src) ->
+        let _, off_r, off_q, _, _, _ = run ~absint:false ~crosscheck:false src in
+        let on_t, on_r, on_q, disch, fall, _ =
+          run ~absint:true ~crosscheck:false src
+        in
+        {
+          ab_name = name;
+          ab_off_q = off_q;
+          ab_on_q = on_q;
+          ab_disch = disch;
+          ab_fall = fall;
+          ab_same = String.equal off_r on_r;
+          ab_on_t = on_t;
+        })
+      cases
+  in
+  (* crosscheck sweep: re-solve every clause the environment answered
+     and count disagreements (the solver's verdict wins regardless) *)
+  let xfail =
+    List.fold_left
+      (fun acc (_, src) ->
+        let _, _, _, _, _, x = run ~absint:true ~crosscheck:true src in
+        acc + x)
+      0 cases
+  in
+  let pct off on =
+    if off = 0 then 0.0 else 100.0 *. float_of_int (off - on) /. float_of_int off
+  in
+  Printf.printf "Absint discharge (Table-1 workloads, off vs on):\n";
+  Printf.printf "  %-10s %10s %10s %11s %12s %7s %6s\n" "workload" "SMT(off)"
+    "SMT(on)" "discharged" "fallthrough" "saved" "same";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-10s %10d %10d %11d %12d %6.1f%% %6s\n" r.ab_name
+        r.ab_off_q r.ab_on_q r.ab_disch r.ab_fall
+        (pct r.ab_off_q r.ab_on_q)
+        (if r.ab_same then "yes" else "NO"))
+    rows;
+  let tot_off = List.fold_left (fun a r -> a + r.ab_off_q) 0 rows in
+  let tot_on = List.fold_left (fun a r -> a + r.ab_on_q) 0 rows in
+  let tot_disch = List.fold_left (fun a r -> a + r.ab_disch) 0 rows in
+  let big_wins =
+    List.length (List.filter (fun r -> pct r.ab_off_q r.ab_on_q >= 15.0) rows)
+  in
+  let all_same = List.for_all (fun r -> r.ab_same) rows in
+  Printf.printf
+    "  total: %d -> %d solver queries (%.1f%% saved), %d discharged; %d \
+     workload(s) saved >= 15%%; crosscheck disagreements: %d\n"
+    tot_off tot_on (pct tot_off tot_on) tot_disch big_wins xfail;
+  let pass = all_same && tot_disch > 0 && big_wins >= 2 && xfail = 0 in
+  let absint_json =
+    Sjson.Obj
+      [
+        ( "rows",
+          Sjson.Obj
+            (List.map
+               (fun r ->
+                 ( r.ab_name,
+                   Sjson.Obj
+                     [
+                       ("queries_off", Sjson.Int r.ab_off_q);
+                       ("queries_on", Sjson.Int r.ab_on_q);
+                       ("absint.discharged", Sjson.Int r.ab_disch);
+                       ("absint.fallthrough", Sjson.Int r.ab_fall);
+                       ("saved_pct", Sjson.Float (pct r.ab_off_q r.ab_on_q));
+                       ("verdicts_identical", Sjson.Bool r.ab_same);
+                       ("time_on_s", Sjson.Float r.ab_on_t);
+                     ] ))
+               rows) );
+        ("queries_off_total", Sjson.Int tot_off);
+        ("queries_on_total", Sjson.Int tot_on);
+        ("absint.discharged", Sjson.Int tot_disch);
+        ("workloads_saved_15pct", Sjson.Int big_wins);
+        ("crosscheck_disagreements", Sjson.Int xfail);
+        ("ok", Sjson.Bool pass);
+      ]
+  in
+  let table_file = "BENCH_table1.json" in
+  let table =
+    if Sys.file_exists table_file then
+      match Sjson.parse (Flux_engine.Diag.read_file table_file) with
+      | Ok (Sjson.Obj kvs) ->
+          Sjson.Obj
+            (List.remove_assoc "absint" kvs @ [ ("absint", absint_json) ])
+      | Ok _ | Error _ ->
+          Printf.printf
+            "  (existing %s is not a JSON object; rewriting with the absint \
+             section only)\n"
+            table_file;
+          Sjson.Obj [ ("absint", absint_json) ]
+    else Sjson.Obj [ ("absint", absint_json) ]
+  in
+  let oc = open_out table_file in
+  output_string oc (Sjson.to_string ~pretty:true table);
+  close_out oc;
+  Printf.printf "Wrote %s (absint section)\n" table_file;
+  Printf.printf
+    "Absint assertions (identical verdicts, discharged > 0, >= 2 workloads \
+     saved >= 15%%, zero crosscheck disagreements): %s\n"
+    (if pass then "PASS" else "FAIL");
+  if not pass then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1206,6 +1373,7 @@ let () =
   | "fuzz" -> fuzz_smoke ~jobs ()
   | "lint" -> lint_bench ~jobs ()
   | "certify" -> certify_bench ~jobs ()
+  | "absint" -> absint_bench ~jobs ()
   | "daemon" -> daemon_bench ~jobs ()
   | "ablations" -> ablations ()
   | "micro" -> micro ()

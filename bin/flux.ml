@@ -62,7 +62,7 @@ let run_tool ~daemon ~socket ~deadline (opts : Exec.opts) ~file =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times
-    daemon socket deadline fixpoint certify format =
+    daemon socket deadline fixpoint certify format absint absint_crosscheck =
   Flux_fixpoint.Solve.incremental_enabled := fixpoint = `Incremental;
   (* The schedule ref lives in this process; a daemon started earlier
      would not see the flip, so `--fixpoint naive` always runs
@@ -78,6 +78,8 @@ let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times
       cache;
       cache_dir;
       certify;
+      absint;
+      absint_crosscheck;
       dump_mir;
       dump_solution;
       format_json = (format = `Json);
@@ -92,7 +94,7 @@ let check_cmd_run file dump_mir dump_solution quiet jobs cache cache_dir times
 (* ------------------------------------------------------------------ *)
 
 let lint_cmd_run file format quiet jobs cache cache_dir times pass_sel all
-    daemon socket deadline =
+    daemon socket deadline absint absint_crosscheck =
   let opts =
     {
       Exec.tool = Exec.Flux_lint;
@@ -102,6 +104,8 @@ let lint_cmd_run file format quiet jobs cache cache_dir times pass_sel all
       cache;
       cache_dir;
       certify = false;
+      absint;
+      absint_crosscheck;
       dump_mir = false;
       dump_solution = false;
       format_json = (format = `Json);
@@ -122,7 +126,7 @@ let fuzz_cmd_run seed budget oracle jobs corpus no_corpus quiet =
     | None ->
         Format.eprintf
           "flux: unknown oracle `%s` (expected soundness, solver, cert, \
-           fixpoint, incremental or all)@."
+           fixpoint, incremental, absint or all)@."
           oracle;
         exit Diag.exit_frontend
   in
@@ -264,13 +268,42 @@ let pass_arg =
     & info [ "pass" ] ~docv:"PASS"
         ~doc:
           "Run only the given pass (repeatable). Available: vacuity, \
-           unreachable, trivial-refinement, dead-store, overflow")
+           unreachable, trivial-refinement, dead-store, div-by-zero, \
+           index-bounds, overflow")
 
 let all_passes_flag =
   Arg.(
     value & flag
     & info [ "all" ]
         ~doc:"Run every pass, including the allow-by-default ones (overflow)")
+
+let absint_flag =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "absint" ]
+              ~doc:
+                "Discharge trivially-valid proof obligations with the \
+                 abstract-interpretation pre-solver before any SMT \
+                 (default). Verdicts are byte-identical either way" );
+          ( false,
+            info [ "no-absint" ]
+              ~doc:
+                "Send every proof obligation to the SMT solver (disables \
+                 the abstract pre-solver discharge)" );
+        ])
+
+let absint_crosscheck_flag =
+  Arg.(
+    value & flag
+    & info [ "absint-crosscheck" ]
+        ~doc:
+          "Re-solve every clause the abstract pre-solver discharged and \
+           take the solver's verdict; disagreements are counted in the \
+           $(b,absint.crosscheck_fail) profile counter (used by CI to \
+           audit the discharge layer)")
 
 let daemon_flag =
   Arg.(
@@ -321,7 +354,7 @@ let check_cmd =
       const check_cmd_run $ file_arg $ dump_mir_flag $ dump_solution_flag
       $ quiet_flag $ jobs_arg $ cache_flag $ cache_dir_arg $ times_flag
       $ daemon_flag $ socket_arg $ deadline_arg $ fixpoint_arg $ certify_flag
-      $ format_arg)
+      $ format_arg $ absint_flag $ absint_crosscheck_flag)
 
 let lint_cmd =
   Cmd.v
@@ -332,7 +365,8 @@ let lint_cmd =
     Term.(
       const lint_cmd_run $ file_arg $ format_arg $ quiet_flag $ jobs_arg
       $ cache_flag $ cache_dir_arg $ times_flag $ pass_arg $ all_passes_flag
-      $ daemon_flag $ socket_arg $ deadline_arg)
+      $ daemon_flag $ socket_arg $ deadline_arg $ absint_flag
+      $ absint_crosscheck_flag)
 
 let seed_arg =
   Arg.(
@@ -356,7 +390,9 @@ let oracle_arg =
         ~doc:
           "Which oracle to run: $(b,soundness), $(b,solver), $(b,cert) \
            (certificate replay), $(b,fixpoint), $(b,incremental) \
-           (full-vs-incremental schedule differential) or $(b,all)")
+           (full-vs-incremental schedule differential), $(b,absint) \
+           (abstract-interpretation γ-containment and discharge \
+           soundness) or $(b,all)")
 
 let corpus_arg =
   Arg.(

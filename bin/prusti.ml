@@ -19,7 +19,7 @@ module Exec = Flux_server.Exec
 module Client = Flux_server.Client
 
 let check_cmd_run file quiet jobs cache cache_dir times daemon socket deadline
-    certify =
+    certify absint absint_crosscheck =
   let opts =
     {
       Exec.tool = Exec.Prusti_check;
@@ -29,6 +29,8 @@ let check_cmd_run file quiet jobs cache cache_dir times daemon socket deadline
       cache;
       cache_dir;
       certify;
+      absint;
+      absint_crosscheck;
       dump_mir = false;
       dump_solution = false;
       format_json = false;
@@ -120,13 +122,36 @@ let certify_flag =
            assignment plus an executable counterexample trace to every \
            failure")
 
+let absint_flag =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "absint" ]
+              ~doc:
+                "Discharge trivially-valid VCs with the abstract \
+                 pre-solver before any SMT (default)" );
+          ( false,
+            info [ "no-absint" ]
+              ~doc:"Send every VC to the SMT solver" );
+        ])
+
+let absint_crosscheck_flag =
+  Arg.(
+    value & flag
+    & info [ "absint-crosscheck" ]
+        ~doc:
+          "Re-solve every VC the abstract pre-solver discharged and take \
+           the solver's verdict (audit mode)")
+
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Verify a program with the program-logic baseline")
     Term.(
       const check_cmd_run $ file_arg $ quiet_flag $ jobs_arg $ cache_flag
       $ cache_dir_arg $ times_flag $ daemon_flag $ socket_arg $ deadline_arg
-      $ certify_flag)
+      $ certify_flag $ absint_flag $ absint_crosscheck_flag)
 
 let main =
   Cmd.group

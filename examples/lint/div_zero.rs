@@ -1,0 +1,9 @@
+// Seeded defect: `d` is the constant 0 on every path, so the division
+// always faults — `flux lint` flags it with the `div-by-zero` pass
+// (proved by abstract interpretation, no solver query).
+//   dune exec bin/flux.exe -- lint examples/lint/div_zero.rs
+#[lr::sig(fn(i32) -> i32)]
+fn crash(n: i32) -> i32 {
+    let d = 0;
+    return n / d;
+}

@@ -1,0 +1,13 @@
+// Seeded defect: the vector holds one element but index 3 is asked
+// for, so the access is out of bounds on every execution — `flux lint`
+// flags it with the `index-bounds` pass (the abstract interpreter
+// tracks the length through `new`/`push`). The refinement checker
+// independently rejects the access; the lint names the defect without
+// any solver query.
+//   dune exec bin/flux.exe -- lint examples/lint/index_oob.rs
+#[lr::sig(fn() -> i32)]
+fn oob() -> i32 {
+    let mut v = RVec::new();
+    v.push(1);
+    return *v.get(3);
+}

@@ -1,0 +1,930 @@
+(** Abstract interpretation of MIR bodies.
+
+    Computes, for every program point, a reduced product of the
+    interval×congruence domain ({!Dom}) over the integer locals plus a
+    set of difference bounds [x − y ≤ c] between locals — run as a
+    widening/narrowing fixpoint on {!Flux_mir.Dataflow.MakeWiden}.
+
+    A vector-typed local is abstracted by its {e length} (always
+    [≥ 0]); element contents are untracked. Faulting operations
+    (division by zero, out-of-bounds indexing, [pop] on empty) describe
+    {e surviving} executions only, so their post-states refine — e.g.
+    after [v.get(i)] the index satisfies [0 ≤ i < len v] — and an
+    operation with no surviving execution collapses the state to
+    bottom. This is exactly the γ-containment contract the [absint]
+    fuzz oracle asserts against concrete interpreter traces: at every
+    block entry, every defined integer local lies in γ of its abstract
+    value and every recorded difference bound holds.
+
+    Soundness around aliasing is handled structurally rather than with
+    a points-to analysis:
+    - vector locals that are ever copied/moved to another vector local,
+      packed into an aggregate, or passed by value to a user function
+      are {e dirty}: their length is pinned to the alias-insensitive
+      [\[0, ∞)] for the whole body;
+    - reference temporaries ([RRef]) are tracked to their target local;
+      a mutable reference consumed by a user call havocs its target,
+      and one that escapes into an aggregate marks the target {e wild}
+      — wild locals are additionally havocked at every subsequent user
+      call or opaque write. *)
+
+module Ast = Flux_syntax.Ast
+module Ir = Flux_mir.Ir
+module Dataflow = Flux_mir.Dataflow
+module IMap = Map.Make (Int)
+
+module PMap = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+module ISet = Set.Make (Int)
+
+type atom = AL of int | AC of int
+
+type rtgt = RLocal of Ast.mutability * int | RUnknown
+
+type st = {
+  vals : Dom.t IMap.t;  (** missing key = ⊤; never maps to [Dom.Bot] *)
+  diffs : int PMap.t;  (** [(x, y) ↦ c]: x − y ≤ c *)
+  guards : (Ast.binop * atom * atom) IMap.t;
+      (** boolean local ↦ the comparison it currently holds *)
+  refs : rtgt IMap.t;  (** reference temporaries ↦ their target *)
+  wild : ISet.t;  (** locals with escaped mutable aliases *)
+}
+
+type astate = Bot | St of st
+
+let reachable = function Bot -> false | St _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Per-body static context                                             *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  body : Ir.body;
+  is_vec : bool array;  (** vec-typed locals (tracked as lengths) *)
+  dirty : bool array;  (** vec locals whose length is alias-unsafe *)
+  addressable : bool array;  (** locals that ever appear under [RRef] *)
+}
+
+let vec_zero = Dom.at_least 0
+
+let operand_base (o : Ir.operand) : int option =
+  match o with
+  | Ir.Copy p | Ir.Move p -> if p.Ir.projs = [] then Some p.Ir.base else None
+  | Ir.Const _ -> None
+
+let make_ctx (b : Ir.body) : ctx =
+  let n = Array.length b.Ir.mb_locals in
+  let is_vec =
+    Array.init n (fun l ->
+        match Ir.local_ty b l with Ast.TVec _ -> true | _ -> false)
+  in
+  let dirty = Array.make n false in
+  let addressable = Array.make n false in
+  let mark_dirty o =
+    match operand_base o with
+    | Some l when is_vec.(l) -> dirty.(l) <- true
+    | _ -> ()
+  in
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun s ->
+          match s with
+          | Ir.SAssign (dest, rv, _) -> (
+              match rv with
+              | Ir.RUse o ->
+                  (* vec-to-vec copy/move: both ends lose precision *)
+                  if dest.Ir.projs = [] && is_vec.(dest.Ir.base) then begin
+                    dirty.(dest.Ir.base) <- true;
+                    mark_dirty o
+                  end
+                  else mark_dirty o
+              | Ir.RAggregate (_, fields) ->
+                  List.iter (fun (_, o) -> mark_dirty o) fields
+              | Ir.RRef (_, p) -> addressable.(p.Ir.base) <- true
+              | _ -> ())
+          | _ -> ())
+        blk.Ir.stmts;
+      match blk.Ir.term with
+      | Ir.TCall { tc_func; tc_args; _ } ->
+          (* a vec passed by value to a user function escapes *)
+          if not (String.length tc_func > 6 && String.sub tc_func 0 6 = "RVec::")
+          then List.iter mark_dirty tc_args
+      | _ -> ())
+    b.Ir.mb_blocks;
+  { body = b; is_vec; dirty; addressable }
+
+(* ------------------------------------------------------------------ *)
+(* State helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let empty_st =
+  {
+    vals = IMap.empty;
+    diffs = PMap.empty;
+    guards = IMap.empty;
+    refs = IMap.empty;
+    wild = ISet.empty;
+  }
+
+let find_val (c : ctx) (s : st) (l : int) : Dom.t =
+  match IMap.find_opt l s.vals with
+  | Some d -> d
+  | None -> if c.is_vec.(l) then vec_zero else Dom.top
+
+(* Drop facts (guards, diffs) that mention [l]. *)
+let forget_facts (s : st) (l : int) : st =
+  let mentions = function AL x -> x = l | AC _ -> false in
+  {
+    s with
+    diffs = PMap.filter (fun (x, y) _ -> x <> l && y <> l) s.diffs;
+    guards =
+      IMap.filter
+        (fun b (_, a1, a2) -> b <> l && (not (mentions a1)) && not (mentions a2))
+        s.guards;
+  }
+
+(* Overwrite local [l] with abstract value [d]. Collapses to [Bot] when
+   [d] is bottom: the only transfer that produces bottom from reachable
+   inputs is a faulting one (division by a definite zero), which no
+   execution survives. *)
+let set_val (c : ctx) (s : st) (l : int) (d : Dom.t) : astate =
+  if Dom.is_bot d then Bot
+  else
+    let s = forget_facts s l in
+    let s = { s with refs = IMap.remove l s.refs } in
+    let d = if c.dirty.(l) then vec_zero else d in
+    let keep = if c.is_vec.(l) then not (Dom.equal d vec_zero) else not (Dom.equal d Dom.top) in
+    St { s with vals = (if keep then IMap.add l d s.vals else IMap.remove l s.vals) }
+
+(* Havoc: [l] takes any value it can concretely have. *)
+let havoc (c : ctx) (s : st) (l : int) : st =
+  match set_val c s l (if c.is_vec.(l) then vec_zero else Dom.top) with
+  | St s -> s
+  | Bot -> assert false
+
+let havoc_wild (c : ctx) (s : st) : st =
+  ISet.fold (fun l s -> havoc c s l) s.wild s
+
+(* Refine (meet) the value of [l] — used for guard/fault refinement,
+   never invalidates facts. *)
+let refine_val (c : ctx) (s : st) (l : int) (d : Dom.t) : astate =
+  let d = Dom.meet (find_val c s l) d in
+  if Dom.is_bot d then Bot
+  else
+    let keep =
+      if c.is_vec.(l) then not (Dom.equal d vec_zero)
+      else not (Dom.equal d Dom.top)
+    in
+    St
+      {
+        s with
+        vals = (if keep then IMap.add l d s.vals else IMap.remove l s.vals);
+      }
+
+let add_diff (s : st) (x : int) (y : int) (cst : int) : st =
+  let key = (x, y) in
+  let cst =
+    match PMap.find_opt key s.diffs with Some c -> min c cst | None -> cst
+  in
+  { s with diffs = PMap.add key cst s.diffs }
+
+(** Upper bound of [x − y] from the recorded difference bounds (the
+    direct edge only; transitive consequences were already folded in
+    when the facts were created). *)
+let diff_ub (s : st) (x : int) (y : int) : int option =
+  PMap.find_opt (x, y) s.diffs
+
+(* ------------------------------------------------------------------ *)
+(* Operand / rvalue evaluation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let eval_operand (c : ctx) (s : st) (o : Ir.operand) : Dom.t =
+  match o with
+  | Ir.Const (Ir.CInt (n, _)) -> Dom.const n
+  | Ir.Const _ -> Dom.top
+  | Ir.Copy p | Ir.Move p ->
+      if p.Ir.projs = [] then find_val c s p.Ir.base else Dom.top
+
+let atom_of_operand (o : Ir.operand) : atom option =
+  match o with
+  | Ir.Const (Ir.CInt (n, _)) -> Some (AC n)
+  | Ir.Copy p | Ir.Move p -> if p.Ir.projs = [] then Some (AL p.Ir.base) else None
+  | Ir.Const _ -> None
+
+let eval_binop (op : Ast.binop) (a : Dom.t) (b : Dom.t) : Dom.t =
+  match op with
+  | Ast.Add -> Dom.add a b
+  | Ast.Sub -> Dom.sub a b
+  | Ast.Mul -> Dom.mul a b
+  | Ast.Div -> Dom.div a b
+  | Ast.Rem -> Dom.md a b
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.EqOp | Ast.NeOp | Ast.AndOp
+  | Ast.OrOp | Ast.ImpOp ->
+      (* boolean result: 0/1, precise when the comparison is decided *)
+      if Dom.is_bot a || Dom.is_bot b then Dom.Bot
+      else
+        let decided v = Dom.const (if v then 1 else 0) in
+        let unknown = Dom.range (Some 0) (Some 1) in
+        (match op with
+        | Ast.Lt ->
+            if Dom.always_lt a b then decided true
+            else if Dom.always_le b a then decided false
+            else unknown
+        | Ast.Le ->
+            if Dom.always_le a b then decided true
+            else if Dom.always_lt b a then decided false
+            else unknown
+        | Ast.Gt ->
+            if Dom.always_lt b a then decided true
+            else if Dom.always_le a b then decided false
+            else unknown
+        | Ast.Ge ->
+            if Dom.always_le b a then decided true
+            else if Dom.always_lt a b then decided false
+            else unknown
+        | Ast.EqOp ->
+            if Dom.always_ne a b then decided false
+            else (
+              match (Dom.is_const a, Dom.is_const b) with
+              | Some x, Some y -> decided (x = y)
+              | _ -> unknown)
+        | Ast.NeOp ->
+            if Dom.always_ne a b then decided true
+            else (
+              match (Dom.is_const a, Dom.is_const b) with
+              | Some x, Some y -> decided (x <> y)
+              | _ -> unknown)
+        | _ -> unknown)
+
+(* ------------------------------------------------------------------ *)
+(* Guard refinement                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let eval_atom (c : ctx) (s : st) = function
+  | AC n -> Dom.const n
+  | AL l -> find_val c s l
+
+(* Assume the comparison [a1 op a2] holds; [op] is one of the six
+   comparison operators. Refines intervals and records difference
+   bounds between locals. *)
+let assume_cmp (c : ctx) (st0 : astate) ((op, a1, a2) : Ast.binop * atom * atom)
+    : astate =
+  match st0 with
+  | Bot -> Bot
+  | St s -> (
+      let d1 = eval_atom c s a1 and d2 = eval_atom c s a2 in
+      (* translate everything to a ≤ b + k form, both directions *)
+      let apply s (lhs, rhs, k) =
+        (* lhs ≤ rhs + k *)
+        let dr = eval_atom c s rhs in
+        let s =
+          match lhs with
+          | AL l -> (
+              let bound =
+                match dr with
+                | Dom.Bot -> Dom.Bot
+                | Dom.V { hi = Some h; _ } -> Dom.at_most (h + k)
+                | _ -> Dom.top
+              in
+              match refine_val c s l bound with Bot -> None | St s -> Some s)
+          | AC n -> (
+              (* n ≤ rhs + k is a lower bound on rhs *)
+              match rhs with
+              | AL r -> (
+                  match refine_val c s r (Dom.at_least (n - k)) with
+                  | Bot -> None
+                  | St s -> Some s)
+              | AC m -> if n <= m + k then Some s else None)
+        in
+        match s with
+        | None -> None
+        | Some s -> (
+            match (lhs, rhs) with
+            | AL l, AL r -> Some (add_diff s l r k)
+            | _ -> Some s)
+      in
+      let constraints =
+        match op with
+        | Ast.Lt -> [ (a1, a2, -1) ]
+        | Ast.Le -> [ (a1, a2, 0) ]
+        | Ast.Gt -> [ (a2, a1, -1) ]
+        | Ast.Ge -> [ (a2, a1, 0) ]
+        | Ast.EqOp -> [ (a1, a2, 0); (a2, a1, 0) ]
+        | Ast.NeOp -> []
+        | _ -> []
+      in
+      match op with
+      | Ast.NeOp ->
+          (* disjointness can only refute *)
+          if Dom.is_bot d1 || Dom.is_bot d2 then Bot
+          else (
+            match (Dom.is_const d1, Dom.is_const d2) with
+            | Some x, Some y when x = y -> Bot
+            | _ -> St s)
+      | Ast.EqOp when Dom.always_ne d1 d2 -> Bot
+      | _ -> (
+          let rec go s = function
+            | [] -> St s
+            | cstr :: rest -> (
+                match apply s cstr with None -> Bot | Some s -> go s rest)
+          in
+          match go s constraints with
+          | Bot -> Bot
+          | St s ->
+              (* symmetric pass: upper bounds on the smaller side *)
+              let s =
+                match (op, a1, a2) with
+                | (Ast.Lt | Ast.Le), AL l, AL r -> (
+                    let k = if op = Ast.Lt then -1 else 0 in
+                    match eval_atom c s (AL l) with
+                    | Dom.V { lo = Some lo1; _ } -> (
+                        match refine_val c s r (Dom.at_least (lo1 - k)) with
+                        | St s -> s
+                        | Bot -> s)
+                    | _ -> s)
+                | (Ast.Gt | Ast.Ge), AL l, AL r -> (
+                    let k = if op = Ast.Gt then -1 else 0 in
+                    match eval_atom c s (AL r) with
+                    | Dom.V { lo = Some lo2; _ } -> (
+                        match refine_val c s l (Dom.at_least (lo2 - k)) with
+                        | St s -> s
+                        | Bot -> s)
+                    | _ -> s)
+                | _ -> s
+              in
+              St s))
+
+let negate_cmp (op : Ast.binop) : Ast.binop option =
+  match op with
+  | Ast.Lt -> Some Ast.Ge
+  | Ast.Le -> Some Ast.Gt
+  | Ast.Gt -> Some Ast.Le
+  | Ast.Ge -> Some Ast.Lt
+  | Ast.EqOp -> Some Ast.NeOp
+  | Ast.NeOp -> Some Ast.EqOp
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Statement transfer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let is_cmp = function
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.EqOp | Ast.NeOp -> true
+  | _ -> false
+
+let transfer_stmt (c : ctx) (st0 : astate) (stmt : Ir.stmt) : astate =
+  match st0 with
+  | Bot -> Bot
+  | St s -> (
+      match stmt with
+      | Ir.SNop | Ir.SInvariant _ -> st0
+      | Ir.SAssign (dest, rv, _) -> (
+          match dest.Ir.projs with
+          | Ir.PDeref :: _ -> (
+              (* write through a reference *)
+              match IMap.find_opt dest.Ir.base s.refs with
+              | Some (RLocal (_, l)) -> St (havoc c s l)
+              | Some RUnknown | None ->
+                  (* unknown target: havoc everything addressable *)
+                  let s = havoc_wild c s in
+                  let s' = ref s in
+                  Array.iteri
+                    (fun l addr -> if addr then s' := havoc c !s' l)
+                    c.addressable;
+                  St !s')
+          | Ir.PField _ :: _ ->
+              (* struct locals are untracked; the write is invisible *)
+              st0
+          | [] -> (
+              let l = dest.Ir.base in
+              match rv with
+              | Ir.RUse o -> (
+                  let v = eval_operand c s o in
+                  match set_val c s l v with
+                  | Bot -> Bot
+                  | St s -> (
+                      (* propagate ref bindings and add copy equalities *)
+                      match operand_base o with
+                      | Some src when src <> l ->
+                          let s =
+                            match IMap.find_opt src s.refs with
+                            | Some t -> { s with refs = IMap.add l t s.refs }
+                            | None -> s
+                          in
+                          let s =
+                            if
+                              (not c.is_vec.(l))
+                              && (not c.is_vec.(src))
+                              && not (Dom.is_bot v)
+                            then add_diff (add_diff s l src 0) src l 0
+                            else if
+                              c.is_vec.(l) && c.is_vec.(src)
+                              && (not c.dirty.(l))
+                              && not c.dirty.(src)
+                            then add_diff (add_diff s l src 0) src l 0
+                            else s
+                          in
+                          St s
+                      | _ -> St s))
+              | Ir.RBin (op, o1, o2) -> (
+                  let v = eval_binop op (eval_operand c s o1) (eval_operand c s o2) in
+                  match set_val c s l v with
+                  | Bot -> Bot
+                  | St s -> (
+                      (* x = y ± const: difference bounds in both
+                         directions *)
+                      let s =
+                        match (op, atom_of_operand o1, atom_of_operand o2) with
+                        | Ast.Add, Some (AL y), Some (AC k)
+                        | Ast.Add, Some (AC k), Some (AL y)
+                          when y <> l ->
+                            add_diff (add_diff s l y k) y l (-k)
+                        | Ast.Sub, Some (AL y), Some (AC k) when y <> l ->
+                            add_diff (add_diff s l y (-k)) y l k
+                        | _ -> s
+                      in
+                      (* record comparison guards on the bool result *)
+                      if is_cmp op then
+                        match (atom_of_operand o1, atom_of_operand o2) with
+                        | Some a1, Some a2 ->
+                            St { s with guards = IMap.add l (op, a1, a2) s.guards }
+                        | _ -> St s
+                      else St s))
+              | Ir.RUn (un, o) -> (
+                  let v =
+                    match un with
+                    | Ast.NegOp -> Dom.neg (eval_operand c s o)
+                    | Ast.Not -> Dom.sub (Dom.const 1) (eval_operand c s o)
+                  in
+                  match set_val c s l v with
+                  | Bot -> Bot
+                  | St s -> (
+                      (* !b inherits b's guard, negated *)
+                      match (un, operand_base o) with
+                      | Ast.Not, Some b -> (
+                          match IMap.find_opt b s.guards with
+                          | Some (op, a1, a2) -> (
+                              match negate_cmp op with
+                              | Some op' ->
+                                  St
+                                    {
+                                      s with
+                                      guards = IMap.add l (op', a1, a2) s.guards;
+                                    }
+                              | None -> St s)
+                          | None -> St s)
+                      | _ -> St s))
+              | Ir.RRef (mu, p) -> (
+                  match set_val c s l Dom.top with
+                  | Bot -> Bot
+                  | St s ->
+                      let tgt =
+                        if p.Ir.projs = [] then RLocal (mu, p.Ir.base)
+                        else RUnknown
+                      in
+                      St { s with refs = IMap.add l tgt s.refs })
+              | Ir.RAggregate (_, fields) ->
+                  (* any mutable reference packed into the aggregate
+                     escapes: its target becomes wild *)
+                  let wild =
+                    List.fold_left
+                      (fun w (_, o) ->
+                        match operand_base o with
+                        | Some b -> (
+                            match IMap.find_opt b s.refs with
+                            | Some (RLocal (Ast.Mut, t)) -> ISet.add t w
+                            | Some RUnknown ->
+                                (* unknown target: everything whose
+                                   address was ever taken may alias *)
+                                let w = ref w in
+                                Array.iteri
+                                  (fun l addr -> if addr then w := ISet.add l !w)
+                                  c.addressable;
+                                !w
+                            | _ -> w)
+                        | None -> w)
+                      s.wild fields
+                  in
+                  let s = { s with wild } in
+                  set_val c s l Dom.top)))
+
+(* ------------------------------------------------------------------ *)
+(* Terminator / edge transfer                                          *)
+(* ------------------------------------------------------------------ *)
+
+let vec_method (f : string) : string option =
+  if String.length f > 6 && String.sub f 0 6 = "RVec::" then
+    Some (String.sub f 6 (String.length f - 6))
+  else None
+
+(* The vector local a receiver reference designates, when tracked. *)
+let recv_target (s : st) (args : Ir.operand list) : int option =
+  match args with
+  | recv :: _ -> (
+      match operand_base recv with
+      | Some t -> (
+          match IMap.find_opt t s.refs with
+          | Some (RLocal (_, l)) -> Some l
+          | _ -> None)
+      | None -> None)
+  | [] -> None
+
+(* Refine an index operand after a bounds-checked access survived:
+   0 ≤ i < len v. *)
+let refine_index (c : ctx) (st0 : astate) (vec : int option)
+    (idx : Ir.operand) : astate =
+  match st0 with
+  | Bot -> Bot
+  | St s -> (
+      match operand_base idx with
+      | Some i when not c.is_vec.(i) -> (
+          let len =
+            match vec with Some v -> find_val c s v | None -> vec_zero
+          in
+          let upper =
+            match len with
+            | Dom.V { hi = Some h; _ } -> Dom.range (Some 0) (Some (h - 1))
+            | _ -> Dom.at_least 0
+          in
+          match refine_val c s i upper with
+          | Bot -> Bot
+          | St s -> (
+              let s =
+                match vec with
+                | Some v -> add_diff s i v (-1) (* i ≤ len v − 1 *)
+                | None -> s
+              in
+              (* the length, conversely, exceeds the index *)
+              match vec with
+              | Some v when not c.dirty.(v) -> (
+                  match find_val c s i with
+                  | Dom.V { lo = Some lo; _ } ->
+                      refine_val c s v (Dom.at_least (lo + 1))
+                  | _ -> St s)
+              | _ -> St s))
+      | _ -> (
+          (* constant or untracked index: still refines the length *)
+          match (vec, eval_operand c s idx) with
+          | Some v, Dom.V { lo = Some lo; _ } when not c.dirty.(v) ->
+              refine_val c s v (Dom.at_least (lo + 1))
+          | _ -> st0))
+
+let drop_vec_diffs (s : st) (v : int) : st =
+  { s with diffs = PMap.filter (fun (x, y) _ -> x <> v && y <> v) s.diffs }
+
+let transfer_call (c : ctx) (st0 : astate) ~(dst : int)
+    (tc : Ir.terminator) : astate =
+  match (st0, tc) with
+  | Bot, _ -> Bot
+  | St s, Ir.TCall { tc_func; tc_args; tc_dest; tc_target; _ } -> (
+      if tc_target <> dst then Bot
+      else
+        let assign_dest st0 v =
+          match st0 with
+          | Bot -> Bot
+          | St s -> (
+              match tc_dest.Ir.projs with
+              | [] -> set_val c s tc_dest.Ir.base v
+              | _ -> St s)
+        in
+        let dest_default st0 =
+          match st0 with
+          | Bot -> Bot
+          | St s -> (
+              match tc_dest.Ir.projs with
+              | [] ->
+                  set_val c s tc_dest.Ir.base
+                    (if c.is_vec.(tc_dest.Ir.base) then vec_zero else Dom.top)
+              | _ -> St s)
+        in
+        match vec_method tc_func with
+        | Some "new" -> assign_dest (St s) (Dom.const 0)
+        | Some "len" -> (
+            match recv_target s tc_args with
+            | Some v -> (
+                let lv = find_val c s v in
+                match assign_dest (St s) lv with
+                | Bot -> Bot
+                | St s -> (
+                    match tc_dest.Ir.projs with
+                    | [] when (not c.is_vec.(tc_dest.Ir.base)) && not c.dirty.(v)
+                      ->
+                        let d = tc_dest.Ir.base in
+                        if d <> v then St (add_diff (add_diff s d v 0) v d 0)
+                        else St s
+                    | _ -> St s))
+            | None -> assign_dest (St s) vec_zero)
+        | Some "is_empty" -> dest_default (St s)
+        | Some "push" -> (
+            match recv_target s tc_args with
+            | Some v ->
+                let s = drop_vec_diffs s v in
+                let grown = Dom.add (find_val c s v) (Dom.const 1) in
+                (match set_val c s v (Dom.meet grown vec_zero) with
+                | Bot -> Bot
+                | St s -> dest_default (St s))
+            | None ->
+                (* unknown receiver: any vector may have grown *)
+                let s' = ref s in
+                Array.iteri
+                  (fun l isv -> if isv then s' := havoc c !s' l)
+                  c.is_vec;
+                dest_default (St !s'))
+        | Some "pop" -> (
+            match recv_target s tc_args with
+            | Some v -> (
+                (* pop faults on empty: survivors had len ≥ 1 *)
+                match refine_val c s v (Dom.at_least 1) with
+                | Bot -> Bot
+                | St s ->
+                    let s = drop_vec_diffs s v in
+                    let shrunk = Dom.add (find_val c s v) (Dom.const (-1)) in
+                    (match set_val c s v (Dom.meet shrunk vec_zero) with
+                    | Bot -> Bot
+                    | St s -> dest_default (St s)))
+            | None ->
+                let s' = ref s in
+                Array.iteri
+                  (fun l isv -> if isv then s' := havoc c !s' l)
+                  c.is_vec;
+                dest_default (St !s'))
+        | Some ("get" | "get_mut") -> (
+            let v = recv_target s tc_args in
+            match tc_args with
+            | [ _; idx ] -> dest_default (refine_index c (St s) v idx)
+            | _ -> dest_default (St s))
+        | Some "swap" -> (
+            let v = recv_target s tc_args in
+            match tc_args with
+            | [ _; i; j ] ->
+                dest_default (refine_index c (refine_index c (St s) v i) v j)
+            | _ -> dest_default (St s))
+        | Some "clone" -> (
+            match recv_target s tc_args with
+            | Some v -> assign_dest (St s) (find_val c s v)
+            | None -> dest_default (St s))
+        | Some _ -> dest_default (St s)
+        | None ->
+            (* user function: mutable ref args havoc their targets;
+               wild locals may be reachable through stored aliases *)
+            let s = havoc_wild c s in
+            let s =
+              List.fold_left
+                (fun s o ->
+                  match operand_base o with
+                  | Some b -> (
+                      match IMap.find_opt b s.refs with
+                      | Some (RLocal (Ast.Mut, l)) -> havoc c s l
+                      | Some RUnknown ->
+                          let s' = ref s in
+                          Array.iteri
+                            (fun l addr -> if addr then s' := havoc c !s' l)
+                            c.addressable;
+                          !s'
+                      | _ -> s)
+                  | None -> s)
+                s tc_args
+            in
+            dest_default (St s))
+  | _, _ -> Bot
+
+let transfer_edge (c : ctx) ~(src : int) ~(dst : int) (term : Ir.terminator)
+    (st0 : astate) : astate =
+  ignore src;
+  match st0 with
+  | Bot -> Bot
+  | St s -> (
+      match term with
+      | Ir.TGoto _ -> st0
+      | Ir.TReturn | Ir.TUnreachable -> Bot (* no CFG successors *)
+      | Ir.TCall _ -> transfer_call c st0 ~dst term
+      | Ir.TSwitch (op, then_bb, else_bb) -> (
+          let taken_true = dst = then_bb and taken_false = dst = else_bb in
+          (* the same block can be both targets; then no refinement *)
+          if taken_true && taken_false then st0
+          else
+            match op with
+            | Ir.Const (Ir.CBool b) ->
+                if (b && taken_true) || ((not b) && taken_false) then st0
+                else Bot
+            | _ -> (
+                match operand_base op with
+                | Some b -> (
+                    match IMap.find_opt b s.guards with
+                    | Some (cmp, a1, a2) ->
+                        if taken_true then assume_cmp c st0 (cmp, a1, a2)
+                        else (
+                          match negate_cmp cmp with
+                          | Some cmp' -> assume_cmp c st0 (cmp', a1, a2)
+                          | None -> st0)
+                    | None -> st0)
+                | None -> st0)))
+
+(* ------------------------------------------------------------------ *)
+(* Lattice operations on states                                        *)
+(* ------------------------------------------------------------------ *)
+
+let join_st (a : st) (b : st) : st =
+  {
+    vals =
+      IMap.merge
+        (fun _ va vb ->
+          match (va, vb) with
+          | Some va, Some vb ->
+              let j = Dom.join va vb in
+              if Dom.equal j Dom.top then None else Some j
+          | _ -> None (* missing = ⊤ on one side *))
+        a.vals b.vals;
+    diffs =
+      PMap.merge
+        (fun _ ca cb ->
+          match (ca, cb) with
+          | Some ca, Some cb -> Some (max ca cb)
+          | _ -> None)
+        a.diffs b.diffs;
+    guards =
+      IMap.merge
+        (fun _ ga gb ->
+          match (ga, gb) with
+          | Some ga, Some gb when ga = gb -> Some ga
+          | _ -> None)
+        a.guards b.guards;
+    refs =
+      IMap.merge
+        (fun _ ra rb ->
+          match (ra, rb) with
+          | Some ra, Some rb when ra = rb -> Some ra
+          | _ -> None)
+        a.refs b.refs;
+    wild = ISet.union a.wild b.wild;
+  }
+
+let widen_st (old : st) (nw : st) : st =
+  {
+    vals =
+      IMap.merge
+        (fun _ vo vn ->
+          match (vo, vn) with
+          | Some vo, Some vn ->
+              let w = Dom.widen vo vn in
+              if Dom.equal w Dom.top then None else Some w
+          | _ -> None)
+        old.vals nw.vals;
+    diffs =
+      PMap.merge
+        (fun _ co cn ->
+          match (co, cn) with
+          | Some co, Some cn when cn <= co -> Some co
+          | _ -> None)
+        old.diffs nw.diffs;
+    guards =
+      IMap.merge
+        (fun _ go gn ->
+          match (go, gn) with
+          | Some go, Some gn when go = gn -> Some go
+          | _ -> None)
+        old.guards nw.guards;
+    refs =
+      IMap.merge
+        (fun _ ro rn ->
+          match (ro, rn) with
+          | Some ro, Some rn when ro = rn -> Some ro
+          | _ -> None)
+        old.refs nw.refs;
+    wild = ISet.union old.wild nw.wild;
+  }
+
+let narrow_st (old : st) (nw : st) : st =
+  {
+    nw with
+    vals =
+      IMap.merge
+        (fun _ vo vn ->
+          match (vo, vn) with
+          | Some vo, Some vn ->
+              let n = Dom.narrow vo vn in
+              if Dom.equal n Dom.top then None else Some n
+          | None, Some vn -> Some vn
+          | Some vo, None -> Some vo
+          | None, None -> None)
+        old.vals nw.vals;
+  }
+
+let equal_st (a : st) (b : st) : bool =
+  IMap.equal Dom.equal a.vals b.vals
+  && PMap.equal ( = ) a.diffs b.diffs
+  && IMap.equal ( = ) a.guards b.guards
+  && IMap.equal ( = ) a.refs b.refs
+  && ISet.equal a.wild b.wild
+
+(* ------------------------------------------------------------------ *)
+(* The fixpoint                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type analysis = {
+  ctx : ctx;
+  block_in : astate array;
+  block_out : astate array;  (** after statements, before the terminator *)
+}
+
+let analyze (b : Ir.body) : analysis =
+  let ctx = make_ctx b in
+  let module D = struct
+    type t = astate
+
+    let init (b : Ir.body) : t =
+      (* arguments: integers unconstrained (usize can underflow in the
+         concrete semantics, so no n ≥ 0 assumption); vector lengths
+         are genuinely nonnegative *)
+      ignore b;
+      St empty_st
+
+    let bottom _ = Bot
+
+    let join a b =
+      match (a, b) with
+      | Bot, x | x, Bot -> x
+      | St a, St b -> St (join_st a b)
+
+    let widen a b =
+      match (a, b) with
+      | Bot, x | x, Bot -> x
+      | St a, St b -> St (widen_st a b)
+
+    let narrow a b =
+      match (a, b) with
+      | Bot, _ | _, Bot -> Bot
+      | St a, St b -> St (narrow_st a b)
+
+    let equal a b =
+      match (a, b) with
+      | Bot, Bot -> true
+      | St a, St b -> equal_st a b
+      | _ -> false
+
+    let transfer_stmt _ fact s = transfer_stmt ctx fact s
+    let transfer_edge _ ~src ~dst term fact = transfer_edge ctx ~src ~dst term fact
+  end in
+  let module F = Dataflow.MakeWiden (D) in
+  let r = F.run b in
+  { ctx; block_in = r.F.block_in; block_out = r.F.block_out }
+
+let block_entry (a : analysis) (i : int) : astate = a.block_in.(i)
+let before_term (a : analysis) (i : int) : astate = a.block_out.(i)
+
+(** Iterate all statements with the state in force {e before} each. *)
+let iter_stmts (a : analysis) (f : block:int -> Ir.stmt -> astate -> unit) :
+    unit =
+  Array.iteri
+    (fun i blk ->
+      let fact = ref a.block_in.(i) in
+      List.iter
+        (fun s ->
+          f ~block:i s !fact;
+          fact := transfer_stmt a.ctx !fact s)
+        blk.Ir.stmts)
+    a.ctx.body.Ir.mb_blocks
+
+(* ------------------------------------------------------------------ *)
+(* γ-containment (the fuzz-oracle contract)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [contains st lookup]: does the concrete store lie in γ(st)?
+    [lookup l] returns the integer view of local [l] — the value of an
+    integer local, the {e length} of a vector local — or [None] when
+    the local is undefined/non-numeric at this point. Unreachable
+    abstract states contain nothing: reaching one concretely is
+    exactly the soundness violation the oracle reports. *)
+let contains (st0 : astate) (lookup : int -> int option) : bool =
+  match st0 with
+  | Bot -> false
+  | St s ->
+      IMap.for_all
+        (fun l d ->
+          match lookup l with Some n -> Dom.mem n d | None -> true)
+        s.vals
+      && PMap.for_all
+           (fun (x, y) cst ->
+             match (lookup x, lookup y) with
+             | Some nx, Some ny -> nx - ny <= cst
+             | _ -> true)
+           s.diffs
+
+let local_value (c : analysis) (st0 : astate) (l : int) : Dom.t =
+  match st0 with Bot -> Dom.Bot | St s -> find_val c.ctx s l
+
+let state_diff_ub (st0 : astate) (x : int) (y : int) : int option =
+  match st0 with Bot -> Some min_int | St s -> diff_ub s x y
+
+let state_eval_operand (a : analysis) (st0 : astate) (o : Ir.operand) : Dom.t =
+  match st0 with Bot -> Dom.Bot | St s -> eval_operand a.ctx s o
+
+let state_recv_target (st0 : astate) (args : Ir.operand list) : int option =
+  match st0 with Bot -> None | St s -> recv_target s args
+
+let is_vec_local (a : analysis) (l : int) : bool = a.ctx.is_vec.(l)

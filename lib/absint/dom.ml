@@ -1,0 +1,458 @@
+(** The numeric abstract domain: a reduced product of intervals and
+    congruences.
+
+    An abstract value describes a set of integers as the intersection
+    of an interval [\[lo, hi\]] (either bound possibly infinite) and a
+    congruence class [r mod m] ([m = 0] pins a single constant, [m = 1]
+    says nothing). The product is {e reduced} after every operation:
+    an empty intersection collapses to [Bot], interval endpoints snap
+    inward to the congruence class, and a singleton interval promotes
+    to a constant congruence — so structural equality of reduced
+    values is a usable fixpoint test.
+
+    All transfer functions follow the {e truncated} (Rust/OCaml)
+    division semantics established in PR 1: [(-7)/2 = -3] and
+    [(-7) mod 2 = -1], the sign of a remainder follows the dividend.
+    Division and remainder abstract only the {e non-faulting}
+    executions (a zero divisor panics at runtime), so dividing by the
+    constant zero yields [Bot] — no execution survives the statement.
+
+    Arithmetic on bounds saturates: any finite bound whose computation
+    could exceed the native [int] range widens to infinity instead of
+    wrapping, so γ-soundness never depends on overflow behaviour. *)
+
+(* ------------------------------------------------------------------ *)
+(* Saturating bound arithmetic                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounds above this magnitude are treated as infinite. Keeping a wide
+   margin below [max_int] means sums and differences of two in-range
+   bounds can never wrap. *)
+let big = 1 lsl 53
+
+let sat (n : int) : int option = if n > big || n < -big then None else Some n
+
+let sat_add (a : int option) (b : int option) : int option =
+  match (a, b) with Some a, Some b -> sat (a + b) | _ -> None
+
+let sat_mul (a : int option) (b : int option) : int option =
+  match (a, b) with
+  | Some 0, _ | _, Some 0 -> Some 0
+  | Some a, Some b ->
+      if abs a > big / abs b then None else sat (a * b)
+  | _ -> None
+
+let sat_neg = function Some n -> Some (-n) | None -> None
+
+(* min/max where [None] is -inf (for lows) or +inf (for highs); the
+   caller picks the interpretation. *)
+let opt_min a b =
+  match (a, b) with Some a, Some b -> Some (min a b) | _ -> None
+
+let opt_max a b =
+  match (a, b) with Some a, Some b -> Some (max a b) | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The product                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type v = {
+  lo : int option;  (** [None] = -∞ *)
+  hi : int option;  (** [None] = +∞ *)
+  m : int;  (** congruence modulus: 0 = constant, 1 = top *)
+  r : int;  (** residue; the constant itself when [m = 0] *)
+}
+
+type t = Bot | V of v
+
+let top = V { lo = None; hi = None; m = 1; r = 0 }
+
+let is_bot = function Bot -> true | V _ -> false
+
+(* Mathematical mod with a nonnegative result, for residue
+   normalization (distinct from the truncated [mod] we abstract). *)
+let emod a m = ((a mod m) + m) mod m
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Largest multiplier the congruence component may carry; beyond it we
+   give up the congruence rather than chase huge lcms. *)
+let max_modulus = 1 lsl 20
+
+(* Smallest value >= n congruent to r (mod m); m > 1. *)
+let snap_up n m r = n + emod (r - n) m
+
+(* Largest value <= n congruent to r (mod m); m > 1. *)
+let snap_down n m r = n - emod (n - r) m
+
+(** Re-establish the reduction invariants. This is the only way
+    abstract values are built internally. *)
+let make ~lo ~hi ~m ~r : t =
+  let m = abs m in
+  let r = if m > 1 then emod r m else if m = 1 then 0 else r in
+  (* constant congruence: intersect the interval with {r} *)
+  if m = 0 then
+    let ok_lo = match lo with Some l -> l <= r | None -> true in
+    let ok_hi = match hi with Some h -> r <= h | None -> true in
+    if ok_lo && ok_hi then V { lo = Some r; hi = Some r; m = 0; r } else Bot
+  else
+    (* snap finite endpoints inward to the congruence class *)
+    let lo = match lo with Some l when m > 1 -> Some (snap_up l m r) | b -> b in
+    let hi =
+      match hi with Some h when m > 1 -> Some (snap_down h m r) | b -> b
+    in
+    match (lo, hi) with
+    | Some l, Some h when l > h -> Bot
+    | Some l, Some h when l = h -> V { lo; hi; m = 0; r = l }
+    | _ -> V { lo; hi; m; r }
+
+let const n = make ~lo:(Some n) ~hi:(Some n) ~m:0 ~r:n
+let range lo hi = make ~lo ~hi ~m:1 ~r:0
+let at_least n = range (Some n) None
+let at_most n = range None (Some n)
+
+let is_const = function V { m = 0; r; _ } -> Some r | _ -> None
+
+(** Concretization membership: the executable γ, asserted by the fuzz
+    oracle against every concrete interpreter trace. *)
+let mem (n : int) (d : t) : bool =
+  match d with
+  | Bot -> false
+  | V { lo; hi; m; r } ->
+      (match lo with Some l -> l <= n | None -> true)
+      && (match hi with Some h -> n <= h | None -> true)
+      && (match m with 0 -> n = r | 1 -> true | m -> emod n m = r)
+
+let equal (a : t) (b : t) : bool =
+  match (a, b) with
+  | Bot, Bot -> true
+  | V a, V b -> a.lo = b.lo && a.hi = b.hi && a.m = b.m && a.r = b.r
+  | _ -> false
+
+(** [leq a b]: does [a] describe a subset of [b]? (Partial-order test
+    used by the monotonicity property tests.) *)
+let leq (a : t) (b : t) : bool =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | V a, V b ->
+      (match (a.lo, b.lo) with
+      | _, None -> true
+      | None, Some _ -> false
+      | Some x, Some y -> x >= y)
+      && (match (a.hi, b.hi) with
+         | _, None -> true
+         | None, Some _ -> false
+         | Some x, Some y -> x <= y)
+      && (match (a.m, b.m) with
+         | _, 1 -> true
+         | 0, 0 -> a.r = b.r
+         | 0, m -> emod a.r m = b.r
+         | _, 0 -> false
+         | m1, m2 -> m1 mod m2 = 0 && emod a.r m2 = b.r)
+
+(* ------------------------------------------------------------------ *)
+(* Lattice operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cong_join (m1, r1) (m2, r2) =
+  if m1 = 1 || m2 = 1 then (1, 0)
+  else
+    let g = gcd m1 (gcd m2 (r1 - r2)) in
+    if g = 0 then (0, r1) (* both the same constant *)
+    else if g > max_modulus then (1, 0)
+    else (g, emod r1 g)
+
+let join (a : t) (b : t) : t =
+  match (a, b) with
+  | Bot, d | d, Bot -> d
+  | V a, V b ->
+      let m, r = cong_join (a.m, a.r) (b.m, b.r) in
+      make
+        ~lo:(opt_min a.lo b.lo)
+        ~hi:(opt_max a.hi b.hi)
+        ~m ~r
+
+let cong_meet (m1, r1) (m2, r2) =
+  if m1 = 1 then Some (m2, r2)
+  else if m2 = 1 then Some (m1, r1)
+  else if m1 = 0 && m2 = 0 then if r1 = r2 then Some (0, r1) else None
+  else if m1 = 0 then if emod r1 m2 = r2 then Some (0, r1) else None
+  else if m2 = 0 then if emod r2 m1 = r1 then Some (0, r2) else None
+  else
+    let g = gcd m1 m2 in
+    if emod (r1 - r2) g <> 0 then None
+    else
+      let l = m1 / g * m2 in
+      if l > max_modulus then
+        (* lcm too large: keep the finer of the two inputs (a sound
+           over-approximation of the true meet) *)
+        Some (if m1 >= m2 then (m1, r1) else (m2, r2))
+      else
+        (* CRT: walk r1 + k*m1 until it hits r2 (mod m2); the loop runs
+           at most m2/g <= max_modulus steps *)
+        let rec find x = if emod x m2 = r2 then x else find (x + m1) in
+        Some (l, emod (find r1) l)
+
+let meet (a : t) (b : t) : t =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b -> (
+      let lo =
+        match (a.lo, b.lo) with
+        | None, x | x, None -> x
+        | Some x, Some y -> Some (max x y)
+      in
+      let hi =
+        match (a.hi, b.hi) with
+        | None, x | x, None -> x
+        | Some x, Some y -> Some (min x y)
+      in
+      match cong_meet (a.m, a.r) (b.m, b.r) with
+      | None -> Bot
+      | Some (m, r) -> make ~lo ~hi ~m ~r)
+
+(** Widening: unstable interval bounds jump straight to infinity. The
+    congruence component joins — its chains are finite (divisor
+    chains), so it needs no acceleration. *)
+let widen (a : t) (b : t) : t =
+  match (a, b) with
+  | Bot, d -> d
+  | d, Bot -> d
+  | V a, V b ->
+      let lo =
+        match (a.lo, b.lo) with
+        | Some x, Some y when y >= x -> Some x
+        | _ -> None
+      in
+      let hi =
+        match (a.hi, b.hi) with
+        | Some x, Some y when y <= x -> Some x
+        | _ -> None
+      in
+      let m, r = cong_join (a.m, a.r) (b.m, b.r) in
+      make ~lo ~hi ~m ~r
+
+(** Narrowing: refill bounds the widening threw to infinity, but never
+    move a finite bound (guarantees termination of the descending
+    passes). *)
+let narrow (a : t) (b : t) : t =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | V a, V b ->
+      let lo = match a.lo with None -> b.lo | some -> some in
+      let hi = match a.hi with None -> b.hi | some -> some in
+      make ~lo ~hi ~m:a.m ~r:a.r
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lift2 f (a : t) (b : t) : t =
+  match (a, b) with Bot, _ | _, Bot -> Bot | V a, V b -> f a b
+
+let add =
+  lift2 (fun a b ->
+      (* a+b ≡ r₁+r₂ (mod gcd(m₁, m₂)); gcd's identity at 0 makes the
+         constant cases (m = 0) fall out: const+const stays const,
+         const+congruence keeps the modulus. *)
+      make
+        ~lo:(sat_add a.lo b.lo)
+        ~hi:(sat_add a.hi b.hi)
+        ~m:(gcd a.m b.m) ~r:(a.r + b.r))
+
+let neg (d : t) : t =
+  match d with
+  | Bot -> Bot
+  | V { lo; hi; m; r } -> make ~lo:(sat_neg hi) ~hi:(sat_neg lo) ~m ~r:(-r)
+
+let sub a b = add a (neg b)
+
+let mul =
+  lift2 (fun a b ->
+      let cands =
+        [
+          sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo;
+          sat_mul a.hi b.hi;
+        ]
+      in
+      (* an infinite endpoint on either side leaves the product
+         unbounded in both directions, unless the other side is the
+         constant zero (handled by [sat_mul]) *)
+      let bounded =
+        a.lo <> None && a.hi <> None && b.lo <> None && b.hi <> None
+      in
+      let lo, hi =
+        if bounded && List.for_all (( <> ) None) cands then
+          ( List.fold_left opt_min (List.hd cands) (List.tl cands),
+            List.fold_left opt_max (List.hd cands) (List.tl cands) )
+        else if (a.lo = Some 0 && a.hi = Some 0) || (b.lo = Some 0 && b.hi = Some 0)
+        then (Some 0, Some 0)
+        else (None, None)
+      in
+      if a.m = 0 && b.m = 0 then
+        (* both constants: exact, provided the product stays in range *)
+        match sat_mul (Some a.r) (Some b.r) with
+        | Some p -> make ~lo:(Some p) ~hi:(Some p) ~m:0 ~r:p
+        | None -> make ~lo ~hi ~m:1 ~r:0
+      else
+        (* a·b ≡ r₁·r₂ (mod gcd(m₁m₂, m₁r₂, m₂r₁)); covers the
+           constant-times-congruence cases through m = 0. Guarded
+           against residue overflow (constants can be arbitrarily
+           large when m = 0). *)
+        let m, r =
+          if abs a.r > max_modulus || abs b.r > max_modulus then (1, 0)
+          else
+            let g = gcd (a.m * b.m) (gcd (a.m * b.r) (b.m * a.r)) in
+            if g = 0 || g > max_modulus then (1, 0) else (g, a.r * b.r)
+        in
+        make ~lo ~hi ~m ~r)
+
+(* Truncated division of intervals, divisor restricted to one sign.
+   For a fixed divisor sign the quotient is monotone in the dividend
+   and anti-monotone (pos) in the divisor magnitude, so the extrema sit
+   at endpoint combinations. *)
+let div_part (a : int option * int option) (dlo : int) (dhi : int) :
+    (int option * int option) option =
+  if dlo > dhi then None
+  else
+    let alo, ahi = a in
+    let q x d = x / d in
+    let cands =
+      match (alo, ahi) with
+      | Some alo, Some ahi ->
+          Some [ q alo dlo; q alo dhi; q ahi dlo; q ahi dhi ]
+      | _ -> None
+    in
+    match cands with
+    | Some cs ->
+        Some
+          ( Some (List.fold_left min (List.hd cs) (List.tl cs)),
+            Some (List.fold_left max (List.hd cs) (List.tl cs)) )
+    | None -> Some (None, None)
+
+let div =
+  lift2 (fun a b ->
+      (* drop 0 from the divisor: dividing by zero faults, so only the
+         nonzero divisors describe surviving executions *)
+      let neg_part =
+        div_part (a.lo, a.hi)
+          (match b.lo with Some l -> max l (-big) | None -> -big)
+          (match b.hi with Some h -> min h (-1) | None -> -1)
+      in
+      let pos_part =
+        div_part (a.lo, a.hi)
+          (match b.lo with Some l -> max l 1 | None -> 1)
+          (match b.hi with Some h -> min h big | None -> big)
+      in
+      (* unbounded divisor magnitude still bounds the quotient by the
+         dividend: |a/b| <= |a| for |b| >= 1 *)
+      match (neg_part, pos_part) with
+      | None, None -> Bot (* divisor can only be zero *)
+      | parts -> (
+          let merge =
+            match parts with
+            | Some (l1, h1), Some (l2, h2) -> (opt_min l1 l2, opt_max h1 h2)
+            | Some p, None | None, Some p -> p
+            | None, None -> assert false
+          in
+          let lo, hi = merge in
+          (* clamp with |q| <= |a| when the dividend is bounded *)
+          let abs_bound =
+            match (a.lo, a.hi) with
+            | Some l, Some h -> Some (max (abs l) (abs h))
+            | _ -> None
+          in
+          match abs_bound with
+          | Some m ->
+              make
+                ~lo:(opt_max lo (Some (-m)))
+                ~hi:(opt_min hi (Some m))
+                ~m:1 ~r:0
+          | None -> make ~lo ~hi ~m:1 ~r:0))
+
+let md =
+  lift2 (fun a b ->
+      (* truncated remainder: |a mod b| < |b|, |a mod b| <= |a|, and the
+         sign follows the dividend *)
+      let mag =
+        match (b.lo, b.hi) with
+        | Some l, Some h -> Some (max (abs l) (abs h) - 1)
+        | _ -> None
+      in
+      let lo =
+        if match a.lo with Some l -> l >= 0 | None -> false then Some 0
+        else sat_neg mag
+      in
+      let hi =
+        if match a.hi with Some h -> h <= 0 | None -> false then Some 0
+        else mag
+      in
+      (* |a mod b| <= |a| *)
+      let lo =
+        match a.lo with
+        | Some l when l >= 0 -> lo
+        | Some l -> opt_max lo (Some l)
+        | None -> lo
+      in
+      let hi =
+        match a.hi with
+        | Some h when h <= 0 -> hi
+        | Some h -> opt_min hi (Some h)
+        | None -> hi
+      in
+      (* exact when both are constants (and the divisor nonzero) *)
+      match (a.m, b.m) with
+      | 0, 0 when b.r <> 0 -> const (a.r mod b.r)
+      | 0, 0 -> Bot (* constant zero divisor: no execution survives *)
+      | _ ->
+          (* remainder by a known even/odd modulus: when b is the
+             constant c > 0 and a's congruence modulus is divisible by
+             c, the residue is determined up to sign; only claim it
+             when the dividend is known nonnegative *)
+          let m, r =
+            match b.m with
+            | 0
+              when b.r > 0
+                   && a.m > 1
+                   && a.m mod b.r = 0
+                   && (match a.lo with Some l -> l >= 0 | None -> false) ->
+                (0, emod a.r b.r)
+            | _ -> (1, 0)
+          in
+          if m = 0 then make ~lo:(Some r) ~hi:(Some r) ~m:0 ~r
+          else make ~lo ~hi ~m:1 ~r:0)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison deciders (definite answers only)                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [always_lt a b]: every value of [a] is < every value of [b]. *)
+let always_lt (a : t) (b : t) : bool =
+  match (a, b) with
+  | Bot, _ | _, Bot -> true (* vacuous *)
+  | V a, V b -> (
+      match (a.hi, b.lo) with Some h, Some l -> h < l | _ -> false)
+
+let always_le (a : t) (b : t) : bool =
+  match (a, b) with
+  | Bot, _ | _, Bot -> true
+  | V a, V b -> (
+      match (a.hi, b.lo) with Some h, Some l -> h <= l | _ -> false)
+
+(** [always_ne a b]: the two sets of values are disjoint. *)
+let always_ne (a : t) (b : t) : bool = is_bot (meet a b)
+
+let pp fmt (d : t) =
+  match d with
+  | Bot -> Format.pp_print_string fmt "⊥"
+  | V { lo; hi; m; r } ->
+      let b fmt = function
+        | Some n -> Format.pp_print_int fmt n
+        | None -> Format.pp_print_string fmt "∞"
+      in
+      Format.fprintf fmt "[%a,%a]" b lo b hi;
+      if m = 0 then ()
+      else if m > 1 then Format.fprintf fmt "≡%d(%d)" r m
+
+let to_string d = Format.asprintf "%a" pp d

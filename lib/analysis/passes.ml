@@ -14,6 +14,8 @@ module Ast = Flux_syntax.Ast
 module Ir = Flux_mir.Ir
 module Liveness = Flux_mir.Liveness
 module Checker = Flux_check.Checker
+module Absint = Flux_absint.Absint
+module Dom = Flux_absint.Dom
 open Flux_smt
 open Flux_fixpoint
 
@@ -41,6 +43,12 @@ let catalog =
     ( "trivial-refinement",
       "every inferred \xce\xba at a loop head collapsed to true" );
     ("dead-store", "a value is assigned but never subsequently read");
+    ( "div-by-zero",
+      "a division or remainder whose divisor is zero on every execution \
+       reaching it" );
+    ( "index-bounds",
+      "a vector access whose index is out of bounds on every execution \
+       reaching it" );
     ( "overflow",
       "arithmetic whose operand refinements do not bound it within the \
        machine-integer range (allow-by-default)" );
@@ -227,12 +235,122 @@ let dead_store (fd : Ast.fn_def) (body : Ir.body) : diag list =
   done;
   List.rev !out
 
+(* ------------------------------------------------------------------ *)
+(* Abstract-interpretation passes                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The next two passes read the interval/congruence/difference-bound
+   states of {!Flux_absint.Absint} instead of asking the solver: the
+   abstract semantics treats faulting operations as filters (only
+   surviving executions flow on), so a fact that holds of the state
+   {e before} a fault site is a theorem about every execution reaching
+   it — the same definite polarity the solver-backed passes promise,
+   at zero queries. *)
+
+(** Definite division by zero: the divisor's abstract value at the
+    division is the constant 0, so every execution reaching the
+    operation faults. *)
+let div_by_zero (fd : Ast.fn_def) (a : Absint.analysis) : diag list =
+  let out = ref [] in
+  Absint.iter_stmts a (fun ~block:_ s st ->
+      match (s, st) with
+      | _, Absint.Bot -> ()
+      | Ir.SAssign (_, Ir.RBin (((Ast.Div | Ast.Rem) as op), _, divisor), sp), _
+        -> (
+          match
+            (Dom.is_const (Absint.state_eval_operand a st divisor), real_span sp)
+          with
+          | Some 0, Some sp ->
+              out :=
+                {
+                  d_pass = "div-by-zero";
+                  d_severity = Warning;
+                  d_fn = fd.Ast.fn_name;
+                  d_span = sp;
+                  d_msg =
+                    Printf.sprintf
+                      "division by zero: the divisor of this `%s` is 0 on \
+                       every execution reaching it"
+                      (if op = Ast.Div then "/" else "%");
+                }
+                :: !out
+          | _ -> ())
+      | _ -> ());
+  List.rev !out
+
+(** Definite out-of-bounds vector access: at an [RVec::get]/[get_mut]/
+    [swap] call, the index is provably negative, or provably at least
+    the receiver's length (by interval comparison or by a
+    difference-bound between the index local and the vector's length). *)
+let index_bounds (fd : Ast.fn_def) (body : Ir.body) (a : Absint.analysis) :
+    diag list =
+  let oob st recv_local (idx : Ir.operand) : bool =
+    let di = Absint.state_eval_operand a st idx in
+    Dom.always_lt di (Dom.const 0)
+    ||
+    match recv_local with
+    | None -> false
+    | Some v -> (
+        Dom.always_le (Absint.local_value a st v) di
+        ||
+        match (idx, st) with
+        | (Ir.Copy p | Ir.Move p), Absint.St _ when p.Ir.projs = [] -> (
+            (* len(v) - i <= 0 as a tracked difference bound *)
+            match Absint.state_diff_ub st v p.Ir.base with
+            | Some c -> c <= 0
+            | None -> false)
+        | _ -> false)
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun bb blk ->
+      match blk.Ir.term with
+      | Ir.TCall { tc_func; tc_args; tc_span; _ } -> (
+          match Absint.vec_method tc_func with
+          | Some (("get" | "get_mut" | "swap") as m) -> (
+              match Absint.before_term a bb with
+              | Absint.Bot -> ()
+              | st ->
+                  let recv = Absint.state_recv_target st tc_args in
+                  let indices =
+                    match (m, tc_args) with
+                    | "swap", [ _; i; j ] -> [ i; j ]
+                    | _, [ _; i ] -> [ i ]
+                    | _ -> []
+                  in
+                  if List.exists (oob st recv) indices then
+                    match real_span tc_span with
+                    | Some sp ->
+                        out :=
+                          {
+                            d_pass = "index-bounds";
+                            d_severity = Warning;
+                            d_fn = fd.Ast.fn_name;
+                            d_span = sp;
+                            d_msg =
+                              Printf.sprintf
+                                "index out of bounds: this `%s` is outside \
+                                 the vector's length on every execution \
+                                 reaching it"
+                                m;
+                          }
+                          :: !out
+                    | None -> ())
+          | _ -> ())
+      | _ -> ())
+    body.Ir.mb_blocks;
+  List.rev !out
+
 (** Overflow candidates: the i32 range side conditions the checker
     recorded, evaluated against the κ solution it inferred. A finding
     means the context — refinements, path conditions, invariants — does
     not bound the result within [-2^31, 2^31); it is [Info] severity
     because unbounded-by-design arithmetic (plain accumulators) is
-    common and correct. *)
+    common and correct. [Solve.check_clause] consults the abstract
+    interval/difference-bound environment first and only falls back to
+    the solver on clauses the environment cannot settle, so the sharper
+    ranges inferred by the absint layer discharge most side conditions
+    with no SMT at all. *)
 let overflow (fd : Ast.fn_def) (li : Checker.lint_info)
     (sol : Solve.solution option) : diag list =
   match sol with
@@ -271,6 +389,11 @@ let run_function ~(passes : string list) (genv : Flux_check.Genv.t)
     (fd : Ast.fn_def) (body : Ir.body) : Checker.fn_report * diag list =
   let fr, li = Checker.check_body_lint genv fd body in
   let on p = List.mem p passes in
+  (* one abstract fixpoint serves both absint-backed passes *)
+  let absint =
+    if on "div-by-zero" || on "index-bounds" then Some (Absint.analyze body)
+    else None
+  in
   let diags =
     (if on "vacuity" then vacuity fd li else [])
     @ (if on "unreachable" then unreachable fd body li else [])
@@ -278,6 +401,11 @@ let run_function ~(passes : string list) (genv : Flux_check.Genv.t)
          trivial_refinement fd body li fr.Checker.fr_solution
        else [])
     @ (if on "dead-store" then dead_store fd body else [])
+    @ (match absint with
+      | Some a ->
+          (if on "div-by-zero" then div_by_zero fd a else [])
+          @ if on "index-bounds" then index_bounds fd body a else []
+      | None -> [])
     @
     if on "overflow" then overflow fd li fr.Checker.fr_solution else []
   in

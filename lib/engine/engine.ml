@@ -56,12 +56,14 @@ let default_config = { jobs = 0; cache_dir = Some default_cache_dir }
 (* Flag state a check runs under; part of the cache key so toggling a
    flag cannot replay verdicts obtained under another configuration. *)
 let flux_config_string () =
-  Printf.sprintf "underflow=%b;slice=%b;incremental=%b"
+  Printf.sprintf "underflow=%b;slice=%b;incremental=%b;absint=%b;xcheck=%b"
     !Checker.check_underflow !Solve.slice_enabled !Solve.incremental_enabled
+    !Flux_absint.Discharge.enabled !Flux_absint.Discharge.crosscheck
 
 let wp_config_string () =
-  Printf.sprintf "underflow=%b;rounds=%d;cap=%d" !Wp.check_underflow
-    !Wp.inst_rounds !Wp.inst_cap
+  Printf.sprintf "underflow=%b;rounds=%d;cap=%d;absint=%b;xcheck=%b"
+    !Wp.check_underflow !Wp.inst_rounds !Wp.inst_cap
+    !Flux_absint.Discharge.enabled !Flux_absint.Discharge.crosscheck
 
 (* ------------------------------------------------------------------ *)
 (* The pooled scheduler                                                *)

@@ -28,6 +28,7 @@
     and cache per-slice results ({!slice_fingerprint}). *)
 
 open Flux_smt
+module Discharge = Flux_absint.Discharge
 
 type solution = (string, Term.t list) Hashtbl.t
 (** κ name → conjuncts over the κ's formal parameters *)
@@ -211,7 +212,7 @@ let weaken_clause stats kenv (sol : solution) (cl : Horn.clause) : bool =
                 stats.weaken_checks <- stats.weaken_checks + 1;
                 Profile.incr "fixpoint.weaken_checks";
                 let rhs = Term.subst m q in
-                Solver.valid (Term.mk_imp (slice_for rhs) rhs))
+                Discharge.valid (Term.mk_imp (slice_for rhs) rhs))
               conjuncts
           in
           if List.length keep <> List.length conjuncts then begin
@@ -278,6 +279,8 @@ let weaken_clause_memo stats kenv (sol : solution)
             | None ->
                 stats.weaken_checks <- stats.weaken_checks + 1;
                 Profile.incr "fixpoint.weaken_checks";
+                (* the batch already went through [pre_settle], so the
+                   abstract environment has had its shot at this one *)
                 let v = Solver.valid f in
                 Term.Tbl.replace qmemo f v;
                 v
@@ -340,7 +343,31 @@ let weaken_clause_memo stats kenv (sol : solution)
              plus one. Conjuncts whose singleton query got decided
              along the way (duplicates under the same lhs) are settled
              from the query memo between calls. *)
-          let rec sweep lhs = function
+          (* Settle members of a batch the abstract environment proves
+             outright — discharge-true is a subset of solver-true, so
+             pre-settling them as [true] leaves the batched sweep's
+             verdicts (and hence the kept set) unchanged while
+             shrinking the group the solver has to walk. Under
+             crosscheck the solver is still consulted and its verdict
+             recorded. *)
+          let pre_settle lhs group =
+            List.filter
+              (fun (q, rhs) ->
+                let f = Term.mk_imp lhs rhs in
+                if Discharge.try_valid f then begin
+                  (if !Discharge.crosscheck then begin
+                     let v = Solver.valid f in
+                     if not v then Profile.incr "absint.crosscheck_fail";
+                     settle lhs (q, rhs) v
+                   end
+                   else settle lhs (q, rhs) true);
+                  false
+                end
+                else true)
+              group
+          in
+          let rec sweep lhs group =
+            match group with
             | [] -> ()
             | [ (q, rhs) ] -> settle lhs (q, rhs) (query lhs rhs)
             | group -> (
@@ -373,7 +400,9 @@ let weaken_clause_memo stats kenv (sol : solution)
                     in
                     sweep lhs rest)
           in
-          List.iter (fun (lhs, cell) -> sweep lhs (List.rev !cell)) !buckets;
+          List.iter
+            (fun (lhs, cell) -> sweep lhs (pre_settle lhs (List.rev !cell)))
+            !buckets;
           let keep =
             List.filter (fun q -> Hashtbl.find verdict q) conjuncts
           in
@@ -392,7 +421,7 @@ let final_check stats kenv (sol : solution) (cl : Horn.clause) :
       stats.final_checks <- stats.final_checks + 1;
       Profile.incr "fixpoint.final_checks";
       let lhs = sliced_lhs kenv sol cl rhs in
-      if Solver.valid (Term.mk_imp lhs rhs) then None
+      if Discharge.valid (Term.mk_imp lhs rhs) then None
       else Some { f_tag = cl.Horn.tag; f_clause = cl; f_lhs = lhs; f_rhs = rhs }
 
 (** The reference schedule: sweep every κ-headed clause until no
@@ -633,7 +662,7 @@ let clause_query ~(kvars : Horn.kvar list) (sol : solution)
 
 let check_clause ~(kvars : Horn.kvar list) (sol : solution)
     (cl : Horn.clause) : bool =
-  Solver.valid (clause_query ~kvars sol cl)
+  Discharge.valid (clause_query ~kvars sol cl)
 
 (** Re-check every clause of a system under a claimed solution,
     returning the ones that fail. This is the fixpoint self-check the

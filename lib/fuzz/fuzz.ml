@@ -22,9 +22,9 @@ module Ast = Flux_syntax.Ast
 open Flux_smt
 open Flux_fixpoint
 
-type oracle_kind = Soundness | Solver | Cert | Fixpoint | Incremental
+type oracle_kind = Soundness | Solver | Cert | Fixpoint | Incremental | Absint
 
-let all_oracles = [ Soundness; Solver; Cert; Fixpoint; Incremental ]
+let all_oracles = [ Soundness; Solver; Cert; Fixpoint; Incremental; Absint ]
 
 let oracle_name = function
   | Soundness -> "soundness"
@@ -32,6 +32,7 @@ let oracle_name = function
   | Cert -> "cert"
   | Fixpoint -> "fixpoint"
   | Incremental -> "incremental"
+  | Absint -> "absint"
 
 let oracle_of_string = function
   | "soundness" -> Some [ Soundness ]
@@ -39,6 +40,7 @@ let oracle_of_string = function
   | "cert" -> Some [ Cert ]
   | "fixpoint" -> Some [ Fixpoint ]
   | "incremental" -> Some [ Incremental ]
+  | "absint" -> Some [ Absint ]
   | "all" -> Some all_oracles
   | _ -> None
 
@@ -52,6 +54,7 @@ let rate = function
   | Cert -> 500.0
   | Fixpoint -> 300.0
   | Incremental -> 150.0
+  | Absint -> 100.0
 
 let cases_for ~(budget : float) (k : oracle_kind) : int =
   max 1 (int_of_float (budget *. rate k))
@@ -159,6 +162,7 @@ let run ?(check : (Ast.program -> bool) option)
         | Fixpoint -> Oracle.fixpoint_case ?solve ~seed:cfg.seed ~case rng
         | Incremental ->
             Oracle.incremental_case ?incremental ~seed:cfg.seed ~case rng
+        | Absint -> Oracle.absint_case ~seed:cfg.seed ~case rng
     in
     let fns = Array.init count (fun i -> one (base_index + i)) in
     let verdicts =

@@ -523,3 +523,151 @@ let incremental_case ?(incremental = default_incremental) ~(seed : int)
           b_repro = Repro.horn_to_string kvars clauses';
           b_ext = "horn";
         }
+
+(* ------------------------------------------------------------------ *)
+(* Abstract interpretation                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Absint = Flux_absint.Absint
+module Discharge = Flux_absint.Discharge
+
+(** The integer view of a concrete local, exactly as the abstract
+    domain models it: the value of an integer local, the {e length} of
+    a vector local, nothing for anything else ([contains] treats an
+    unviewable local as unconstrained). *)
+let local_view (locals : Interp.value ref array) (l : int) : int option =
+  if l < 0 || l >= Array.length locals then None
+  else
+    match !(locals.(l)) with
+    | Interp.VInt n -> Some n
+    | Interp.VVec v -> Some v.Interp.len
+    | _ -> None
+
+(** Run the parsed program's [f] on sampled inputs with a probe at
+    every block entry asserting γ-containment: the concrete frame must
+    lie in the abstract state the fixpoint computed for that point.
+    No precondition filtering — the abstract entry state assumes
+    nothing, so containment is promised on {e every} input. *)
+let containment_violation ?(contains = Absint.contains)
+    ~(input_rng : Rng.t) (prog : Ast.program) : string option =
+  match Ast.find_fn prog "f" with
+  | None -> None
+  | Some fd ->
+      let tys = List.map snd fd.Ast.fn_params in
+      (* analyses for every body the machine executes, built on first
+         probe (callee bodies included), keyed by physical identity *)
+      let analyses : (Flux_mir.Ir.body * Absint.analysis) list ref = ref [] in
+      let analysis_of body =
+        match List.find_opt (fun (b, _) -> b == body) !analyses with
+        | Some (_, a) -> a
+        | None ->
+            let a = Absint.analyze body in
+            analyses := (body, a) :: !analyses;
+            a
+      in
+      let violation = ref None in
+      let probe body bb locals =
+        if !violation = None then
+          let a = analysis_of body in
+          let st = Absint.block_entry a bb in
+          if not (contains st (local_view locals)) then
+            violation :=
+              Some
+                (Printf.sprintf
+                   "concrete state at block entry bb%d escapes the abstract \
+                    state"
+                   bb)
+      in
+      let rec attempt i =
+        if i >= input_attempts then None
+        else
+          let case_rng = Rng.split input_rng i in
+          match
+            List.fold_left
+              (fun acc ty ->
+                match acc with
+                | None -> None
+                | Some xs -> (
+                    match gen_ival case_rng ty with
+                    | Some v -> Some (v :: xs)
+                    | None -> None))
+              (Some []) tys
+          with
+          | None -> None (* unsampleable parameter type: skip program *)
+          | Some rev_ivals -> (
+              let args = List.map build_value (List.rev rev_ivals) in
+              (* faults and divergence are fine — the probe has already
+                 checked every block entry the execution reached *)
+              ignore (Interp.run ~fuel ~probe prog "f" args);
+              match !violation with
+              | Some d -> Some d
+              | None -> attempt (i + 1))
+      in
+      attempt 0
+
+(** [containment_violation] on source text — the shrinker's failure
+    predicate and the corpus replay entry point. *)
+let absint_containment ?contains ~(input_rng : Rng.t) (src : string) :
+    string option =
+  match parse_and_typecheck src with
+  | None -> None
+  | Some prog -> containment_violation ?contains ~input_rng prog
+
+(** Discharge soundness on one term: a clause the abstract environment
+    answers must be solver-valid — [try_valid t = true] with
+    [valid t = false] means the pre-solver would silently change a
+    verdict, the one thing {!Flux_absint.Discharge} must never do. *)
+let discharge_mismatch ?(try_valid = fun t -> Discharge.try_valid t)
+    ?(valid = Solver.valid) (t : Term.t) : string option =
+  if try_valid t && not (valid t) then
+    Some "abstract environment discharged a clause the solver refutes"
+  else None
+
+let absint_case ?contains ?try_valid ?valid ~(seed : int) ~(case : int)
+    (rng : Rng.t) : verdict =
+  let gen_rng = Rng.split rng 0 in
+  let input_rng = Rng.split rng 1 in
+  let term_rng = Rng.split rng 2 in
+  (* clause-discharge soundness on a random implication *)
+  let t = Tgen.gen term_rng in
+  match discharge_mismatch ?try_valid ?valid t with
+  | Some d ->
+      let fails t' =
+        match discharge_mismatch ?try_valid ?valid t' with
+        | Some _ -> true
+        | None | (exception _) -> false
+      in
+      let t' = Shrink.minimize_term ~budget:shrink_budget fails t in
+      Bug
+        {
+          b_oracle = "absint";
+          b_seed = seed;
+          b_case = case;
+          b_descr = Format.asprintf "%a — %s" Term.pp t' d;
+          b_repro = Repro.term_to_string t';
+          b_ext = "aterm";
+        }
+  | None -> (
+      (* γ-containment of a concrete trace *)
+      let src = Pgen.gen gen_rng in
+      match parse_and_typecheck src with
+      | None -> Frontend
+      | Some prog -> (
+          match containment_violation ?contains ~input_rng prog with
+          | None -> Ok
+          | Some descr ->
+              let fails s =
+                absint_containment ?contains ~input_rng s <> None
+              in
+              let repro =
+                Shrink.minimize_program ~budget:shrink_budget fails prog
+              in
+              Bug
+                {
+                  b_oracle = "absint";
+                  b_seed = seed;
+                  b_case = case;
+                  b_descr = descr;
+                  b_repro = repro;
+                  b_ext = "airs";
+                }))

@@ -108,6 +108,10 @@ type machine = {
   tracef : (string -> unit) option;
       (** called with one rendered line per function/method call —
           the step-by-step counterexample traces of [--certify] *)
+  probe : (Ir.body -> int -> value ref array -> unit) option;
+      (** called at every block entry with the body, the block id and
+          the live frame locals — the γ-containment hook of the absint
+          fuzz oracle *)
 }
 
 let default_builtins () =
@@ -120,13 +124,14 @@ let default_builtins () =
   Hashtbl.replace tbl "flt2" to_float;
   tbl
 
-let make ?(fuel = 10_000_000) ?trace (prog : Ast.program) : machine =
+let make ?(fuel = 10_000_000) ?trace ?probe (prog : Ast.program) : machine =
   {
     prog;
     bodies = Flux_mir.Lower.lower_program prog;
     builtins = default_builtins ();
     fuel;
     tracef = trace;
+    probe;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -291,6 +296,7 @@ and exec_body (m : machine) (body : Ir.body) (args : value list) : value =
   List.iteri (fun i v -> fr.locals.(i + 1) := v) args;
   let rec run (bb : int) : value =
     burn m;
+    (match m.probe with Some p -> p body bb fr.locals | None -> ());
     let blk = body.Ir.mb_blocks.(bb) in
     List.iter
       (fun s ->
@@ -329,9 +335,9 @@ and exec_body (m : machine) (body : Ir.body) (args : value list) : value =
   run 0
 
 (** Run a named function of a parsed program. *)
-let run_fn ?(fuel = 10_000_000) ?trace (prog : Ast.program) (fname : string)
-    (args : value list) : value =
-  let m = make ~fuel ?trace prog in
+let run_fn ?(fuel = 10_000_000) ?trace ?probe (prog : Ast.program)
+    (fname : string) (args : value list) : value =
+  let m = make ~fuel ?trace ?probe prog in
   call m fname args
 
 (** Parse, typecheck and run. *)
@@ -360,9 +366,9 @@ let pp_outcome fmt = function
   | OFault f -> pp_fault fmt f
   | ODiverged -> Format.pp_print_string fmt "diverged (fuel exhausted)"
 
-let run ?fuel ?trace (prog : Ast.program) (fname : string) (args : value list)
-    : outcome =
-  match run_fn ?fuel ?trace prog fname args with
+let run ?fuel ?trace ?probe (prog : Ast.program) (fname : string)
+    (args : value list) : outcome =
+  match run_fn ?fuel ?trace ?probe prog fname args with
   | v -> OValue v
   | exception Panic msg -> OFault (FPanic msg)
   | exception Stuck msg -> OFault (FStuck msg)

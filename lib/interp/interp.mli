@@ -42,16 +42,23 @@ val vec_pop : vec -> value
     conversions) and a fuel budget. *)
 type machine
 
-val make : ?fuel:int -> ?trace:(string -> unit) -> Ast.program -> machine
+val make :
+  ?fuel:int -> ?trace:(string -> unit) ->
+  ?probe:(Ir.body -> int -> value ref array -> unit) ->
+  Ast.program -> machine
 (** [?trace] receives one rendered ["f(arg, ...)"] line per function or
-    built-in method call — used to narrate counterexample executions. *)
+    built-in method call — used to narrate counterexample executions.
+    [?probe] fires at every block entry with the executing body, the
+    block id and the frame's locals — the γ-containment hook of the
+    absint fuzz oracle. *)
 
 val call : machine -> string -> value list -> value
 (** Call a function (or built-in RVec method) by name. *)
 
 val run_fn :
-  ?fuel:int -> ?trace:(string -> unit) -> Ast.program -> string ->
-  value list -> value
+  ?fuel:int -> ?trace:(string -> unit) ->
+  ?probe:(Ir.body -> int -> value ref array -> unit) ->
+  Ast.program -> string -> value list -> value
 (** One-shot: build a machine and call [fname]. *)
 
 val run_source : ?fuel:int -> string -> string -> value list -> value
@@ -75,7 +82,8 @@ val pp_fault : Format.formatter -> fault -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val run :
-  ?fuel:int -> ?trace:(string -> unit) -> Ast.program -> string ->
-  value list -> outcome
+  ?fuel:int -> ?trace:(string -> unit) ->
+  ?probe:(Ir.body -> int -> value ref array -> unit) ->
+  Ast.program -> string -> value list -> outcome
 (** Like {!run_fn}, but classifying the result instead of raising.
     [ODiverged] means the fuel budget was exhausted — {e not} a fault. *)

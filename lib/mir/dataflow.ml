@@ -161,3 +161,150 @@ module Make (D : DOMAIN) = struct
         in
         acc
 end
+
+(* ------------------------------------------------------------------ *)
+(* Back edges and widening points                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** CFG edges [(src, dst)] whose destination is an ancestor of the
+    source on the DFS spanning tree from the entry block — the edges
+    that close loops. On the reducible CFGs our lowering produces these
+    are exactly the loop back edges; their targets are where a widening
+    fixpoint must accelerate. *)
+let back_edges (b : Ir.body) : (int * int) list =
+  let n = Array.length b.Ir.mb_blocks in
+  (* 0 = white (unvisited), 1 = grey (on the DFS stack), 2 = black *)
+  let color = Array.make n 0 in
+  let edges = ref [] in
+  let rec dfs i =
+    color.(i) <- 1;
+    List.iter
+      (fun s ->
+        if color.(s) = 1 then edges := (i, s) :: !edges
+        else if color.(s) = 0 then dfs s)
+      (Ir.successors b.Ir.mb_blocks.(i).Ir.term);
+    color.(i) <- 2
+  in
+  if n > 0 then dfs 0;
+  List.rev !edges
+
+(** [widening_points b]: the blocks that are targets of back edges. *)
+let widening_points (b : Ir.body) : bool array =
+  let pts = Array.make (Array.length b.Ir.mb_blocks) false in
+  List.iter (fun (_, dst) -> pts.(dst) <- true) (back_edges b);
+  pts
+
+(** A forward analysis on a lattice of infinite ascending chains:
+    {!DOMAIN} plus widening/narrowing operators and edge-sensitive
+    terminator transfer (branch conditions refine the fact flowing
+    along each outgoing edge; calls write their destination only on
+    their return edge). *)
+module type DOMAIN_W = sig
+  type t
+
+  val init : Ir.body -> t
+  (** Fact at the entry block. *)
+
+  val bottom : Ir.body -> t
+  (** Unreachable: identity of [join], absorbed by everything. *)
+
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old new]: over-approximates [join old new] and guarantees
+      stabilization of any chain [x ← widen x yᵢ]. *)
+
+  val narrow : t -> t -> t
+  (** [narrow wide refined]: recovers precision lost to widening;
+      result lies between [refined] and [wide], and any chain
+      [x ← narrow x yᵢ] stabilizes. *)
+
+  val equal : t -> t -> bool
+  val transfer_stmt : Ir.body -> t -> Ir.stmt -> t
+
+  val transfer_edge : Ir.body -> src:int -> dst:int -> Ir.terminator -> t -> t
+  (** Fact flowing along the CFG edge [src → dst], given the fact after
+      [src]'s statements. This is where switch conditions refine and
+      call destinations are written. *)
+end
+
+module MakeWiden (D : DOMAIN_W) = struct
+  type result = {
+    body : Ir.body;
+    block_in : D.t array;
+    block_out : D.t array;  (** after the block's statements *)
+  }
+
+  let through_stmts (b : Ir.body) (blk : Ir.block) (fact : D.t) : D.t =
+    List.fold_left (fun f s -> D.transfer_stmt b f s) fact blk.Ir.stmts
+
+  let run (b : Ir.body) : result =
+    let n = Array.length b.Ir.mb_blocks in
+    let preds = Ir.predecessors b in
+    let wide = widening_points b in
+    let entry = Array.init n (fun i -> if i = 0 then D.init b else D.bottom b) in
+    let exit = Array.init n (fun _ -> D.bottom b) in
+    let flow_in i =
+      List.fold_left
+        (fun acc p ->
+          D.join acc
+            (D.transfer_edge b ~src:p ~dst:i b.Ir.mb_blocks.(p).Ir.term
+               exit.(p)))
+        (if i = 0 then D.init b else D.bottom b)
+        preds.(i)
+    in
+    (* Ascending phase: worklist with widening at loop heads. *)
+    let on_list = Array.make n false in
+    let worklist = Queue.create () in
+    let push i =
+      if not on_list.(i) then begin
+        on_list.(i) <- true;
+        Queue.add i worklist
+      end
+    in
+    List.iter push (Ir.reverse_postorder b);
+    while not (Queue.is_empty worklist) do
+      let i = Queue.pop worklist in
+      on_list.(i) <- false;
+      let in_fact = flow_in i in
+      let in_fact = if wide.(i) then D.widen entry.(i) in_fact else in_fact in
+      let out_fact = through_stmts b b.Ir.mb_blocks.(i) in_fact in
+      if (not (D.equal entry.(i) in_fact)) || not (D.equal exit.(i) out_fact)
+      then begin
+        entry.(i) <- in_fact;
+        exit.(i) <- out_fact;
+        List.iter push (Ir.successors b.Ir.mb_blocks.(i).Ir.term)
+      end
+    done;
+    (* Descending phase: a bounded number of narrowing sweeps claws
+       back the bounds widening discarded (loop exits regain the guard
+       information). Narrowing only ever refines, so stopping after a
+       fixed number of sweeps is sound. *)
+    let rpo = Ir.reverse_postorder b in
+    for _ = 1 to 2 do
+      List.iter
+        (fun i ->
+          let in_fact = flow_in i in
+          let in_fact =
+            if wide.(i) then D.narrow entry.(i) in_fact else in_fact
+          in
+          entry.(i) <- in_fact;
+          exit.(i) <- through_stmts b b.Ir.mb_blocks.(i) in_fact)
+        rpo
+    done;
+    { body = b; block_in = entry; block_out = exit }
+
+  (** Facts at every statement of [block], in statement order:
+      [(stmt, before, after)]. *)
+  let stmt_facts (r : result) ~(block : int) : (Ir.stmt * D.t * D.t) list =
+    let blk = r.body.Ir.mb_blocks.(block) in
+    let _, acc =
+      List.fold_left
+        (fun (fact, acc) s ->
+          let after = D.transfer_stmt r.body fact s in
+          (after, (s, fact, after) :: acc))
+        (r.block_in.(block), [])
+        blk.Ir.stmts
+    in
+    List.rev acc
+end

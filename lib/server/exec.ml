@@ -29,6 +29,7 @@ module Cache = Flux_engine.Cache
 module Pool = Flux_engine.Pool
 module Lint = Flux_analysis.Lint
 module Passes = Flux_analysis.Passes
+module Discharge = Flux_absint.Discharge
 
 type tool = Flux_check | Prusti_check | Flux_lint
 
@@ -46,6 +47,12 @@ type opts = {
   certify : bool;
       (** [--certify]: emit/replay proof certificates and attach
           executable counterexample witnesses to failures *)
+  absint : bool;
+      (** abstract-interpretation pre-solver discharge (on by
+          default; [--no-absint] disables) *)
+  absint_crosscheck : bool;
+      (** [--absint-crosscheck]: re-solve every discharged clause,
+          solver verdict winning *)
   dump_mir : bool;  (** [flux check] only *)
   dump_solution : bool;  (** [flux check] only *)
   format_json : bool;  (** [flux check] and [flux lint] *)
@@ -62,6 +69,8 @@ let default_opts tool =
     cache = true;
     cache_dir = Engine.default_cache_dir;
     certify = false;
+    absint = true;
+    absint_crosscheck = false;
     dump_mir = false;
     dump_solution = false;
     format_json = false;
@@ -134,6 +143,18 @@ let run ?deadline_ms ?(check_alive = fun () -> true) (o : opts)
             tool msg;
           None
   in
+  (* The discharge switches are process globals (read by engine worker
+     domains); daemon requests are serialized, so set-for-the-request /
+     restore-after keeps concurrent-free semantics identical to a fresh
+     CLI process with the same flags. *)
+  let saved_absint = !Discharge.enabled
+  and saved_xcheck = !Discharge.crosscheck in
+  Discharge.enabled := o.absint;
+  Discharge.crosscheck := o.absint_crosscheck;
+  Fun.protect ~finally:(fun () ->
+      Discharge.enabled := saved_absint;
+      Discharge.crosscheck := saved_xcheck)
+  @@ fun () ->
   try
     match o.tool with
     | Flux_check ->

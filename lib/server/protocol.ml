@@ -65,6 +65,8 @@ let json_of_opts (o : Exec.opts) : Json.t =
       ("cache", Json.Bool o.Exec.cache);
       ("cache_dir", Json.String o.Exec.cache_dir);
       ("certify", Json.Bool o.Exec.certify);
+      ("absint", Json.Bool o.Exec.absint);
+      ("absint_crosscheck", Json.Bool o.Exec.absint_crosscheck);
       ("dump_mir", Json.Bool o.Exec.dump_mir);
       ("dump_solution", Json.Bool o.Exec.dump_solution);
       ("format_json", Json.Bool o.Exec.format_json);
@@ -93,6 +95,10 @@ let opts_of_json (j : Json.t) : (Exec.opts, string) result =
   let* cache = field j "cache" Json.get_bool "opts.cache" in
   let* cache_dir = field j "cache_dir" Json.get_string "opts.cache_dir" in
   let* certify = field j "certify" Json.get_bool "opts.certify" in
+  let* absint = field j "absint" Json.get_bool "opts.absint" in
+  let* absint_crosscheck =
+    field j "absint_crosscheck" Json.get_bool "opts.absint_crosscheck"
+  in
   let* dump_mir = field j "dump_mir" Json.get_bool "opts.dump_mir" in
   let* dump_solution =
     field j "dump_solution" Json.get_bool "opts.dump_solution"
@@ -118,6 +124,8 @@ let opts_of_json (j : Json.t) : (Exec.opts, string) result =
       cache;
       cache_dir;
       certify;
+      absint;
+      absint_crosscheck;
       dump_mir;
       dump_solution;
       format_json;

@@ -20,6 +20,7 @@
 open Flux_smt
 module Ast = Flux_syntax.Ast
 module Ir = Flux_mir.Ir
+module Discharge = Flux_absint.Discharge
 module IMap = Map.Make (Int)
 
 type error = {
@@ -325,7 +326,9 @@ let check_vc ck (st : state) span ~(what : string) (goal : Term.t) : unit =
       in
       let rec attempt round =
         let hyps = grounds @ !instantiated in
-        if Solver.entails_sliced hyps goal then Some hyps
+        (* same implication [entails_sliced] decides, but the abstract
+           environment gets first crack at it (zero SMT when it hits) *)
+        if Discharge.valid (Solver.sliced_implication hyps goal) then Some hyps
         else if round < !inst_rounds && foralls <> [] then begin
           instantiate_round ();
           attempt (round + 1)

@@ -19,6 +19,7 @@ let () =
       Test_engine.tests;
       Test_incremental.tests;
       Test_analysis.tests;
+      Test_absint.tests;
       Test_fuzz.tests;
       Test_server.tests;
     ]

@@ -58,6 +58,8 @@ let seeds =
     ("unreachable.rs", "unreachable");
     ("trivial.rs", "trivial-refinement");
     ("dead_store.rs", "dead-store");
+    ("div_zero.rs", "div-by-zero");
+    ("index_oob.rs", "index-bounds");
     ("overflow.rs", "overflow");
   ]
 

@@ -356,6 +356,61 @@ let horn_codec_round_trip () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Absint oracle meta-tests                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** A discharge layer that answers every clause must be refuted by the
+    first solver-invalid term the generator produces, and the shrunk
+    reproducer must still refute it while the real layer stays sound. *)
+let absint_lying_discharge_caught () =
+  let try_valid (_ : Term.t) = true in
+  let root = Rng.make 0 in
+  let rec find case =
+    if case > 400 then Alcotest.fail "lying discharge layer not caught"
+    else
+      match
+        Oracle.absint_case ~try_valid ~seed:0 ~case (Rng.split root case)
+      with
+      | Oracle.Bug b ->
+          Alcotest.(check string) "term reproducer" "aterm" b.Oracle.b_ext;
+          let t = Repro.term_of_string b.Oracle.b_repro in
+          Alcotest.(check bool)
+            "shrunk term still refutes the lying layer" true
+            (Oracle.discharge_mismatch ~try_valid t <> None);
+          Alcotest.(check bool)
+            "the real discharge layer is sound on the shrunk term" true
+            (Oracle.discharge_mismatch t = None)
+      | _ -> find (case + 1)
+  in
+  find 0
+
+(** An abstract interpreter claiming every concrete state escapes must
+    be caught on the first runnable program, and the real analysis must
+    contain the shrunk reproducer's traces. *)
+let absint_broken_containment_caught () =
+  let contains (_ : Flux_absint.Absint.astate) (_ : int -> int option) =
+    false
+  in
+  let root = Rng.make 0 in
+  let rec find case =
+    if case > 200 then Alcotest.fail "broken containment not caught"
+    else
+      match
+        Oracle.absint_case ~contains ~seed:0 ~case (Rng.split root case)
+      with
+      | Oracle.Bug b ->
+          Alcotest.(check string) "program reproducer" "airs" b.Oracle.b_ext;
+          Alcotest.(check bool)
+            "the real abstract states contain the shrunk program's traces"
+            true
+            (Oracle.absint_containment ~input_rng:(Rng.make 0)
+               b.Oracle.b_repro
+            = None)
+      | _ -> find (case + 1)
+  in
+  find 0
+
+(* ------------------------------------------------------------------ *)
 (* Corpus replay                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -403,6 +458,15 @@ let corpus_replay () =
             Oracle.cert_violation ~valid:Solver.valid
               ~certify:Solver.certify t
           with
+          | None -> ()
+          | Some d -> Alcotest.failf "%s: regressed — %s" name d)
+      | ".airs" -> (
+          match Oracle.absint_containment ~input_rng:(Rng.make 0) body with
+          | None -> ()
+          | Some d -> Alcotest.failf "%s: regressed — %s" name d)
+      | ".aterm" -> (
+          let t = Repro.term_of_string body in
+          match Oracle.discharge_mismatch t with
           | None -> ()
           | Some d -> Alcotest.failf "%s: regressed — %s" name d)
       | ".horn" -> (
@@ -453,6 +517,10 @@ let tests =
         term_codec_round_trip;
       Alcotest.test_case "horn reproducer codec round-trips" `Quick
         horn_codec_round_trip;
+      Alcotest.test_case "seeded lying discharge layer caught" `Quick
+        absint_lying_discharge_caught;
+      Alcotest.test_case "seeded broken γ-containment caught" `Quick
+        absint_broken_containment_caught;
       Alcotest.test_case "fuzz-corpus reproducers stay fixed" `Quick
         corpus_replay;
     ] )

@@ -253,6 +253,11 @@ let sample_opts =
     };
     { (Exec.default_opts Exec.Prusti_check) with Exec.dump_mir = true };
     { (Exec.default_opts Exec.Flux_check) with Exec.certify = true };
+    {
+      (Exec.default_opts Exec.Flux_check) with
+      Exec.absint = false;
+      absint_crosscheck = true;
+    };
   ]
 
 let sample_requests =
